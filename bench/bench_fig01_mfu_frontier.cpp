@@ -1,0 +1,54 @@
+// Reproduces Figure 1: end-to-end training MFU versus the maximum context
+// length per GPU each method supports, for 2.7B, 13B and 70B models.
+// Each strategy is evaluated at ITS OWN maximum sequence — the frontier the
+// paper plots (Megatron-SP and Ulysses stall at short contexts; FPDT pushes
+// ~16x further at the highest MFU).
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+
+using namespace fpdt;
+using perfmodel::Strategy;
+
+int main() {
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  struct ModelCase {
+    nn::ModelConfig cfg;
+    int world;
+  };
+  const ModelCase cases[] = {
+      {nn::gpt_2p7b(), 4},
+      {nn::gpt_13b(), 8},
+      {nn::llama_70b(), 32},
+  };
+  const Strategy strategies[] = {
+      Strategy::megatron_sp(),
+      Strategy::ulysses(3, true, true),
+      Strategy::fpdt(),
+  };
+
+  TextTable table(
+      {"model", "gpus", "strategy", "max_len", "ctx_per_gpu", "mfu", "step_time"});
+  for (const ModelCase& mc : cases) {
+    for (const Strategy& st : strategies) {
+      const std::int64_t max_len = perfmodel::max_sequence(mc.cfg, st, mc.world, hw);
+      if (max_len == 0) {
+        table.add_row({mc.cfg.name, std::to_string(mc.world), st.label(), "OOM", "-", "-", "-"});
+        continue;
+      }
+      const perfmodel::Evaluation ev = perfmodel::evaluate(mc.cfg, st, mc.world, max_len, hw);
+      table.add_row({mc.cfg.name, std::to_string(mc.world), st.label(),
+                     format_token_count(max_len), format_token_count(max_len / mc.world),
+                     cell_pct(ev.mfu), format_seconds(ev.step_s)});
+    }
+  }
+  std::cout << "Figure 1 — MFU vs maximum context per GPU (each strategy at its own max)\n";
+  table.print(std::cout);
+  table.write_csv("fig01_mfu_frontier.csv");
+  std::cout << "\nPaper shape: FPDT supports ~16x longer context than Megatron-SP/Ulysses\n"
+               "at equal or higher MFU (>55% at the frontier).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figure 11: supported sequence lengths and corresponding MFU
+// for Megatron-SP, Ulysses, FPDT w. chunking, and FPDT w. offload (double
+// buffer), across the six evaluation models. Sequences sweep upward in
+// powers of two; "OOM" marks each strategy's wall. The paper's shape:
+// within one node Megatron-SP and Ulysses die around 128-256K; FPDT w.
+// chunking buys ~2-8x; FPDT w. offload reaches 2M+ at undiminished MFU;
+// multi-node Megatron-SP degrades while Ulysses/FPDT hold.
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+
+using namespace fpdt;
+using perfmodel::Strategy;
+
+int main() {
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  struct ModelCase {
+    nn::ModelConfig cfg;
+    int world;
+  };
+  const ModelCase cases[] = {
+      {nn::gpt_2p7b(), 4}, {nn::gpt_6p7b(), 4},  {nn::llama_8b(), 4},
+      {nn::gpt_13b(), 8},  {nn::gpt_30b(), 16},  {nn::llama_70b(), 32},
+  };
+  const Strategy strategies[] = {
+      Strategy::megatron_sp(),
+      Strategy::ulysses(3, true, true),
+      Strategy::fpdt_chunking_only(),
+      Strategy::fpdt(),
+  };
+
+  TextTable table({"model", "gpus", "seq_len", "megatron-sp", "ulysses", "fpdt-chunk",
+                   "fpdt-offload"});
+  for (const ModelCase& mc : cases) {
+    for (std::int64_t s = 128 * 1024; s <= (4LL << 20); s *= 2) {
+      std::vector<std::string> row = {mc.cfg.name, std::to_string(mc.world),
+                                      format_token_count(s)};
+      bool any = false;
+      for (const Strategy& st : strategies) {
+        if (!perfmodel::fits(mc.cfg, st, mc.world, s, hw) &&
+            !(st.scheme == perfmodel::SeqScheme::kFpdt && [&] {
+              Strategy fb = st;
+              fb.fpdt_cache_fwd = false;
+              return perfmodel::fits(mc.cfg, fb, mc.world, s, hw);
+            }())) {
+          row.push_back("OOM");
+          continue;
+        }
+        const perfmodel::Evaluation ev = perfmodel::evaluate(mc.cfg, st, mc.world, s, hw);
+        row.push_back(cell_pct(ev.mfu));
+        any = true;
+      }
+      table.add_row(std::move(row));
+      if (!any) break;  // every strategy is out of memory; stop the sweep
+    }
+  }
+  std::cout << "Figure 11 — sequence-length sweep: MFU per strategy (OOM = out of memory)\n";
+  table.print(std::cout);
+  table.write_csv("fig11_e2e_mfu.csv");
+  return 0;
+}

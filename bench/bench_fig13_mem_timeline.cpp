@@ -1,0 +1,125 @@
+// Reproduces Figure 13: the memory-footprint timeline of the backward pass
+// of one Transformer block under FPDT, with FFN chunks = 2x attention
+// chunks. We run the *functional* executor with allocator timeline
+// recording on and render the per-phase occupancy as an ASCII profile —
+// the analogue of the PyTorch profiler trace in the paper. The shape to
+// verify: FFN gradient phases (first) stay strictly below the attention
+// phases' envelope, i.e. "the attention part strictly binds the memory
+// footprint" (§5.4).
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/fpdt_block.h"
+#include "data/rank_ordinal.h"
+#include "nn/model_config.h"
+
+using namespace fpdt;
+
+int main() {
+  const nn::ModelConfig cfg = nn::tiny_gpt(128, 1, 8, 256);
+  const int world = 4;
+  const std::int64_t s_global = 2048;
+  Rng wrng(1);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(2);
+  Tensor x = Tensor::randn({s_global, cfg.d_model}, xrng);
+  Tensor dz = Tensor::randn({s_global, cfg.d_model}, xrng);
+
+  // The paper's rule: FFN chunks = 2x attention chunks keep the FFN spike
+  // below the attention envelope (§5.4). Our buffer structure (recompute
+  // inside the FFN backward) differs from theirs, so we sweep the
+  // multiplier and report the measured crossing alongside the 2x point.
+  std::cout << "FFN chunk multiplier sweep (does attention bind the footprint?):\n";
+  TextTable sweep({"ffn_mult", "ffn_phase_peak", "attn_phase_peak", "attention_binds"});
+  std::int64_t sufficient = 0;
+  for (std::int64_t mult : {1, 2, 4, 8}) {
+    core::FpdtConfig scfg;
+    scfg.chunks_per_rank = 4;
+    scfg.offload = true;
+    scfg.ffn_chunk_multiplier = mult;
+    scfg.cache_forward_outputs = false;
+    core::FpdtEnv senv(world, scfg);
+    senv.device(0).hbm().start_timeline();
+    core::FpdtBlockExecutor sexec(block, 0, senv);
+    data::RankOrdinalSharder ssh(world, scfg.chunks_per_rank);
+    sexec.backward(ssh.shard_tensor(dz), ssh.shard_tensor(x));
+    senv.device(0).hbm().stop_timeline();
+    std::int64_t ffn_p = 0, attn_p = 0;
+    for (const auto& sample : senv.device(0).hbm().timeline()) {
+      if (sample.label == "bwd.ffn") ffn_p = std::max(ffn_p, sample.used_bytes);
+      if (sample.label == "bwd.attn") attn_p = std::max(attn_p, sample.used_bytes);
+    }
+    const bool binds = attn_p >= ffn_p;
+    if (binds && sufficient == 0) sufficient = mult;
+    sweep.add_row({std::to_string(mult) + "x", format_bytes(ffn_p), format_bytes(attn_p),
+                   binds ? "yes" : "no"});
+  }
+  sweep.print(std::cout);
+  std::cout << "(paper: 2x suffices for its kernel buffer structure; ours crosses at "
+            << sufficient << "x)\n\n";
+
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  fcfg.offload = true;
+  fcfg.ffn_chunk_multiplier = std::max<std::int64_t>(2, sufficient);
+  fcfg.cache_forward_outputs = false;
+  core::FpdtEnv env(world, fcfg);
+  env.device(0).hbm().start_timeline();
+  core::FpdtBlockExecutor exec(block, 0, env);
+  data::RankOrdinalSharder sh(world, fcfg.chunks_per_rank);
+  exec.backward(sh.shard_tensor(dz), sh.shard_tensor(x));
+  env.device(0).hbm().stop_timeline();
+
+  const auto& timeline = env.device(0).hbm().timeline();
+  std::int64_t global_peak = 0;
+  std::map<std::string, std::int64_t> phase_peak;
+  for (const auto& sample : timeline) {
+    global_peak = std::max(global_peak, sample.used_bytes);
+    auto [it, ignore] = phase_peak.try_emplace(sample.label, 0);
+    it->second = std::max(it->second, sample.used_bytes);
+  }
+
+  std::cout << "Figure 13 — backward-pass memory timeline of one FPDT block (rank 0)\n";
+  std::cout << "samples: " << timeline.size() << ", peak " << format_bytes(global_peak)
+            << "\n\nPer-phase peak occupancy:\n";
+  TextTable table({"phase", "peak", "bar"});
+  for (const auto& [label, peak] : phase_peak) {
+    const int width = static_cast<int>(48.0 * static_cast<double>(peak) /
+                                       static_cast<double>(std::max<std::int64_t>(1, global_peak)));
+    table.add_row({label, format_bytes(peak), std::string(static_cast<std::size_t>(width), '#')});
+  }
+  table.print(std::cout);
+  table.write_csv("fig13_mem_timeline.csv");
+
+  // ASCII occupancy strip over (downsampled) allocator events.
+  std::cout << "\nOccupancy over allocator events (each column = max of a bucket):\n";
+  const int cols = 100;
+  const int rows_h = 12;
+  std::vector<std::int64_t> buckets(cols, 0);
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const int b = static_cast<int>(i * static_cast<std::size_t>(cols) / timeline.size());
+    buckets[static_cast<std::size_t>(b)] =
+        std::max(buckets[static_cast<std::size_t>(b)], timeline[i].used_bytes);
+  }
+  for (int r = rows_h; r >= 1; --r) {
+    const std::int64_t level = global_peak * r / rows_h;
+    std::cout << (r == rows_h ? format_bytes(global_peak) : std::string(5, ' '))
+              << std::string(6 - std::min<std::size_t>(5, 0), ' ');
+    for (int c = 0; c < cols; ++c) {
+      std::cout << (buckets[static_cast<std::size_t>(c)] >= level ? '#' : ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "           ffn-backward phases first, then attention backward (Fig. 13 order)\n";
+
+  const std::int64_t ffn_peak = phase_peak.count("bwd.ffn") ? phase_peak["bwd.ffn"] : 0;
+  const std::int64_t attn_peak = phase_peak.count("bwd.attn") ? phase_peak["bwd.attn"] : 0;
+  std::cout << "\nffn-phase peak " << format_bytes(ffn_peak) << " vs attention-phase peak "
+            << format_bytes(attn_peak) << " -> attention binds the footprint: "
+            << (attn_peak >= ffn_peak ? "yes (matches paper)" : "NO") << "\n";
+  return 0;
+}

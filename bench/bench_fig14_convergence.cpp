@@ -1,0 +1,70 @@
+// Reproduces Figure 14: pretraining loss curves for (a) the single-device
+// baseline (standing in for the paper's tensor-parallel baseline — both are
+// exact data-parallel computations of the same gradients), (b) FPDT without
+// offloading, and (c) FPDT with offloading. All three train *real* GPT
+// models with identical seeds on the same synthetic stream; the claim under
+// test is the paper's: "FPDT is a pure system optimization... there is no
+// (negative) impact on the quality of trained models" — the curves must
+// coincide.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "nn/adam.h"
+#include "nn/model.h"
+
+using namespace fpdt;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 60;
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 64);
+  const std::int64_t seq = 256;
+  const int world = 4;
+
+  nn::Model baseline(cfg, 42);
+  nn::Model fpdt_chunk_model(cfg, 42);
+  nn::Model fpdt_offload_model(cfg, 42);
+
+  core::FpdtConfig chunk_cfg;
+  chunk_cfg.chunks_per_rank = 4;
+  chunk_cfg.offload = false;
+  core::FpdtConfig offload_cfg;
+  offload_cfg.chunks_per_rank = 4;
+  offload_cfg.offload = true;
+  core::FpdtTrainer fpdt_chunk(fpdt_chunk_model, world, chunk_cfg);
+  core::FpdtTrainer fpdt_offload(fpdt_offload_model, world, offload_cfg);
+
+  nn::Adam opt_a(2e-3), opt_b(2e-3), opt_c(2e-3);
+  data::SyntheticCorpus ca(cfg.vocab, 7), cb(cfg.vocab, 7), cc(cfg.vocab, 7);
+
+  TextTable table({"step", "baseline", "fpdt_chunking", "fpdt_offload", "max_delta"});
+  double worst = 0.0;
+  for (int step = 1; step <= steps; ++step) {
+    const auto ta = ca.sample(seq + 1);
+    const auto tb = cb.sample(seq + 1);
+    const auto tc = cc.sample(seq + 1);
+    const double la = baseline.train_step_grads(ta);
+    const double lb = fpdt_chunk.train_step_grads(tb);
+    const double lc = fpdt_offload.train_step_grads(tc);
+    opt_a.step([&](const nn::ParamVisitor& f) { baseline.visit_params(f); });
+    opt_b.step([&](const nn::ParamVisitor& f) { fpdt_chunk_model.visit_params(f); });
+    opt_c.step([&](const nn::ParamVisitor& f) { fpdt_offload_model.visit_params(f); });
+    const double delta = std::max(std::abs(la - lb), std::abs(la - lc));
+    worst = std::max(worst, delta);
+    if (step <= 5 || step % 10 == 0) {
+      table.add_row({std::to_string(step), cell_f2(la) + "", cell_f2(lb), cell_f2(lc),
+                     cell_f2(delta * 1e4) + "e-4"});
+    }
+  }
+  std::cout << "Figure 14 — pretraining loss curves (tiny GPT, " << world
+            << " emulated GPUs, real FP32 training)\n";
+  table.print(std::cout);
+  table.write_csv("fig14_convergence.csv");
+  std::cout << "\nLargest per-step loss divergence across " << steps
+            << " steps: " << worst << " (pure FP32 reduction-order noise)\n"
+            << (worst < 1e-3 ? "PASS" : "FAIL")
+            << ": FPDT w/ and w/o offloading track the baseline exactly.\n";
+  return worst < 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// Wall-clock microbenchmarks (google-benchmark) of the functional kernels:
+// online blockwise attention vs naive reference, chunked vs monolithic loss
+// head, FPDT block step vs Ulysses block step. These time the *emulation*,
+// not A100 silicon — they exist to keep the functional layer honest about
+// its own costs and to catch algorithmic regressions (e.g. an accidental
+// O(s^2) copy in the chunk pipeline).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/fpdt_block.h"
+#include "data/rank_ordinal.h"
+#include "nn/attention.h"
+#include "nn/lm_head.h"
+#include "nn/generate.h"
+#include "nn/inference.h"
+#include "nn/model.h"
+#include "nn/model_config.h"
+#include "parallel/megatron_sp.h"
+#include "sim/timeline.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace fpdt;
+
+void BM_MatmulNt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ReferenceAttention(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  Rng rng(2);
+  Tensor q = Tensor::randn({s, 4, 32}, rng);
+  Tensor k = Tensor::randn({s, 4, 32}, rng);
+  Tensor v = Tensor::randn({s, 4, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::reference_attention_forward(q, k, v, true));
+  }
+}
+BENCHMARK(BM_ReferenceAttention)->Arg(128)->Arg(512);
+
+void BM_OnlineAttentionChunked(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  const std::int64_t chunks = 8;
+  const std::int64_t c = s / chunks;
+  Rng rng(3);
+  Tensor q = Tensor::randn({s, 4, 32}, rng);
+  Tensor k = Tensor::randn({s, 4, 32}, rng);
+  Tensor v = Tensor::randn({s, 4, 32}, rng);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < chunks; ++i) {
+      nn::OnlineAttnState st = nn::OnlineAttnState::create(c, 4, 32);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        nn::online_attn_step(st, q.slice0(i * c, (i + 1) * c), k.slice0(j * c, (j + 1) * c),
+                             v.slice0(j * c, (j + 1) * c), true, i * c, j * c);
+      }
+      benchmark::DoNotOptimize(nn::online_attn_finalize(st));
+    }
+  }
+}
+BENCHMARK(BM_OnlineAttentionChunked)->Arg(128)->Arg(512);
+
+void BM_LmHeadChunked(benchmark::State& state) {
+  const std::int64_t chunks = state.range(0);
+  const std::int64_t s = 256, d = 64, vocab = 512;
+  Rng rng(4);
+  nn::LmHead head("h", d, vocab, rng);
+  Tensor x = Tensor::randn({s, d}, rng);
+  std::vector<std::int32_t> targets(s, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(head.forward_backward(x, targets, chunks, s));
+  }
+}
+BENCHMARK(BM_LmHeadChunked)->Arg(1)->Arg(16);
+
+void BM_FpdtBlockStep(benchmark::State& state) {
+  const bool offload = state.range(0) != 0;
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 1, 4, 64);
+  Rng wrng(5);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(6);
+  Tensor x = Tensor::randn({512, cfg.d_model}, xrng);
+  Tensor dz = Tensor::randn({512, cfg.d_model}, xrng);
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  fcfg.offload = offload;
+  core::FpdtEnv env(4, fcfg);
+  core::FpdtBlockExecutor exec(block, 0, env);
+  data::RankOrdinalSharder sh(4, 4);
+  auto xs = sh.shard_tensor(x);
+  auto dzs = sh.shard_tensor(dz);
+  for (auto _ : state) {
+    exec.forward(xs);
+    benchmark::DoNotOptimize(exec.backward(dzs, xs));
+  }
+}
+BENCHMARK(BM_FpdtBlockStep)->Arg(0)->Arg(1);
+
+void BM_GenerateRecompute(benchmark::State& state) {
+  nn::Model model(nn::tiny_gpt(64, 2, 4, 64), 1);
+  Rng prng(2);
+  std::vector<std::int32_t> prompt(64, 3);
+  nn::SampleOptions greedy;
+  greedy.temperature = 0.0;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(nn::generate(model, prompt, 8, greedy, rng));
+  }
+}
+BENCHMARK(BM_GenerateRecompute);
+
+void BM_GenerateKvCache(benchmark::State& state) {
+  nn::Model model(nn::tiny_gpt(64, 2, 4, 64), 1);
+  std::vector<std::int32_t> prompt(64, 3);
+  nn::SampleOptions greedy;
+  greedy.temperature = 0.0;
+  for (auto _ : state) {
+    Rng rng(1);
+    benchmark::DoNotOptimize(nn::generate_cached(model, prompt, 8, greedy, rng, 16));
+  }
+}
+BENCHMARK(BM_GenerateKvCache);
+
+void BM_MegatronSpBlockStep(benchmark::State& state) {
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 1, 4, 64);
+  Rng wrng(5);
+  nn::TransformerBlock block("b", cfg, wrng);
+  core::FpdtConfig fcfg;
+  fcfg.cache_forward_outputs = false;
+  core::FpdtEnv env(4, fcfg);
+  parallel::MegatronSpBlockExecutor exec(block, env);
+  Rng xrng(6);
+  Tensor x = Tensor::randn({512, cfg.d_model}, xrng);
+  Tensor dz = Tensor::randn({512, cfg.d_model}, xrng);
+  std::vector<Tensor> xs, dzs;
+  for (int r = 0; r < 4; ++r) {
+    xs.push_back(x.slice0(r * 128, (r + 1) * 128).clone());
+    dzs.push_back(dz.slice0(r * 128, (r + 1) * 128).clone());
+  }
+  for (auto _ : state) {
+    exec.forward(xs);
+    benchmark::DoNotOptimize(exec.backward(dzs, xs));
+  }
+}
+BENCHMARK(BM_MegatronSpBlockStep);
+
+void BM_PipelineSimScaling(benchmark::State& state) {
+  // The simulator itself must stay cheap: a 32-chunk FPDT layer builds and
+  // runs thousands of tasks.
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const sim::CostModel cm(sim::a100_80g_node(), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::fpdt_layer_timing(cfg, cm, 512 * 1024, 32, true, true));
+  }
+}
+BENCHMARK(BM_PipelineSimScaling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Quickstart: train a small GPT with FPDT on an emulated 4-GPU
+// sequence-parallel group, and watch the loss fall while the chunked,
+// offloaded executor keeps the per-GPU working set flat.
+//
+//   ./examples/quickstart
+//
+// This exercises the whole public API surface: ModelConfig -> Model ->
+// FpdtTrainer (rank-ordinal sharding, chunked attention with offload,
+// chunked FFN and loss head) -> Adam.
+#include <iostream>
+
+#include "common/units.h"
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "nn/adam.h"
+#include "nn/model.h"
+
+int main() {
+  using namespace fpdt;
+
+  // 1. Describe a model. tiny_gpt keeps the demo fast; swap in
+  //    nn::llama_8b() etc. for the paper-scale *analytic* tools (see
+  //    examples/strategy_planner.cpp — the functional trainer is exact but
+  //    runs on CPU, so keep it small here).
+  const nn::ModelConfig cfg = nn::tiny_gpt(/*d_model=*/64, /*n_layer=*/2, /*n_head=*/4,
+                                           /*vocab=*/96);
+  nn::Model model(cfg, /*seed=*/1234);
+
+  // 2. Wrap it in an FPDT trainer: 4 emulated GPUs, 4 sequence chunks per
+  //    rank, host offloading with double buffering (the paper's default).
+  core::FpdtConfig fpdt_cfg;
+  fpdt_cfg.chunks_per_rank = 4;
+  fpdt_cfg.offload = true;
+  fpdt_cfg.double_buffer = true;
+  core::FpdtTrainer trainer(model, /*world=*/4, fpdt_cfg);
+
+  // 3. Train on a synthetic corpus.
+  nn::Adam optimizer(2e-3);
+  data::SyntheticCorpus corpus(cfg.vocab, /*seed=*/7);
+  const std::int64_t seq_len = 512;  // divisible by world * chunks_per_rank
+
+  std::cout << "step  loss    hbm_peak(rank0)  h2d_traffic  d2h_traffic\n";
+  for (int step = 1; step <= 20; ++step) {
+    const std::vector<std::int32_t> tokens = corpus.sample(seq_len + 1);
+    const double loss = trainer.train_step_grads(tokens);
+    optimizer.step([&](const nn::ParamVisitor& fn) { model.visit_params(fn); });
+    const auto& dev = trainer.env().device(0);
+    std::printf("%4d  %.4f  %15s  %11s  %11s\n", step, loss,
+                format_bytes(dev.hbm().peak()).c_str(),
+                format_bytes(dev.transfers().h2d_bytes).c_str(),
+                format_bytes(dev.transfers().d2h_bytes).c_str());
+  }
+  std::cout << "\nThe HBM peak stays flat step over step: only O(chunk) buffers ever\n"
+               "live on the device; the cached sequence chunks live in host memory.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Strategy planner: the tool a practitioner would actually reach for.
+// Given a model and a GPU budget, compare every training strategy the
+// paper evaluates — maximum trainable context, per-GPU memory breakdown,
+// host-memory needs, simulated step time and MFU — and print a
+// recommendation.
+//
+//   ./examples/strategy_planner llama-8b 8 80
+//   ./examples/strategy_planner gpt-30b 16 80
+//   (args: model-name gpu-count hbm-GiB; defaults: llama-8b 8 80)
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+
+int main(int argc, char** argv) {
+  using namespace fpdt;
+  const std::string model_name = argc > 1 ? argv[1] : "llama-8b";
+  const int world = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int hbm_gib = argc > 3 ? std::atoi(argv[3]) : 80;
+
+  const nn::ModelConfig cfg = nn::model_by_name(model_name);
+  sim::HardwareSpec hw = hbm_gib <= 40 ? sim::a100_40g_node() : sim::a100_80g_node();
+
+  std::cout << "Model " << cfg.name << " (" << cfg.param_count() / 1000000000.0
+            << "B params), " << world << "x A100-" << hbm_gib << "G\n\n";
+
+  const perfmodel::Strategy strategies[] = {
+      perfmodel::Strategy::megatron_tp(true, true),
+      perfmodel::Strategy::megatron_sp(),
+      perfmodel::Strategy::ulysses(3, true, true),
+      perfmodel::Strategy::fpdt_chunking_only(),
+      perfmodel::Strategy::fpdt(),
+  };
+
+  TextTable table({"strategy", "max_ctx", "hbm_used", "host_used", "step", "mfu"});
+  std::int64_t best_len = 0;
+  std::string best;
+  double best_mfu = 0.0;
+  for (const perfmodel::Strategy& st : strategies) {
+    const std::int64_t max_len = perfmodel::max_sequence(cfg, st, world, hw);
+    if (max_len == 0) {
+      table.add_row({st.label(), "OOM", "-", "-", "-", "-"});
+      continue;
+    }
+    const perfmodel::Evaluation ev = perfmodel::evaluate(cfg, st, world, max_len, hw);
+    table.add_row({st.label(), format_token_count(max_len),
+                   format_bytes(ev.memory.device_total()), format_bytes(ev.memory.host_bytes),
+                   format_seconds(ev.step_s), cell_pct(ev.mfu)});
+    if (max_len > best_len || (max_len == best_len && ev.mfu > best_mfu)) {
+      best_len = max_len;
+      best_mfu = ev.mfu;
+      best = st.label();
+    }
+  }
+  table.print(std::cout);
+
+  if (best_len == 0) {
+    std::cout << "\nNo strategy fits this model on " << world
+              << " GPUs — add GPUs or shrink the model.\n";
+    return 1;
+  }
+  std::cout << "\nRecommendation: " << best << " -> up to " << format_token_count(best_len)
+            << " context at " << cell_pct(best_mfu) << " MFU.\n";
+
+  // Memory breakdown of the recommended configuration.
+  const perfmodel::Evaluation ev =
+      perfmodel::evaluate(cfg, perfmodel::Strategy::fpdt(), world, best_len, hw);
+  std::cout << "\nFPDT per-GPU memory at " << format_token_count(best_len) << ":\n"
+            << "  params             " << format_bytes(ev.memory.params) << "\n"
+            << "  gradients          " << format_bytes(ev.memory.grads) << "\n"
+            << "  optimizer states   " << format_bytes(ev.memory.optimizer) << "\n"
+            << "  ZeRO-3 gather      " << format_bytes(ev.memory.gathered_params) << "\n"
+            << "  activations        " << format_bytes(ev.memory.stored_activations) << "\n"
+            << "  chunk working set  " << format_bytes(ev.memory.working_set) << "\n"
+            << "  loss-head spike    " << format_bytes(ev.memory.logits_spike) << "\n"
+            << "  host (offloaded)   " << format_bytes(ev.memory.host_bytes)
+            << (ev.recompute_fallback ? "  [recompute fallback: host-bound]" : "") << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// End-to-end lifecycle demo: pretrain a small GPT with FPDT (cosine LR
+// schedule, gradient clipping), checkpoint it, reload into a fresh model,
+// and generate continuations — the full loop a downstream user runs.
+//
+//   ./examples/train_and_generate [steps]   (default 80)
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "common/units.h"
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "nn/adam.h"
+#include "nn/checkpoint_io.h"
+#include "nn/generate.h"
+#include "nn/inference.h"
+#include "nn/model.h"
+#include "nn/training.h"
+
+int main(int argc, char** argv) {
+  using namespace fpdt;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 64);
+  nn::Model model(cfg, 2024);
+  core::FpdtConfig fpdt_cfg;
+  fpdt_cfg.chunks_per_rank = 4;
+  core::FpdtTrainer trainer(model, /*world=*/4, fpdt_cfg);
+
+  nn::Adam opt(1e-3);
+  nn::CosineLrSchedule schedule(3e-3, 3e-4, /*warmup=*/10, steps);
+  data::SyntheticCorpus corpus(cfg.vocab, 123);
+  nn::ThroughputMeter meter;
+
+  std::cout << "Training " << cfg.param_count() << "-param GPT with FPDT on 4 emulated GPUs\n";
+  for (int step = 0; step < steps; ++step) {
+    opt.set_lr(schedule.lr_at(step));
+    const auto tokens = corpus.sample(513);
+    const double loss = trainer.train_step_grads(tokens);
+    const double gnorm =
+        nn::clip_grad_norm([&](const nn::ParamVisitor& f) { model.visit_params(f); }, 1.0);
+    opt.step([&](const nn::ParamVisitor& f) { model.visit_params(f); });
+    meter.step(512);
+    if (step % 10 == 0 || step == steps - 1) {
+      std::printf("step %3d  lr %.2e  loss %.4f  grad_norm %.2f\n", step, opt.lr(), loss,
+                  gnorm);
+    }
+  }
+  std::cout << "throughput (emulated-functional): "
+            << static_cast<std::int64_t>(meter.tokens_per_second()) << " tokens/s\n\n";
+
+  // Checkpoint, reload into a fresh model, verify, generate.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fpdt_demo.ckpt").string();
+  nn::save_checkpoint(model, path);
+  nn::Model restored(cfg, 1);
+  nn::load_checkpoint(restored, path);
+  const auto probe = corpus.sample(65);
+  std::cout << "checkpoint round-trip: " << std::filesystem::file_size(path)
+            << " bytes, eval losses "
+            << (model.eval_loss(probe) == restored.eval_loss(probe) ? "identical"
+                                                                    : "DIFFER (bug!)")
+            << "\n";
+
+  nn::SampleOptions greedy;
+  greedy.temperature = 0.0;
+  Rng rng(7);
+  const auto prompt = corpus.sample(32);
+  // KV-cache generation with chunked prefill — the inference analogue of
+  // the training-side chunk pipeline (and O(n) per decoded token).
+  const auto continued =
+      nn::generate_cached(restored, prompt, 16, greedy, rng, /*prefill_chunk=*/8);
+  std::cout << "prompt tail: ";
+  for (std::size_t i = prompt.size() - 8; i < prompt.size(); ++i) {
+    std::cout << prompt[i] << " ";
+  }
+  std::cout << "\ngenerated  : ";
+  for (std::size_t i = prompt.size(); i < continued.size(); ++i) {
+    std::cout << continued[i] << " ";
+  }
+  std::cout << "\n";
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "comm/process_group.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace fpdt::comm {
+
+ProcessGroup::ProcessGroup(int world_size) : world_size_(world_size) {
+  FPDT_CHECK_GE(world_size, 1) << " process group size";
+}
+
+namespace {
+
+// Copies head block [h_begin, h_end) of src [s, h, d] into dst [s, h_end-h_begin, d].
+void copy_head_block(const Tensor& src, std::int64_t h_begin, std::int64_t h_end, Tensor& dst) {
+  const std::int64_t s = src.dim(0);
+  const std::int64_t h = src.dim(1);
+  const std::int64_t d = src.dim(2);
+  const std::int64_t hb = h_end - h_begin;
+  const float* sp = src.data();
+  float* dp = dst.data();
+  for (std::int64_t t = 0; t < s; ++t) {
+    std::memcpy(dp + t * hb * d, sp + (t * h + h_begin) * d,
+                static_cast<std::size_t>(hb * d) * sizeof(float));
+  }
+}
+
+// Copies src [s, hb, d] into dst [s, h, d] at head offset h_begin.
+void paste_head_block(const Tensor& src, Tensor& dst, std::int64_t h_begin) {
+  const std::int64_t s = src.dim(0);
+  const std::int64_t hb = src.dim(1);
+  const std::int64_t d = src.dim(2);
+  const std::int64_t h = dst.dim(1);
+  const float* sp = src.data();
+  float* dp = dst.data();
+  for (std::int64_t t = 0; t < s; ++t) {
+    std::memcpy(dp + (t * h + h_begin) * d, sp + t * hb * d,
+                static_cast<std::size_t>(hb * d) * sizeof(float));
+  }
+}
+
+}  // namespace
+
+std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_to_all input count";
+  const std::int64_t s_local = local[0].dim(0);
+  const std::int64_t h_global = local[0].dim(1);
+  const std::int64_t d = local[0].dim(2);
+  FPDT_CHECK_EQ(h_global % P, 0) << " heads must divide world size";
+  const std::int64_t h_local = h_global / P;
+  for (const Tensor& t : local) {
+    FPDT_CHECK(t.ndim() == 3 && t.dim(0) == s_local && t.dim(1) == h_global && t.dim(2) == d)
+        << " ragged all_to_all input " << t.shape_str();
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (int dst = 0; dst < P; ++dst) {
+    Tensor gathered({P * s_local, h_local, d});
+    for (int src = 0; src < P; ++src) {
+      // Rank `src` sends its head block `dst` to rank `dst`; pieces land in
+      // rank order along the sequence dimension.
+      Tensor piece = gathered.slice0(src * s_local, (src + 1) * s_local);
+      copy_head_block(local[static_cast<std::size_t>(src)], dst * h_local, (dst + 1) * h_local,
+                      piece);
+    }
+    out.push_back(std::move(gathered));
+  }
+  stats_.all_to_all_bytes += P * s_local * h_global * d * 2;  // logical BF16 bytes
+  return out;
+}
+
+std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor> global) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(global.size()), P) << " all_to_all input count";
+  const std::int64_t s_global = global[0].dim(0);
+  const std::int64_t h_local = global[0].dim(1);
+  const std::int64_t d = global[0].dim(2);
+  FPDT_CHECK_EQ(s_global % P, 0) << " sequence must divide world size";
+  const std::int64_t s_local = s_global / P;
+  const std::int64_t h_global = h_local * P;
+
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (int dst = 0; dst < P; ++dst) {
+    Tensor scattered({s_local, h_global, d});
+    for (int src = 0; src < P; ++src) {
+      // Rank `src` holds heads [src*h_local, ...); its sequence piece `dst`
+      // returns to rank `dst`.
+      Tensor piece =
+          global[static_cast<std::size_t>(src)].slice0(dst * s_local, (dst + 1) * s_local);
+      paste_head_block(piece, scattered, src * h_local);
+    }
+    out.push_back(std::move(scattered));
+  }
+  stats_.all_to_all_bytes += P * s_local * h_global * d * 2;
+  return out;
+}
+
+std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_gather input count";
+  Tensor full = concat0(local);
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(P));
+  out.push_back(std::move(full));
+  for (int r = 1; r < P; ++r) out.push_back(out[0].clone());
+  stats_.all_gather_bytes += out[0].numel() * 2 * (P - 1);
+  return out;
+}
+
+std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(full.size()), P) << " reduce_scatter input count";
+  Tensor sum = full[0].clone();
+  for (int r = 1; r < P; ++r) add_(sum, full[static_cast<std::size_t>(r)]);
+  FPDT_CHECK_EQ(sum.dim(0) % P, 0) << " reduce_scatter dim0";
+  const std::int64_t shard = sum.dim(0) / P;
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) out.push_back(sum.slice0(r * shard, (r + 1) * shard).clone());
+  stats_.reduce_scatter_bytes += sum.numel() * 2 * (P - 1) / P * P;
+  return out;
+}
+
+std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_reduce input count";
+  Tensor sum = local[0].clone();
+  for (int r = 1; r < P; ++r) add_(sum, local[static_cast<std::size_t>(r)]);
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) out.push_back(sum.clone());
+  stats_.all_reduce_bytes += sum.numel() * 2 * 2 * (P - 1);
+  return out;
+}
+
+std::vector<Tensor> ProcessGroup::ring_shift(std::span<const Tensor> local) const {
+  const int P = world_size_;
+  FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " ring_shift input count";
+  std::vector<Tensor> out(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    out[static_cast<std::size_t>((r + 1) % P)] = local[static_cast<std::size_t>(r)].clone();
+    stats_.p2p_bytes += local[static_cast<std::size_t>(r)].numel() * 2;
+  }
+  return out;
+}
+
+}  // namespace fpdt::comm

@@ -1,0 +1,72 @@
+// In-process SPMD collectives — the NCCL stand-in.
+//
+// The functional layer emulates a sequence-parallel group of P ranks inside
+// one process: per-rank state is a std::vector with one entry per rank, and
+// a collective is a function from per-rank inputs to per-rank outputs that
+// moves real data exactly the way NCCL would. This preserves every layout
+// property the paper relies on (head scatter / sequence gather, rank-ordinal
+// chunk contiguity, causal-mask validity) while replacing only the
+// transport.
+//
+// Layout convention: attention-layer tensors are [s, h, d] (batch is looped
+// at the model level; the paper evaluates with batch size 1). "Heads to
+// sequence" All2All is the Ulysses forward re-shard:
+//   per rank  [s_local, h_global, d]  ->  [s_global, h_local, d]
+// where h_local = h_global / P and s_global = P * s_local, with received
+// sequence pieces concatenated in rank order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fpdt::comm {
+
+struct CommStats {
+  std::int64_t all_to_all_bytes = 0;
+  std::int64_t all_gather_bytes = 0;
+  std::int64_t reduce_scatter_bytes = 0;
+  std::int64_t all_reduce_bytes = 0;
+  std::int64_t p2p_bytes = 0;
+};
+
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(int world_size);
+
+  int world_size() const { return world_size_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  // Ulysses forward re-shard. Each rank holds [s_local, h_global, d] with
+  // h_global divisible by P; returns per-rank [P*s_local, h_global/P, d].
+  // Received pieces are concatenated along sequence in rank order, so with
+  // the rank-ordinal chunk layout (Fig. 6) the result is a contiguous slice
+  // of the global sequence.
+  std::vector<Tensor> all_to_all_heads_to_seq(std::span<const Tensor> local) const;
+
+  // Exact inverse of all_to_all_heads_to_seq.
+  std::vector<Tensor> all_to_all_seq_to_heads(std::span<const Tensor> global) const;
+
+  // Concatenate per-rank shards along dim 0 onto every rank.
+  std::vector<Tensor> all_gather(std::span<const Tensor> local) const;
+
+  // Elementwise-sum all inputs, then hand rank r the r-th dim-0 slice.
+  // Inputs must share a shape whose dim 0 is divisible by P.
+  std::vector<Tensor> reduce_scatter(std::span<const Tensor> full) const;
+
+  // Elementwise sum replicated to every rank.
+  std::vector<Tensor> all_reduce(std::span<const Tensor> local) const;
+
+  // Ring shift: rank r's tensor is delivered to rank (r + 1) % P.
+  // The building block of Ring Attention's KV rotation.
+  std::vector<Tensor> ring_shift(std::span<const Tensor> local) const;
+
+ private:
+  mutable CommStats stats_;
+  int world_size_;
+};
+
+}  // namespace fpdt::comm

@@ -1,0 +1,74 @@
+// Error handling primitives used across the FPDT codebase.
+//
+// Invariant violations throw FpdtError (derived from std::runtime_error) so
+// callers can distinguish library failures from standard-library ones. The
+// FPDT_CHECK family is used for preconditions that remain enabled in release
+// builds: this is a systems library where a silently-corrupt schedule or
+// out-of-bounds tensor view is far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fpdt {
+
+// Base error type for all failures raised by this library.
+class FpdtError : public std::runtime_error {
+ public:
+  explicit FpdtError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when an emulated device arena cannot satisfy an allocation.
+// Distinct so capacity-search code can catch OOM specifically.
+class OutOfMemoryError : public FpdtError {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : FpdtError(what) {}
+};
+
+namespace detail {
+
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << ": check failed: " << expr;
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw FpdtError(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+// Usage: FPDT_CHECK(cond) << " context " << value;
+// The message stream is only evaluated on failure.
+#define FPDT_CHECK(cond)                                                     \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::fpdt::detail::CheckRaiser{} &                                          \
+        ::fpdt::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define FPDT_CHECK_EQ(a, b) FPDT_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ")"
+#define FPDT_CHECK_NE(a, b) FPDT_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ")"
+#define FPDT_CHECK_LT(a, b) FPDT_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ")"
+#define FPDT_CHECK_LE(a, b) FPDT_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ")"
+#define FPDT_CHECK_GT(a, b) FPDT_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ")"
+#define FPDT_CHECK_GE(a, b) FPDT_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ")"
+
+namespace detail {
+
+// Lowest-precedence trigger so the << chain completes before raise().
+struct CheckRaiser {
+  [[noreturn]] void operator&(const CheckMessageBuilder& builder) { builder.raise(); }
+};
+
+}  // namespace detail
+}  // namespace fpdt

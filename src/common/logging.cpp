@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace fpdt {
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_threshold) {
+  if (enabled_) {
+    stream_ << "[" << level_name(level) << " " << basename_of(file) << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace fpdt

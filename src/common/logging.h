@@ -1,0 +1,46 @@
+// Minimal leveled logger. Not thread-safe beyond line atomicity; the SPMD
+// emulation is single-threaded by design (see comm/process_group.h).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fpdt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define FPDT_LOG(level) ::fpdt::detail::LogLine(::fpdt::LogLevel::level, __FILE__, __LINE__)
+#define FPDT_LOG_DEBUG FPDT_LOG(kDebug)
+#define FPDT_LOG_INFO FPDT_LOG(kInfo)
+#define FPDT_LOG_WARN FPDT_LOG(kWarn)
+#define FPDT_LOG_ERROR FPDT_LOG(kError)
+
+}  // namespace fpdt

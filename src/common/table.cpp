@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.h"
+
+namespace fpdt {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FPDT_CHECK_EQ(row.size(), header_.size()) << " table row width mismatch";
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  FPDT_CHECK(out.good()) << " cannot open " << path;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) out << (c == 0 ? "" : ",") << row[c];
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell_f1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string cell_f2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string cell_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace fpdt

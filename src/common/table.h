@@ -1,0 +1,37 @@
+// Console table / CSV emitters shared by all benchmark binaries so every
+// reproduced table and figure prints in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpdt {
+
+// Accumulates rows of strings and pretty-prints with aligned columns.
+// Also exports CSV so figures can be re-plotted externally.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Column-aligned ASCII rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Shorthand numeric formatting for table cells.
+std::string cell_f1(double v);   // "12.3"
+std::string cell_f2(double v);   // "12.34"
+std::string cell_pct(double v);  // 0.557 -> "55.7%"
+
+}  // namespace fpdt

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fpdt {
+
+namespace {
+
+int g_workers = []() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<int>(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
+}();
+
+}  // namespace
+
+int parallel_workers() { return g_workers; }
+
+void set_parallel_workers(int workers) {
+  FPDT_CHECK_GE(workers, 1) << " worker count";
+  g_workers = workers;
+}
+
+void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
+  if (n <= 1 || g_workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Fork-join with a shared index counter; threads are cheap relative to
+  // the tensor math inside each rank's body.
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  const int threads = std::min(n, g_workers);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fpdt

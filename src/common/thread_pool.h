@@ -1,0 +1,27 @@
+// Minimal fork-join helper for the SPMD emulation.
+//
+// The functional layer runs P emulated ranks; rank-local compute (online
+// attention chunk steps, attention backward pairs) touches only per-rank
+// buffers, so those loops can fork across OS threads and join before the
+// next collective — exactly the synchronisation structure of the real
+// system (compute between NCCL rendezvous points). Weight-gradient
+// accumulation and collectives stay on the calling thread, so results are
+// bit-identical to the serial execution.
+#pragma once
+
+#include <functional>
+
+namespace fpdt {
+
+// Runs fn(0..n-1), possibly concurrently; returns after all complete.
+// Exceptions from workers are rethrown on the caller (first one wins).
+// n <= 1 or a single-core machine degrades to a plain loop.
+void parallel_for_ranks(int n, const std::function<void(int)>& fn);
+
+// Process-wide worker count used by parallel_for_ranks (defaults to the
+// hardware concurrency, capped at 16). Setting it to 1 forces serial
+// execution (useful to isolate concurrency bugs).
+int parallel_workers();
+void set_parallel_workers(int workers);
+
+}  // namespace fpdt

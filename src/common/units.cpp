@@ -1,0 +1,61 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fpdt {
+
+std::int64_t parse_token_count(const std::string& text) {
+  FPDT_CHECK(!text.empty()) << " in parse_token_count";
+  char suffix = text.back();
+  std::int64_t multiplier = 1;
+  std::string digits = text;
+  if (suffix == 'K' || suffix == 'k') {
+    multiplier = kTokensK;
+    digits.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    multiplier = kTokensM;
+    digits.pop_back();
+  }
+  return std::stoll(digits) * multiplier;
+}
+
+std::string format_token_count(std::int64_t tokens) {
+  if (tokens >= kTokensM && tokens % kTokensM == 0) {
+    return std::to_string(tokens / kTokensM) + "M";
+  }
+  if (tokens >= kTokensK && tokens % kTokensK == 0) {
+    return std::to_string(tokens / kTokensK) + "K";
+  }
+  return std::to_string(tokens);
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[32];
+  double value = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", value / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", value / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", value / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace fpdt

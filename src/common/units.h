@@ -1,0 +1,32 @@
+// Byte / token / FLOP unit helpers and human-readable formatting used by the
+// memory model, the simulator and every benchmark table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpdt {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+// Token-count units as used in the paper ("64K chunk", "2M sequence"): these
+// are binary multiples (64K = 65536 tokens), matching the paper's powers-of-2
+// sweep points.
+inline constexpr std::int64_t kTokensK = 1024;
+inline constexpr std::int64_t kTokensM = 1024 * 1024;
+
+// "2M" -> 2097152, "512K" -> 524288, "4096" -> 4096.
+std::int64_t parse_token_count(const std::string& text);
+
+// 2097152 -> "2M", 65536 -> "64K", 1000 -> "1000".
+std::string format_token_count(std::int64_t tokens);
+
+// 68719476736 -> "64.0G" (GiB); keeps one decimal.
+std::string format_bytes(std::int64_t bytes);
+
+// Seconds -> "123.4ms" / "1.23s" / "45.6us".
+std::string format_seconds(double seconds);
+
+}  // namespace fpdt

@@ -1,0 +1,235 @@
+#include "core/chunk_schedule.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fpdt::core {
+
+namespace {
+
+const char* kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kQkvProject:
+      return "qkv_project";
+    case OpKind::kAll2AllQkv:
+      return "all2all_qkv";
+    case OpKind::kAttnStep:
+      return "attn_step";
+    case OpKind::kOffloadKv:
+      return "offload_kv";
+    case OpKind::kFetchKv:
+      return "fetch_kv";
+    case OpKind::kAll2AllOut:
+      return "all2all_out";
+    case OpKind::kOutProjFfn:
+      return "out_proj_ffn";
+    case OpKind::kFfnBackward:
+      return "ffn_backward";
+    case OpKind::kAll2AllGrad:
+      return "all2all_grad";
+    case OpKind::kFetchQGrad:
+      return "fetch_qgrad";
+    case OpKind::kAttnBwdStep:
+      return "attn_bwd_step";
+    case OpKind::kOffloadDq:
+      return "offload_dq";
+    case OpKind::kQkvBackward:
+      return "qkv_backward";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ScheduleOp::debug() const {
+  std::ostringstream os;
+  os << kind_name(kind);
+  if (i >= 0) os << " i=" << i;
+  if (j >= 0) os << " j=" << j;
+  return os.str();
+}
+
+ChunkSchedule ChunkSchedule::forward(std::int64_t u, bool offload, bool double_buffer) {
+  FPDT_CHECK_GE(u, 1) << " schedule chunks";
+  ChunkSchedule sched(u, offload, double_buffer);
+  for (std::int64_t i = 0; i < u; ++i) {
+    sched.push(OpKind::kQkvProject, i, -1, kStreamCompute);
+    sched.push(OpKind::kAll2AllQkv, i, -1, kStreamComm);
+    for (std::int64_t j = 0; j < i; ++j) {
+      if (offload) sched.push(OpKind::kFetchKv, i, j, kStreamH2D);
+      sched.push(OpKind::kAttnStep, i, j, kStreamCompute);
+    }
+    sched.push(OpKind::kAttnStep, i, i, kStreamCompute);  // diagonal: fresh k̂ᵢ
+    if (offload) sched.push(OpKind::kOffloadKv, i, -1, kStreamD2H);
+    sched.push(OpKind::kAll2AllOut, i, -1, kStreamComm);
+    sched.push(OpKind::kOutProjFfn, i, -1, kStreamCompute);
+  }
+  return sched;
+}
+
+ChunkSchedule ChunkSchedule::backward(std::int64_t u, bool offload, bool double_buffer) {
+  FPDT_CHECK_GE(u, 1) << " schedule chunks";
+  ChunkSchedule sched(u, offload, double_buffer);
+  sched.is_backward_ = true;
+  // Phase A: FFN / norm2 / Wo backward per chunk, producing dô + D.
+  for (std::int64_t i = 0; i < u; ++i) {
+    sched.push(OpKind::kFfnBackward, i, -1, kStreamCompute);
+    sched.push(OpKind::kAll2AllOut, i, -1, kStreamComm);   // ô back to local
+    sched.push(OpKind::kAll2AllGrad, i, -1, kStreamComm);  // dô to global
+  }
+  // Phase B: nested loops — outer over KV chunks, inner over query chunks.
+  for (std::int64_t j = 0; j < u; ++j) {
+    if (offload) sched.push(OpKind::kFetchKv, -1, j, kStreamH2D);
+    for (std::int64_t i = j; i < u; ++i) {
+      if (offload) sched.push(OpKind::kFetchQGrad, i, j, kStreamH2D);
+      sched.push(OpKind::kAttnBwdStep, i, j, kStreamCompute);
+      if (offload && i != j) sched.push(OpKind::kOffloadDq, i, j, kStreamD2H);
+    }
+    sched.push(OpKind::kAll2AllGrad, j, -1, kStreamComm);  // dq̂ⱼ/dk̂ⱼ/dv̂ⱼ home
+    sched.push(OpKind::kQkvBackward, j, -1, kStreamCompute);
+  }
+  return sched;
+}
+
+void ChunkSchedule::check_legal() const {
+  std::set<std::int64_t> qhat_ready;     // All2All done for chunk i
+  std::set<std::int64_t> kv_on_host;     // offloaded KV chunks
+  std::set<std::int64_t> kv_resident;    // fetched copies currently on device
+  std::set<std::int64_t> dq_finalized;   // dq̂ finalization bookkeeping
+  std::vector<std::int64_t> dq_last_outer(static_cast<std::size_t>(u_), -1);
+
+  if (!is_backward_) {
+    for (const ScheduleOp& op : ops_) {
+      switch (op.kind) {
+        case OpKind::kAll2AllQkv:
+          qhat_ready.insert(op.i);
+          break;
+        case OpKind::kFetchKv: {
+          FPDT_CHECK(kv_on_host.contains(op.j))
+              << " fetch of non-offloaded kv chunk " << op.j << " (" << op.debug() << ")";
+          kv_resident.insert(op.j);
+          // Double-buffer invariant: window bound on fetched copies.
+          FPDT_CHECK_LE(static_cast<std::int64_t>(kv_resident.size()), window() + 1)
+              << " too many resident kv chunks at " << op.debug();
+          break;
+        }
+        case OpKind::kAttnStep: {
+          FPDT_CHECK(qhat_ready.contains(op.i))
+              << " attention before All2All of chunk " << op.i;
+          if (op.j != op.i) {
+            // Earlier chunk must be resident: fetched (offload mode) or
+            // still alive (resident mode).
+            if (offload_) {
+              FPDT_CHECK(kv_resident.contains(op.j))
+                  << " attention on non-fetched kv chunk " << op.j;
+              // Strict single-buffer mode: the chunk retires as soon as it
+              // is consumed; double buffer keeps the previous one around.
+              if (window() == 1) kv_resident.erase(op.j);
+              if (window() == 2 && op.j >= 1) kv_resident.erase(op.j - 1);
+            } else {
+              FPDT_CHECK(qhat_ready.contains(op.j))
+                  << " attention on never-produced kv chunk " << op.j;
+            }
+          }
+          break;
+        }
+        case OpKind::kOffloadKv:
+          kv_on_host.insert(op.i);
+          kv_resident.erase(op.i);
+          break;
+        case OpKind::kAll2AllOut:
+        case OpKind::kOutProjFfn:
+        case OpKind::kQkvProject:
+          break;
+        default:
+          throw FpdtError("backward op in forward schedule: " + op.debug());
+      }
+    }
+    // Every chunk's KV must have been produced.
+    FPDT_CHECK_EQ(static_cast<std::int64_t>(qhat_ready.size()), u_) << " missing chunks";
+    return;
+  }
+
+  // Backward legality.
+  std::set<std::int64_t> phase_a_done;
+  std::int64_t current_outer = -1;
+  std::int64_t kv_fetched = -1;
+  for (const ScheduleOp& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kFfnBackward:
+        phase_a_done.insert(op.i);
+        break;
+      case OpKind::kAll2AllOut:
+      case OpKind::kAll2AllGrad:
+        break;
+      case OpKind::kFetchKv:
+        FPDT_CHECK_EQ(op.j, current_outer + 1) << " kv fetch out of outer order";
+        kv_fetched = op.j;
+        break;
+      case OpKind::kFetchQGrad:
+        FPDT_CHECK(phase_a_done.contains(op.i))
+            << " q-grad fetch before phase A of chunk " << op.i;
+        break;
+      case OpKind::kAttnBwdStep: {
+        FPDT_CHECK(phase_a_done.contains(op.i))
+            << " attention backward before dô of chunk " << op.i;
+        FPDT_CHECK_GE(op.i, op.j) << " causally-masked pair scheduled: " << op.debug();
+        if (offload_) {
+          FPDT_CHECK_EQ(op.j, kv_fetched) << " kv chunk not fetched";
+        }
+        if (op.j != current_outer) {
+          FPDT_CHECK_EQ(op.j, current_outer + 1) << " outer loop must ascend";
+          current_outer = op.j;
+        }
+        // dq̂ᵢ contributions must arrive in ascending outer order and the
+        // final one lands exactly at j == i ("we get its final result
+        // after the first inner loop" of outer j == i).
+        FPDT_CHECK(!dq_finalized.contains(op.i))
+            << " contribution to finalized dq chunk " << op.i;
+        FPDT_CHECK_GT(op.j, dq_last_outer[static_cast<std::size_t>(op.i)])
+            << " duplicate outer contribution to dq chunk " << op.i;
+        dq_last_outer[static_cast<std::size_t>(op.i)] = op.j;
+        if (op.i == op.j) dq_finalized.insert(op.i);
+        break;
+      }
+      case OpKind::kOffloadDq:
+        FPDT_CHECK(!dq_finalized.contains(op.i))
+            << " offloading an already-final dq chunk " << op.i;
+        break;
+      case OpKind::kQkvBackward:
+        FPDT_CHECK(dq_finalized.contains(op.i))
+            << " projection backward before dq̂ finalized for chunk " << op.i;
+        break;
+      default:
+        throw FpdtError("forward op in backward schedule: " + op.debug());
+    }
+  }
+  FPDT_CHECK_EQ(static_cast<std::int64_t>(dq_finalized.size()), u_)
+      << " not all dq chunks finalized";
+}
+
+std::int64_t ChunkSchedule::count(OpKind kind) const {
+  std::int64_t n = 0;
+  for (const ScheduleOp& op : ops_) {
+    if (op.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string ChunkSchedule::to_string(std::size_t max_ops) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const ScheduleOp& op : ops_) {
+    if (shown++ >= max_ops) {
+      os << "... (" << ops_.size() - max_ops << " more)\n";
+      break;
+    }
+    static const char* stream_names[] = {"comp", "h2d ", "d2h ", "comm"};
+    os << "[" << stream_names[op.stream] << "] " << op.debug() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpdt::core

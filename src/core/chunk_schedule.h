@@ -1,0 +1,95 @@
+// Explicit representation of the FPDT chunk schedule (Figs. 4, 5 and 7) as
+// an op DAG with stream assignments.
+//
+// The functional executor (fpdt_block.cpp) and the timing simulator
+// (sim/timeline.cpp) both implement this schedule; this module makes the
+// schedule itself a first-class, checkable object:
+//  - generation: the exact op sequence for a forward pass and the nested
+//    kv-outer/q-inner backward, per rank-agnostic chunk indices;
+//  - legality checking: every operand is produced before use, nothing is
+//    consumed after it was freed/offloaded without a fetch, at most
+//    `window` KV chunk buffers are device-resident at any point (the
+//    double-buffer invariant), and dq̂ accumulators finalize exactly once —
+//    at outer iteration j == i, as the paper describes;
+//  - accounting: per-op data volumes, so schedule-level traffic totals can
+//    be cross-checked against the functional executor's transfer counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpdt::core {
+
+enum class OpKind {
+  kQkvProject,    // norm1 + QKV projection + RoPE of local chunk i
+  kAll2AllQkv,    // scatter heads / gather sequence for chunk i
+  kAttnStep,      // online attention: q chunk i against kv chunk j
+  kOffloadKv,     // k̂ᵢ/v̂ᵢ (and caches) to host
+  kFetchKv,       // k̂ⱼ/v̂ⱼ back to device
+  kAll2AllOut,    // ô chunk back to local layout
+  kOutProjFfn,    // Wo + residual + chunked FFN of chunk i
+  kFfnBackward,   // FFN/norm2/Wo backward of chunk i (phase A)
+  kAll2AllGrad,   // dô or dq̂/dk̂/dv̂ re-shard
+  kFetchQGrad,    // q̂ᵢ/dôᵢ/dq̂ᵢ-accumulator fetch (phase B inner)
+  kAttnBwdStep,   // backward pair (kv j, q i)
+  kOffloadDq,     // park partial dq̂ᵢ on host
+  kQkvBackward,   // projection + norm1 backward of chunk j
+};
+
+struct ScheduleOp {
+  OpKind kind;
+  std::int64_t i = -1;  // query/main chunk index
+  std::int64_t j = -1;  // kv chunk index (attention pair ops)
+  int stream = 0;       // 0 compute, 1 h2d, 2 d2h, 3 comm
+  std::string debug() const;
+};
+
+inline constexpr int kStreamCompute = 0;
+inline constexpr int kStreamH2D = 1;
+inline constexpr int kStreamD2H = 2;
+inline constexpr int kStreamComm = 3;
+
+class ChunkSchedule {
+ public:
+  // u: chunks per rank; offload: host caching on; double_buffer: prefetch
+  // window 2 (else 1).
+  static ChunkSchedule forward(std::int64_t u, bool offload, bool double_buffer);
+  static ChunkSchedule backward(std::int64_t u, bool offload, bool double_buffer);
+
+  const std::vector<ScheduleOp>& ops() const { return ops_; }
+  std::int64_t chunks() const { return u_; }
+  bool offload() const { return offload_; }
+  std::int64_t window() const { return double_buffer_ ? 2 : 1; }
+
+  // Throws FpdtError describing the first violated invariant; returns
+  // normally when the schedule is legal. Checked invariants:
+  //  (1) attention step (i, j) happens only after All2All produced q̂ᵢ and
+  //      after k̂ⱼ is device-resident (fresh from All2All or fetched);
+  //  (2) with offload, at most `window` *fetched* KV chunks are resident;
+  //  (3) every q̂ chunk's backward contributions arrive in outer-ascending
+  //      order and dq̂ᵢ finalizes exactly at pair (j == i);
+  //  (4) an offloaded chunk is never read without an intervening fetch.
+  void check_legal() const;
+
+  // Totals for cross-checking against executor counters.
+  std::int64_t count(OpKind kind) const;
+
+  std::string to_string(std::size_t max_ops = 200) const;
+
+ private:
+  ChunkSchedule(std::int64_t u, bool offload, bool double_buffer)
+      : u_(u), offload_(offload), double_buffer_(double_buffer) {}
+
+  void push(OpKind kind, std::int64_t i, std::int64_t j, int stream) {
+    ops_.push_back(ScheduleOp{kind, i, j, stream});
+  }
+
+  std::int64_t u_;
+  bool offload_;
+  bool double_buffer_;
+  bool is_backward_ = false;
+  std::vector<ScheduleOp> ops_;
+};
+
+}  // namespace fpdt::core

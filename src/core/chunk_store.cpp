@@ -1,0 +1,49 @@
+#include "core/chunk_store.h"
+
+#include "common/check.h"
+
+namespace fpdt::core {
+
+void ChunkStore::put(const std::string& key, runtime::Buffer buffer) {
+  FPDT_CHECK(!chunks_.contains(key)) << " duplicate chunk key " << key;
+  if (offload_) {
+    chunks_.emplace(key, runtime::offload_to_host(*device_, *host_, std::move(buffer)));
+  } else {
+    chunks_.emplace(key, std::move(buffer));
+  }
+}
+
+runtime::Buffer ChunkStore::take(const std::string& key) {
+  auto it = chunks_.find(key);
+  FPDT_CHECK(it != chunks_.end()) << " missing chunk " << key;
+  runtime::Buffer buf = std::move(it->second);
+  chunks_.erase(it);
+  if (offload_) return runtime::fetch_to_device(*device_, std::move(buf));
+  return buf;
+}
+
+runtime::Buffer ChunkStore::fetch_copy(const std::string& key) {
+  auto it = chunks_.find(key);
+  FPDT_CHECK(it != chunks_.end()) << " missing chunk " << key;
+  if (offload_) return runtime::fetch_copy_to_device(*device_, it->second);
+  // Resident mode: a working copy still consumes HBM.
+  return device_->alloc(it->second.tensor().clone(), it->second.dtype());
+}
+
+const Tensor& ChunkStore::peek(const std::string& key) const {
+  auto it = chunks_.find(key);
+  FPDT_CHECK(it != chunks_.end()) << " missing chunk " << key;
+  return it->second.tensor();
+}
+
+void ChunkStore::drop(const std::string& key) {
+  auto it = chunks_.find(key);
+  FPDT_CHECK(it != chunks_.end()) << " dropping missing chunk " << key;
+  chunks_.erase(it);
+}
+
+std::string chunk_key(const char* kind, std::int64_t layer, std::int64_t chunk) {
+  return std::string(kind) + "." + std::to_string(layer) + "." + std::to_string(chunk);
+}
+
+}  // namespace fpdt::core

@@ -1,0 +1,57 @@
+// Keyed storage for cached sequence chunks (q̂, k̂, v̂, ô, lse, y, …).
+//
+// In "offload" mode a stored chunk migrates device → host (counted as D2H
+// traffic) and fetches migrate back; in "resident" mode chunks keep their
+// HBM charge — the "FPDT w. chunking" baseline whose footprint grows with u.
+// Either way the *data* is identical; only where the bytes are charged
+// differs, which is exactly the paper's distinction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/device.h"
+
+namespace fpdt::core {
+
+class ChunkStore {
+ public:
+  ChunkStore(runtime::Device& device, runtime::Host& host, bool offload)
+      : device_(&device), host_(&host), offload_(offload) {}
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+  ChunkStore(ChunkStore&&) = default;
+  ChunkStore& operator=(ChunkStore&&) = default;
+
+  // Stores a device buffer under `key` (offloads if configured).
+  void put(const std::string& key, runtime::Buffer buffer);
+
+  // Removes and returns the chunk as a device buffer (fetches if offloaded).
+  runtime::Buffer take(const std::string& key);
+
+  // Returns a device copy, leaving the stored chunk in place (backward
+  // fetches KV chunks u-i times; the cached copy must survive).
+  runtime::Buffer fetch_copy(const std::string& key);
+
+  // Read-only peek at the stored tensor without any migration (used by
+  // code that only needs metadata/shape).
+  const Tensor& peek(const std::string& key) const;
+
+  bool contains(const std::string& key) const { return chunks_.contains(key); }
+  void drop(const std::string& key);
+  void clear() { chunks_.clear(); }
+  std::size_t size() const { return chunks_.size(); }
+
+ private:
+  runtime::Device* device_;
+  runtime::Host* host_;
+  bool offload_;
+  std::unordered_map<std::string, runtime::Buffer> chunks_;
+};
+
+// Key helpers: chunk keys are "<kind>.<layer>.<chunk>".
+std::string chunk_key(const char* kind, std::int64_t layer, std::int64_t chunk);
+
+}  // namespace fpdt::core

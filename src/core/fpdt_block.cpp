@@ -1,0 +1,374 @@
+#include "core/fpdt_block.h"
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "nn/attention.h"
+
+namespace fpdt::core {
+
+namespace {
+
+using nn::AttentionOutput;
+using nn::NormStats;
+using nn::OnlineAttnState;
+using runtime::Allocation;
+using runtime::Buffer;
+using runtime::Device;
+
+// Collects tensor handles (shared storage, no copy) from per-rank buffers
+// for a collective call.
+std::vector<Tensor> tensors_of(const std::vector<Buffer>& buffers) {
+  std::vector<Tensor> out;
+  out.reserve(buffers.size());
+  for (const Buffer& b : buffers) out.push_back(b.tensor());
+  return out;
+}
+
+}  // namespace
+
+FpdtBlockExecutor::FpdtBlockExecutor(nn::TransformerBlock& block, std::int64_t layer_index,
+                                     FpdtEnv& env)
+    : block_(&block), layer_(layer_index), env_(&env) {}
+
+FpdtBlockExecutor::Geometry FpdtBlockExecutor::geometry(
+    const std::vector<Tensor>& x_local) const {
+  const int P = env_->world();
+  FPDT_CHECK_EQ(static_cast<int>(x_local.size()), P) << " rank count";
+  Geometry g;
+  g.u = env_->cfg().chunks_per_rank;
+  g.s_local = x_local[0].dim(0);
+  g.d_model = x_local[0].dim(1);
+  FPDT_CHECK_EQ(g.s_local % g.u, 0) << " s_local " << g.s_local << " not divisible into " << g.u
+                                    << " chunks";
+  g.c_local = g.s_local / g.u;
+  g.c_global = g.c_local * P;
+  return g;
+}
+
+std::int64_t FpdtBlockExecutor::local_pos0(int rank, std::int64_t chunk,
+                                           std::int64_t c_local) const {
+  // Rank-ordinal layout: local chunk i on rank r is global chunk i*P + r.
+  return (chunk * env_->world() + rank) * c_local;
+}
+
+std::vector<Tensor> FpdtBlockExecutor::forward(const std::vector<Tensor>& x_local) {
+  if (!env_->cfg().cache_forward_outputs) return run_forward(x_local, nullptr);
+  // Cache the chunk tensors the backward pass needs, straight from the real
+  // forward pass (the paper's scheme: backward then needs no attention
+  // recompute and no extra All2All).
+  pending_stores_.clear();
+  pending_stores_.reserve(static_cast<std::size_t>(env_->world()));
+  for (int r = 0; r < env_->world(); ++r) {
+    pending_stores_.emplace_back(env_->device(r), env_->host(), env_->cfg().offload);
+  }
+  return run_forward(x_local, &pending_stores_);
+}
+
+std::int64_t FpdtBlockExecutor::cached_host_bytes() const {
+  return env_->host().pool().used();
+}
+
+std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_local,
+                                                   std::vector<ChunkStore>* stores) {
+  const Geometry g = geometry(x_local);
+  const int P = env_->world();
+  const bool caching = stores != nullptr;
+
+  // Transient stores for the forward-only path (k̂/v̂ of earlier chunks must
+  // live somewhere even when nothing is kept for backward).
+  std::vector<ChunkStore> transient;
+  std::vector<ChunkStore>* kv_stores = stores;
+  if (!caching) {
+    transient.reserve(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      transient.emplace_back(env_->device(r), env_->host(), env_->cfg().offload);
+    }
+    kv_stores = &transient;
+  }
+
+  std::vector<Tensor> z_local;
+  z_local.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) z_local.push_back(Tensor::zeros(x_local[0].shape()));
+
+  for (std::int64_t i = 0; i < g.u; ++i) {
+    // ---- QKV projection on each rank's local chunk (Fig. 4). -------------
+    std::vector<Buffer> qhat(static_cast<std::size_t>(P)), khat(static_cast<std::size_t>(P)),
+        vhat(static_cast<std::size_t>(P));
+    {
+      std::vector<Buffer> q_loc(static_cast<std::size_t>(P)), k_loc(static_cast<std::size_t>(P)),
+          v_loc(static_cast<std::size_t>(P));
+      for (int r = 0; r < P; ++r) {
+        Device& dev = env_->device(r);
+        dev.hbm().set_phase_label("attn.qkv_proj");
+        Tensor x_i = x_local[static_cast<std::size_t>(r)].slice0(i * g.c_local,
+                                                                 (i + 1) * g.c_local);
+        Allocation x_charge(&dev.hbm(), x_i.numel() * 2);  // fetched hidden chunk
+        NormStats st1;
+        Tensor xn = block_->norm1().forward(x_i, st1);
+        Allocation xn_charge(&dev.hbm(), xn.numel() * 2);
+        nn::AttentionLayer::Qkv qkv =
+            block_->attention().project_qkv(xn, local_pos0(r, i, g.c_local));
+        q_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.q));
+        k_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.k));
+        v_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.v));
+      }
+      // ---- Chunked All2All: scatter heads, gather sequence. --------------
+      // Not in-place: send buffers (q/k/v_loc) and receive buffers coexist,
+      // but both are chunk-sized — the Table-2 "6Nd" spike shrinks by u.
+      std::vector<Tensor> qh = env_->pg().all_to_all_heads_to_seq(tensors_of(q_loc));
+      std::vector<Tensor> kh = env_->pg().all_to_all_heads_to_seq(tensors_of(k_loc));
+      std::vector<Tensor> vh = env_->pg().all_to_all_heads_to_seq(tensors_of(v_loc));
+      for (int r = 0; r < P; ++r) {
+        Device& dev = env_->device(r);
+        dev.hbm().set_phase_label("attn.all2all_recv");
+        qhat[static_cast<std::size_t>(r)] = dev.alloc(std::move(qh[static_cast<std::size_t>(r)]));
+        khat[static_cast<std::size_t>(r)] = dev.alloc(std::move(kh[static_cast<std::size_t>(r)]));
+        vhat[static_cast<std::size_t>(r)] = dev.alloc(std::move(vh[static_cast<std::size_t>(r)]));
+      }
+    }
+
+    // ---- Online attention of q̂ᵢ against k̂₀..k̂ᵢ (Fig. 5). -----------------
+    // Rank-local work between collectives: forked across threads (per-rank
+    // buffers are disjoint; the shared host pool is thread-safe).
+    std::vector<Buffer> ohat(static_cast<std::size_t>(P)), lse(static_cast<std::size_t>(P));
+    parallel_for_ranks(P, [&](int r) {
+      Device& dev = env_->device(r);
+      dev.hbm().set_phase_label("attn.online");
+      ChunkStore& store = (*kv_stores)[static_cast<std::size_t>(r)];
+      const Tensor& q = qhat[static_cast<std::size_t>(r)].tensor();
+      OnlineAttnState state = OnlineAttnState::create(q.dim(0), q.dim(1), q.dim(2));
+      Allocation state_charge(&dev.hbm(),
+                              (state.acc.numel() + state.m.numel() + state.l.numel()) * 2);
+      // Earlier KV chunks are fetched from the store one (strict) or two
+      // (double-buffer) at a time.
+      Buffer k_cur, v_cur, k_next, v_next;
+      for (std::int64_t j = 0; j < i; ++j) {
+        if (j == 0) {
+          k_cur = store.fetch_copy(chunk_key("khat", layer_, 0));
+          v_cur = store.fetch_copy(chunk_key("vhat", layer_, 0));
+        }
+        if (env_->cfg().double_buffer && j + 1 < i) {
+          // Prefetch of chunk j+1 overlaps the compute on chunk j.
+          k_next = store.fetch_copy(chunk_key("khat", layer_, j + 1));
+          v_next = store.fetch_copy(chunk_key("vhat", layer_, j + 1));
+        }
+        nn::online_attn_step(state, q, k_cur.tensor(), v_cur.tensor(), /*causal=*/true,
+                             i * g.c_global, j * g.c_global);
+        if (env_->cfg().double_buffer && j + 1 < i) {
+          k_cur = std::move(k_next);
+          v_cur = std::move(v_next);
+        } else if (j + 1 < i) {
+          k_cur = store.fetch_copy(chunk_key("khat", layer_, j + 1));
+          v_cur = store.fetch_copy(chunk_key("vhat", layer_, j + 1));
+        }
+      }
+      // Diagonal chunk: k̂ᵢ/v̂ᵢ are already on device from the All2All.
+      nn::online_attn_step(state, q, khat[static_cast<std::size_t>(r)].tensor(),
+                           vhat[static_cast<std::size_t>(r)].tensor(), /*causal=*/true,
+                           i * g.c_global, i * g.c_global);
+      AttentionOutput out = nn::online_attn_finalize(state);
+      ohat[static_cast<std::size_t>(r)] = dev.alloc(std::move(out.out));
+      lse[static_cast<std::size_t>(r)] = dev.alloc(std::move(out.lse));
+
+      // Cache k̂ᵢ/v̂ᵢ (and, for backward, q̂ᵢ + lse). "We offload q̂ᵢ, k̂ᵢ, v̂ᵢ
+      // to the host memory once they are done for forward computation."
+      store.put(chunk_key("khat", layer_, i), std::move(khat[static_cast<std::size_t>(r)]));
+      store.put(chunk_key("vhat", layer_, i), std::move(vhat[static_cast<std::size_t>(r)]));
+      if (caching) {
+        store.put(chunk_key("qhat", layer_, i), std::move(qhat[static_cast<std::size_t>(r)]));
+        store.put(chunk_key("lse", layer_, i), std::move(lse[static_cast<std::size_t>(r)]));
+      }
+    });
+
+    // ---- All2All back + output projection + FFN. --------------------------
+    std::vector<Tensor> o_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(ohat));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      ChunkStore& store = (*kv_stores)[static_cast<std::size_t>(r)];
+      if (caching) {
+        store.put(chunk_key("ohat", layer_, i), std::move(ohat[static_cast<std::size_t>(r)]));
+      } else {
+        ohat[static_cast<std::size_t>(r)].release();
+      }
+      dev.hbm().set_phase_label("attn.out_proj");
+      Buffer o_buf = dev.alloc(std::move(o_loc[static_cast<std::size_t>(r)]));
+      Tensor x_i =
+          x_local[static_cast<std::size_t>(r)].slice0(i * g.c_local, (i + 1) * g.c_local);
+      Buffer y_buf = dev.alloc(add(x_i, block_->attention().project_out(o_buf.tensor())));
+      o_buf.release();
+
+      dev.hbm().set_phase_label("ffn");
+      NormStats st2;
+      Tensor yn = block_->norm2().forward(y_buf.tensor(), st2);
+      Allocation yn_charge(&dev.hbm(), yn.numel() * 2);
+      Tensor f =
+          block_->ffn().forward(yn, env_->cfg().ffn_chunk_multiplier, &dev.hbm());
+      z_local[static_cast<std::size_t>(r)]
+          .slice0(i * g.c_local, (i + 1) * g.c_local)
+          .copy_from(add(y_buf.tensor(), f));
+      if (caching) {
+        store.put(chunk_key("y", layer_, i), std::move(y_buf));
+      }
+    }
+  }
+  return z_local;
+}
+
+std::vector<Tensor> FpdtBlockExecutor::backward(const std::vector<Tensor>& dz_local,
+                                                const std::vector<Tensor>& x_local) {
+  if (env_->cfg().cache_forward_outputs && !pending_stores_.empty()) {
+    // Fast path: the real forward already cached q̂/k̂/v̂/ô/lse/y.
+    std::vector<ChunkStore> stores = std::move(pending_stores_);
+    pending_stores_.clear();
+    return backward_phases(dz_local, x_local, stores);
+  }
+  // Recompute path (plain activation checkpointing): re-run the chunked
+  // forward, materialising and offloading the caches chunk-wise.
+  std::vector<ChunkStore> stores;
+  stores.reserve(static_cast<std::size_t>(env_->world()));
+  for (int r = 0; r < env_->world(); ++r) {
+    stores.emplace_back(env_->device(r), env_->host(), env_->cfg().offload);
+  }
+  run_forward(x_local, &stores);
+  return backward_phases(dz_local, x_local, stores);
+}
+
+std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>& dz_local,
+                                                       const std::vector<Tensor>& x_local,
+                                                       std::vector<ChunkStore>& stores) {
+  const Geometry g = geometry(x_local);
+  const int P = env_->world();
+
+  std::vector<Tensor> dx_local;
+  dx_local.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) dx_local.push_back(Tensor::zeros(x_local[0].shape()));
+
+  // ---- Phase A: FFN / norm2 / Wo backward per chunk ("We first calculate
+  // the gradients in FFN, then the attention", Fig. 13). Produces the
+  // attention-output gradients dôᵢ and softmax row statistics Dᵢ.
+  for (std::int64_t i = 0; i < g.u; ++i) {
+    std::vector<Buffer> dy_tot(static_cast<std::size_t>(P));
+    std::vector<Buffer> ohat_i(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      dev.hbm().set_phase_label("bwd.ffn");
+      Tensor dz_i =
+          dz_local[static_cast<std::size_t>(r)].slice0(i * g.c_local, (i + 1) * g.c_local);
+      Allocation dz_charge(&dev.hbm(), dz_i.numel() * 2);
+      Buffer y_buf = store.take(chunk_key("y", layer_, i));
+      NormStats st2;
+      Tensor yn = block_->norm2().forward(y_buf.tensor(), st2);
+      Allocation yn_charge(&dev.hbm(), yn.numel() * 2);
+      Tensor dyn =
+          block_->ffn().backward(dz_i, yn, env_->cfg().ffn_chunk_multiplier, &dev.hbm());
+      Tensor dy = add(dz_i, block_->norm2().backward(dyn, y_buf.tensor(), st2));
+      // Residual path contribution to dx.
+      Tensor dx_view =
+          dx_local[static_cast<std::size_t>(r)].slice0(i * g.c_local, (i + 1) * g.c_local);
+      add_(dx_view, dy);
+      dy_tot[static_cast<std::size_t>(r)] = dev.alloc(std::move(dy));
+      ohat_i[static_cast<std::size_t>(r)] = store.take(chunk_key("ohat", layer_, i));
+    }
+    // Recover the rank-local attention output to backprop Wo, then return
+    // its gradient to the global (head-sharded) layout for phase B.
+    std::vector<Tensor> o_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(ohat_i));
+    std::vector<Buffer> dao(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      dev.hbm().set_phase_label("bwd.out_proj");
+      dao[static_cast<std::size_t>(r)] = dev.alloc(block_->attention().backward_out(
+          dy_tot[static_cast<std::size_t>(r)].tensor(), o_loc[static_cast<std::size_t>(r)]));
+      dy_tot[static_cast<std::size_t>(r)].release();
+    }
+    std::vector<Tensor> dohat = env_->pg().all_to_all_heads_to_seq(tensors_of(dao));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      Tensor D = nn::online_attn_backward_D(ohat_i[static_cast<std::size_t>(r)].tensor(),
+                                            dohat[static_cast<std::size_t>(r)]);
+      ohat_i[static_cast<std::size_t>(r)].release();
+      store.put(chunk_key("dohat", layer_, i),
+                dev.alloc(std::move(dohat[static_cast<std::size_t>(r)])));
+      store.put(chunk_key("D", layer_, i), dev.alloc(std::move(D)));
+    }
+  }
+
+  // ---- Phase B: the nested double-buffered attention backward (Fig. 7).
+  // Outer loop over KV chunks j, inner over query chunks i >= j.
+  for (std::int64_t j = 0; j < g.u; ++j) {
+    std::vector<Buffer> k_j(static_cast<std::size_t>(P)), v_j(static_cast<std::size_t>(P));
+    std::vector<Buffer> dk_j(static_cast<std::size_t>(P)), dv_j(static_cast<std::size_t>(P));
+    std::vector<Buffer> dq_final(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      dev.hbm().set_phase_label("bwd.attn");
+      k_j[static_cast<std::size_t>(r)] = store.take(chunk_key("khat", layer_, j));
+      v_j[static_cast<std::size_t>(r)] = store.take(chunk_key("vhat", layer_, j));
+      dk_j[static_cast<std::size_t>(r)] =
+          dev.alloc(Tensor::zeros(k_j[static_cast<std::size_t>(r)].tensor().shape()));
+      dv_j[static_cast<std::size_t>(r)] =
+          dev.alloc(Tensor::zeros(v_j[static_cast<std::size_t>(r)].tensor().shape()));
+    }
+    for (std::int64_t i = j; i < g.u; ++i) {
+      const bool last_use = (i == j);  // chunk i's q-side data retires at outer j == i
+      parallel_for_ranks(P, [&](int r) {
+        Device& dev = env_->device(r);
+        ChunkStore& store = stores[static_cast<std::size_t>(r)];
+        Buffer q_i = last_use ? store.take(chunk_key("qhat", layer_, i))
+                              : store.fetch_copy(chunk_key("qhat", layer_, i));
+        Buffer do_i = last_use ? store.take(chunk_key("dohat", layer_, i))
+                               : store.fetch_copy(chunk_key("dohat", layer_, i));
+        Buffer lse_i = last_use ? store.take(chunk_key("lse", layer_, i))
+                                : store.fetch_copy(chunk_key("lse", layer_, i));
+        Buffer D_i = last_use ? store.take(chunk_key("D", layer_, i))
+                              : store.fetch_copy(chunk_key("D", layer_, i));
+        // dq̂ᵢ accumulates across outer iterations; it lives in the store
+        // (host memory when offloading) between visits.
+        Buffer dq_i = (j == 0)
+                          ? dev.alloc(Tensor::zeros(q_i.tensor().shape()))
+                          : store.take(chunk_key("dqhat", layer_, i));
+        nn::online_attn_backward_step(
+            q_i.tensor(), k_j[static_cast<std::size_t>(r)].tensor(),
+            v_j[static_cast<std::size_t>(r)].tensor(), do_i.tensor(), lse_i.tensor(),
+            D_i.tensor(), /*causal=*/true, i * g.c_global, j * g.c_global, dq_i.tensor(),
+            dk_j[static_cast<std::size_t>(r)].tensor(),
+            dv_j[static_cast<std::size_t>(r)].tensor());
+        if (i == j) {
+          // "For dq0, we get its final result after the first inner loop."
+          dq_final[static_cast<std::size_t>(r)] = std::move(dq_i);
+        } else {
+          store.put(chunk_key("dqhat", layer_, i), std::move(dq_i));
+        }
+      });
+    }
+    // dk̂ⱼ/dv̂ⱼ are final after the outer iteration; All2All the finals back
+    // to their home ranks and run the projection + norm1 backward there.
+    std::vector<Tensor> dq_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(dq_final));
+    std::vector<Tensor> dk_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(dk_j));
+    std::vector<Tensor> dv_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(dv_j));
+    for (int r = 0; r < P; ++r) {
+      Device& dev = env_->device(r);
+      dev.hbm().set_phase_label("bwd.qkv_proj");
+      dq_final[static_cast<std::size_t>(r)].release();
+      dk_j[static_cast<std::size_t>(r)].release();
+      dv_j[static_cast<std::size_t>(r)].release();
+      k_j[static_cast<std::size_t>(r)].release();
+      v_j[static_cast<std::size_t>(r)].release();
+      Tensor x_j =
+          x_local[static_cast<std::size_t>(r)].slice0(j * g.c_local, (j + 1) * g.c_local);
+      NormStats st1;
+      Tensor xn = block_->norm1().forward(x_j, st1);
+      Tensor dxn = block_->attention().backward_qkv(
+          dq_loc[static_cast<std::size_t>(r)], dk_loc[static_cast<std::size_t>(r)],
+          dv_loc[static_cast<std::size_t>(r)], xn, local_pos0(r, j, g.c_local));
+      Tensor dx_view =
+          dx_local[static_cast<std::size_t>(r)].slice0(j * g.c_local, (j + 1) * g.c_local);
+      add_(dx_view, block_->norm1().backward(dxn, x_j, st1));
+    }
+  }
+  return dx_local;
+}
+
+}  // namespace fpdt::core

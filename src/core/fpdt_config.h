@@ -1,0 +1,40 @@
+// Configuration of the FPDT execution scheme.
+#pragma once
+
+#include <cstdint>
+
+namespace fpdt::core {
+
+struct FpdtConfig {
+  // u: sequence chunks per rank. The paper's sweet spot is a 64K-token
+  // *global* chunk (§5.3); u = s_local / (64K / P) at paper scale.
+  std::int64_t chunks_per_rank = 4;
+
+  // Offload cached q̂/k̂/v̂/ô chunks to host memory ("FPDT w. offload").
+  // false = "FPDT w. chunking": cached chunks stay resident in HBM.
+  bool offload = true;
+
+  // Keep a second KV chunk buffer resident so the next chunk's fetch can
+  // overlap compute (Fig. 7). Only affects the measured HBM working set in
+  // the functional layer; the latency effect lives in the simulator.
+  bool double_buffer = true;
+
+  // FFN chunk multiplier relative to attention chunks (§5.4 finds 2x
+  // "sufficient to ensure that the attention part strictly binds the
+  // memory footprint").
+  std::int64_t ffn_chunk_multiplier = 2;
+
+  // Loss-head chunks; <= 0 means the paper's rule vocab/hidden*2.
+  std::int64_t lm_head_chunks = 0;
+
+  // Cache q̂/k̂/v̂/ô/lse/y chunks from the *actual* forward pass so backward
+  // starts directly from the host caches (Fig. 7: "the global sequence
+  // chunk q̂, k̂, v̂ have been cached during the forward, we then directly
+  // fetch them... without introducing additional Alltoall") — no attention
+  // recompute. Costs host memory proportional to n_layer; when host
+  // capacity is the binding constraint, disable it and backward falls back
+  // to chunk-wise recompute (plain activation checkpointing).
+  bool cache_forward_outputs = true;
+};
+
+}  // namespace fpdt::core

@@ -1,0 +1,51 @@
+// Shared execution environment for an FPDT run: the sequence-parallel
+// process group, one emulated device per rank, and the node's host memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "core/fpdt_config.h"
+#include "runtime/device.h"
+
+namespace fpdt::core {
+
+class FpdtEnv {
+ public:
+  // hbm_capacity_bytes < 0 = unlimited (functional tests); finite values
+  // make OOM observable (capacity experiments).
+  FpdtEnv(int world, FpdtConfig cfg, std::int64_t hbm_capacity_bytes = -1,
+          std::int64_t host_capacity_bytes = -1)
+      : pg_(world), host_(host_capacity_bytes), cfg_(cfg) {
+    devices_.reserve(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r) {
+      devices_.push_back(std::make_unique<runtime::Device>(r, hbm_capacity_bytes));
+    }
+  }
+
+  int world() const { return pg_.world_size(); }
+  comm::ProcessGroup& pg() { return pg_; }
+  runtime::Device& device(int r) { return *devices_[static_cast<std::size_t>(r)]; }
+  runtime::Host& host() { return host_; }
+  const FpdtConfig& cfg() const { return cfg_; }
+
+  // Largest HBM peak across the group (the number Fig. 12 reports).
+  std::int64_t max_hbm_peak() const {
+    std::int64_t peak = 0;
+    for (const auto& d : devices_) peak = std::max(peak, d->hbm().peak());
+    return peak;
+  }
+
+  void reset_peaks() {
+    for (const auto& d : devices_) d->hbm().reset_peak();
+  }
+
+ private:
+  comm::ProcessGroup pg_;
+  std::vector<std::unique_ptr<runtime::Device>> devices_;
+  runtime::Host host_;
+  FpdtConfig cfg_;
+};
+
+}  // namespace fpdt::core

@@ -1,0 +1,49 @@
+#include "data/loader.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpdt::data {
+
+SequenceLoader::SequenceLoader(SyntheticCorpus corpus, std::int64_t seq_len, int holdout_every)
+    : corpus_(std::move(corpus)), seq_len_(seq_len), holdout_every_(holdout_every) {
+  FPDT_CHECK_GE(seq_len, 2) << " loader sequence length";
+  FPDT_CHECK_GE(holdout_every, 0) << " holdout period";
+}
+
+std::vector<std::int32_t> SequenceLoader::next_sequence() {
+  return corpus_.sample(seq_len_ + 1);
+}
+
+std::vector<std::vector<std::int32_t>> SequenceLoader::next_batch(int batch_size) {
+  FPDT_CHECK_GE(batch_size, 1) << " batch size";
+  std::vector<std::vector<std::int32_t>> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size));
+  while (static_cast<int>(batch.size()) < batch_size) {
+    std::vector<std::int32_t> seq = next_sequence();
+    ++produced_;
+    if (holdout_every_ > 0 && produced_ % holdout_every_ == 0) {
+      holdout_.push_back(std::move(seq));
+      continue;
+    }
+    batch.push_back(std::move(seq));
+    ++served_;
+  }
+  return batch;
+}
+
+EvalResult evaluate_perplexity(
+    const std::vector<std::vector<std::int32_t>>& sequences,
+    const std::function<double(const std::vector<std::int32_t>&)>& eval_loss_fn) {
+  EvalResult result;
+  if (sequences.empty()) return result;
+  double total = 0.0;
+  for (const auto& seq : sequences) total += eval_loss_fn(seq);
+  result.sequences = static_cast<std::int64_t>(sequences.size());
+  result.mean_loss = total / static_cast<double>(result.sequences);
+  result.perplexity = std::exp(result.mean_loss);
+  return result;
+}
+
+}  // namespace fpdt::data

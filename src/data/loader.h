@@ -1,0 +1,54 @@
+// Batched sequence loader over a token stream, with a held-out validation
+// split and a perplexity evaluator — the data plumbing of a real
+// pretraining run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+
+namespace fpdt::data {
+
+class SequenceLoader {
+ public:
+  // seq_len: tokens per training sequence (each sample carries seq_len + 1
+  // ids for next-token labels). holdout_every: every k-th sequence goes to
+  // the validation set instead of training (0 = no validation split).
+  SequenceLoader(SyntheticCorpus corpus, std::int64_t seq_len, int holdout_every = 0);
+
+  // Next training batch of `batch_size` sequences.
+  std::vector<std::vector<std::int32_t>> next_batch(int batch_size);
+
+  // Validation sequences collected so far (grows as training consumes the
+  // stream).
+  const std::vector<std::vector<std::int32_t>>& validation_set() const { return holdout_; }
+
+  std::int64_t sequences_served() const { return served_; }
+  std::int64_t seq_len() const { return seq_len_; }
+
+ private:
+  std::vector<std::int32_t> next_sequence();
+
+  SyntheticCorpus corpus_;
+  std::int64_t seq_len_;
+  int holdout_every_;
+  std::int64_t served_ = 0;
+  std::int64_t produced_ = 0;
+  std::vector<std::vector<std::int32_t>> holdout_;
+};
+
+// Mean loss (nats/token) of `eval_loss_fn` over a validation set; exp() of
+// it is the perplexity.
+struct EvalResult {
+  double mean_loss = 0.0;
+  double perplexity = 1.0;
+  std::int64_t sequences = 0;
+};
+
+EvalResult evaluate_perplexity(
+    const std::vector<std::vector<std::int32_t>>& sequences,
+    const std::function<double(const std::vector<std::int32_t>&)>& eval_loss_fn);
+
+}  // namespace fpdt::data

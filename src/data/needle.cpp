@@ -1,0 +1,54 @@
+#include "data/needle.h"
+
+#include "common/check.h"
+
+namespace fpdt::data {
+
+NeedleGenerator::NeedleGenerator(std::int64_t vocab, std::uint64_t seed)
+    : vocab_(vocab), value_range_(std::max<std::int64_t>(4, (vocab - 2) / 4)), rng_(seed) {
+  FPDT_CHECK_GE(vocab, 8) << " needle vocab";
+}
+
+void NeedleGenerator::append_episode(std::vector<std::int32_t>& out, std::int64_t episode_len,
+                                     bool with_answer) {
+  FPDT_CHECK_GE(episode_len, 4) << " episode length";
+  const auto value = static_cast<std::int32_t>(
+      rng_.next_below(static_cast<std::uint64_t>(value_range_)));
+  out.push_back(key_marker());
+  out.push_back(value);
+  // Filler avoids markers and values so the needle's value is unique.
+  for (std::int64_t i = 0; i < episode_len - 4; ++i) {
+    out.push_back(static_cast<std::int32_t>(
+        value_range_ +
+        rng_.next_below(static_cast<std::uint64_t>(vocab_ - 2 - value_range_))));
+  }
+  out.push_back(query_marker());
+  if (with_answer) out.push_back(value);
+}
+
+std::vector<std::int32_t> NeedleGenerator::training_sequence(std::int64_t min_episode,
+                                                             std::int64_t max_episode,
+                                                             int episodes) {
+  FPDT_CHECK(min_episode >= 4 && min_episode <= max_episode) << " episode length range";
+  FPDT_CHECK_GE(episodes, 1) << " episode count";
+  std::vector<std::int32_t> out;
+  for (int e = 0; e < episodes; ++e) {
+    const std::int64_t len =
+        min_episode + static_cast<std::int64_t>(rng_.next_below(
+                          static_cast<std::uint64_t>(max_episode - min_episode + 1)));
+    append_episode(out, len, /*with_answer=*/true);
+  }
+  return out;
+}
+
+NeedleSample NeedleGenerator::sample(std::int64_t distance) {
+  FPDT_CHECK_GE(distance, 2) << " needle distance";
+  NeedleSample s;
+  s.distance = distance;
+  append_episode(s.tokens, distance + 2, /*with_answer=*/false);
+  // The value is the token right after the KEY marker.
+  s.answer = s.tokens[1];
+  return s;
+}
+
+}  // namespace fpdt::data

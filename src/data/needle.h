@@ -1,0 +1,58 @@
+// Needle-in-a-haystack retrieval data — the functional probe of long-context
+// *capability* (the property the paper's introduction motivates: models must
+// be trained on the desired long context lengths to use them).
+//
+// Episodic format. Each episode of length e is
+//     KEY value filler... QUERY value
+// so "at QUERY, recall the value that followed the most recent KEY" is
+// supervised once per episode; several episodes per training sequence give
+// dense signal. The probe is a single episode of length d+2: answering
+// requires attending across distance ~d. A model trained on episodes up to
+// length L answers reliably for d <= L and collapses beyond — the
+// train-on-the-target-context-length effect (validated end-to-end in
+// tests/test_needle.cpp and examples/needle_eval.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fpdt::data {
+
+struct NeedleSample {
+  std::vector<std::int32_t> tokens;  // single episode, ends with the QUERY marker
+  std::int32_t answer = 0;           // expected next token
+  std::int64_t distance = 0;         // KEY-to-QUERY distance
+};
+
+class NeedleGenerator {
+ public:
+  // Vocabulary layout: [0, value_range) values, [value_range, vocab-2)
+  // filler, vocab-2 = KEY marker, vocab-1 = QUERY marker.
+  NeedleGenerator(std::int64_t vocab, std::uint64_t seed);
+
+  // Training sequence: `episodes` episodes whose lengths are uniform in
+  // [min_episode, max_episode]. Total length varies; every episode ends
+  // with a supervised (QUERY -> value) position.
+  std::vector<std::int32_t> training_sequence(std::int64_t min_episode,
+                                              std::int64_t max_episode, int episodes);
+
+  // Probe: one episode with KEY..QUERY distance exactly `distance`
+  // (episode length distance + 2); tokens end at the QUERY marker.
+  NeedleSample sample(std::int64_t distance);
+
+  std::int32_t key_marker() const { return static_cast<std::int32_t>(vocab_ - 2); }
+  std::int32_t query_marker() const { return static_cast<std::int32_t>(vocab_ - 1); }
+  std::int64_t value_range() const { return value_range_; }
+
+ private:
+  void append_episode(std::vector<std::int32_t>& out, std::int64_t episode_len,
+                      bool with_answer);
+
+  std::int64_t vocab_;
+  std::int64_t value_range_;
+  Rng rng_;
+};
+
+}  // namespace fpdt::data

@@ -1,0 +1,83 @@
+#include "data/rank_ordinal.h"
+
+#include "common/check.h"
+
+namespace fpdt::data {
+
+RankOrdinalSharder::RankOrdinalSharder(int world, std::int64_t chunks_per_rank)
+    : world_(world), chunks_per_rank_(chunks_per_rank) {
+  FPDT_CHECK_GE(world, 1) << " sharder world";
+  FPDT_CHECK_GE(chunks_per_rank, 1) << " sharder chunks";
+}
+
+std::int64_t RankOrdinalSharder::global_chunk(int rank, std::int64_t local_chunk) const {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " rank " << rank;
+  FPDT_CHECK(local_chunk >= 0 && local_chunk < chunks_per_rank_) << " chunk " << local_chunk;
+  return local_chunk * world_ + rank;
+}
+
+std::vector<RankShard> RankOrdinalSharder::shard_tokens(
+    const std::vector<std::int32_t>& tokens) const {
+  const std::int64_t s_global = static_cast<std::int64_t>(tokens.size()) - 1;
+  const std::int64_t total_chunks = static_cast<std::int64_t>(world_) * chunks_per_rank_;
+  FPDT_CHECK_GT(s_global, 0) << " need tokens";
+  FPDT_CHECK_EQ(s_global % total_chunks, 0)
+      << " sequence " << s_global << " not divisible into " << total_chunks << " chunks";
+  const std::int64_t c = s_global / total_chunks;
+
+  std::vector<RankShard> shards(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    RankShard& shard = shards[static_cast<std::size_t>(r)];
+    shard.inputs.reserve(static_cast<std::size_t>(chunks_per_rank_ * c));
+    shard.labels.reserve(static_cast<std::size_t>(chunks_per_rank_ * c));
+    for (std::int64_t i = 0; i < chunks_per_rank_; ++i) {
+      const std::int64_t g = global_chunk(r, i);
+      const std::int64_t pos0 = g * c;
+      shard.chunk_pos0.push_back(pos0);
+      for (std::int64_t t = 0; t < c; ++t) {
+        shard.inputs.push_back(tokens[static_cast<std::size_t>(pos0 + t)]);
+        shard.labels.push_back(tokens[static_cast<std::size_t>(pos0 + t + 1)]);
+      }
+    }
+  }
+  return shards;
+}
+
+std::vector<Tensor> RankOrdinalSharder::shard_tensor(const Tensor& full) const {
+  const std::int64_t s_global = full.dim(0);
+  const std::int64_t total_chunks = static_cast<std::int64_t>(world_) * chunks_per_rank_;
+  FPDT_CHECK_EQ(s_global % total_chunks, 0) << " shard_tensor divisibility";
+  const std::int64_t c = s_global / total_chunks;
+  std::vector<Tensor> locals;
+  locals.reserve(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    std::vector<Tensor> pieces;
+    pieces.reserve(static_cast<std::size_t>(chunks_per_rank_));
+    for (std::int64_t i = 0; i < chunks_per_rank_; ++i) {
+      const std::int64_t g = global_chunk(r, i);
+      pieces.push_back(full.slice0(g * c, (g + 1) * c));
+    }
+    locals.push_back(concat0(pieces));
+  }
+  return locals;
+}
+
+Tensor RankOrdinalSharder::unshard_tensor(const std::vector<Tensor>& locals) const {
+  FPDT_CHECK_EQ(static_cast<int>(locals.size()), world_) << " unshard rank count";
+  const std::int64_t s_local = locals[0].dim(0);
+  FPDT_CHECK_EQ(s_local % chunks_per_rank_, 0) << " unshard divisibility";
+  const std::int64_t c = s_local / chunks_per_rank_;
+  std::vector<std::int64_t> out_shape = locals[0].shape();
+  out_shape[0] = s_local * world_;
+  Tensor full(out_shape);
+  for (int r = 0; r < world_; ++r) {
+    for (std::int64_t i = 0; i < chunks_per_rank_; ++i) {
+      const std::int64_t g = global_chunk(r, i);
+      full.slice0(g * c, (g + 1) * c)
+          .copy_from(locals[static_cast<std::size_t>(r)].slice0(i * c, (i + 1) * c));
+    }
+  }
+  return full;
+}
+
+}  // namespace fpdt::data

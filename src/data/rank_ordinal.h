@@ -1,0 +1,54 @@
+// Rank-ordinal sequence sharding (paper Fig. 6).
+//
+// FPDT gathers the sequence chunk-by-chunk with All2All. If ranks held
+// contiguous blocks of the sequence (the plain Ulysses layout), the i-th
+// chunked All2All would gather a *strided* set of chunks (e.g. T1, T5, T9,
+// T13) and the diagonal causal mask would be wrong. Instead the data loader
+// deals global chunk (i·P + r) to rank r as its i-th local chunk; then the
+// i-th All2All gathers global chunks [i·P, (i+1)·P) — a contiguous span of
+// the sequence — and the standard causal mask stays valid. Labels are
+// re-ordered identically so the loss matches ("we shuffle the input token
+// ids and labels in the data loader; thus there is no overhead").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fpdt::data {
+
+struct RankShard {
+  std::vector<std::int32_t> inputs;   // s_local token ids, rank-ordinal order
+  std::vector<std::int32_t> labels;   // matching next-token labels
+  std::vector<std::int64_t> chunk_pos0;  // global position of each local chunk's first token
+};
+
+class RankOrdinalSharder {
+ public:
+  // world: sequence-parallel group size P; chunks_per_rank: u.
+  RankOrdinalSharder(int world, std::int64_t chunks_per_rank);
+
+  int world() const { return world_; }
+  std::int64_t chunks_per_rank() const { return chunks_per_rank_; }
+
+  // Global chunk index held by (rank, local_chunk): i·P + r.
+  std::int64_t global_chunk(int rank, std::int64_t local_chunk) const;
+
+  // Shards a token stream of length s_global + 1 (the +1 provides the final
+  // label) into P rank shards; s_global must divide by P·u.
+  std::vector<RankShard> shard_tokens(const std::vector<std::int32_t>& tokens) const;
+
+  // Shards an activation-like tensor [s_global, ...] the same way (used by
+  // tests and by executors that start from a full hidden state).
+  std::vector<Tensor> shard_tensor(const Tensor& full) const;
+
+  // Inverse of shard_tensor: reassembles per-rank locals into global order.
+  Tensor unshard_tensor(const std::vector<Tensor>& locals) const;
+
+ private:
+  int world_;
+  std::int64_t chunks_per_rank_;
+};
+
+}  // namespace fpdt::data

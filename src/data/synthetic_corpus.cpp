@@ -1,0 +1,52 @@
+#include "data/synthetic_corpus.h"
+
+#include "common/check.h"
+
+namespace fpdt::data {
+
+SyntheticCorpus::SyntheticCorpus(std::int64_t vocab, std::uint64_t seed)
+    : vocab_(vocab), rng_(seed) {
+  FPDT_CHECK_GE(vocab, 4) << " corpus vocab";
+  transition_.resize(static_cast<std::size_t>(vocab));
+  for (std::int64_t t = 0; t < vocab; ++t) {
+    transition_[static_cast<std::size_t>(t)] =
+        static_cast<std::int32_t>(rng_.next_below(static_cast<std::uint64_t>(vocab)));
+  }
+  current_ = static_cast<std::int32_t>(rng_.next_below(static_cast<std::uint64_t>(vocab)));
+}
+
+std::int32_t SyntheticCorpus::next_token() {
+  // Inside a copy segment: replay history verbatim.
+  if (copy_remaining_ > 0 && copy_cursor_ < history_.size()) {
+    --copy_remaining_;
+    return history_[copy_cursor_++];
+  }
+  // Occasionally start a copy segment replaying the recent past.
+  if (history_.size() > 64 && rng_.next_uniform() < 0.02) {
+    copy_remaining_ = 24;
+    copy_cursor_ = history_.size() - 48;
+    --copy_remaining_;
+    return history_[copy_cursor_++];
+  }
+  // Markov step: 80% follow the preferred successor, else uniform noise.
+  if (rng_.next_uniform() < 0.8) {
+    current_ = transition_[static_cast<std::size_t>(current_)];
+  } else {
+    current_ = static_cast<std::int32_t>(rng_.next_below(static_cast<std::uint64_t>(vocab_)));
+  }
+  return current_;
+}
+
+std::vector<std::int32_t> SyntheticCorpus::sample(std::int64_t length) {
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    const std::int32_t tok = next_token();
+    out.push_back(tok);
+    history_.push_back(tok);
+    if (history_.size() > 4096) history_.erase(history_.begin(), history_.begin() + 2048);
+  }
+  return out;
+}
+
+}  // namespace fpdt::data

@@ -1,0 +1,38 @@
+// Deterministic synthetic corpus for pretraining experiments (Fig. 14).
+//
+// Real text is irrelevant to a systems paper's convergence claim; what the
+// loss curve needs is structure a small LM can learn. The stream mixes:
+//  - a first-order Markov chain over the vocabulary (local structure), and
+//  - periodic copy segments (an earlier span is repeated verbatim),
+//    which reward longer-context attention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fpdt::data {
+
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(std::int64_t vocab, std::uint64_t seed);
+
+  // Next `length` tokens of the stream (consecutive calls continue it).
+  std::vector<std::int32_t> sample(std::int64_t length);
+
+  std::int64_t vocab() const { return vocab_; }
+
+ private:
+  std::int32_t next_token();
+
+  std::int64_t vocab_;
+  Rng rng_;
+  std::vector<std::int32_t> transition_;  // Markov: preferred successor per token
+  std::vector<std::int32_t> history_;     // recent emissions for copy segments
+  std::int32_t current_ = 0;
+  std::int64_t copy_remaining_ = 0;
+  std::size_t copy_cursor_ = 0;
+};
+
+}  // namespace fpdt::data

@@ -1,0 +1,44 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void Adam::step(const std::function<void(const ParamVisitor&)>& walk) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  walk([&](Param& p) {
+    auto [it, inserted] = state_.try_emplace(p.name);
+    if (inserted) {
+      it->second.m = Tensor::zeros(p.value.shape());
+      it->second.v = Tensor::zeros(p.value.shape());
+    }
+    Moments& mom = it->second;
+    FPDT_CHECK_EQ(mom.m.numel(), p.value.numel()) << " adam state shape for " << p.name;
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      const double mhat = static_cast<double>(m[i]) / bc1;
+      const double vhat = static_cast<double>(v[i]) / bc2;
+      // Decoupled weight decay (AdamW): applied directly to the weight,
+      // not through the moments.
+      w[i] -= static_cast<float>(lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                                        weight_decay_ * static_cast<double>(w[i])));
+      g[i] = 0.0f;
+    }
+  });
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,41 @@
+// Adam optimizer with FP32 moment states, matching the paper's memory
+// accounting of 12 bytes/param of optimizer state (fp32 master + m + v) on
+// top of 2-byte weights/grads. State is keyed by parameter name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+class Adam {
+ public:
+  // weight_decay applies decoupled (AdamW-style) decay: w -= lr * wd * w.
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.95, double eps = 1e-8,
+                double weight_decay = 0.0);
+
+  // Applies one update to every parameter the walker visits, then zeroes
+  // its gradient. `walk` must call the visitor for each Param exactly once.
+  void step(const std::function<void(const ParamVisitor&)>& walk);
+
+  std::int64_t step_count() const { return t_; }
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::unordered_map<std::string, Moments> state_;
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,86 @@
+// Attention kernels.
+//
+// Two implementations of exact causal attention over [s, h, d] tensors:
+//
+//  1. reference_attention_* — naive O(s²) materialised-scores attention.
+//     The ground truth every distributed/chunked path is verified against.
+//
+//  2. online_attn_* — blockwise *online softmax* attention (the
+//     FlashAttention recurrence). Computation proceeds over (query chunk,
+//     KV chunk) pairs carrying a running (numerator, row-max, row-sum)
+//     state; backward recomputes probabilities from the saved log-sum-exp.
+//     This pairwise form is exactly the unit of work FPDT schedules: its
+//     forward loop (Fig. 5) is online_attn_step per fetched KV chunk and
+//     its backward nested loop (Fig. 7) is online_attn_backward_step per
+//     (kv, q) chunk pair.
+//
+// Grouped-query attention: q has h heads, k/v have hk heads (h % hk == 0);
+// query head i reads kv head i / (h / hk).
+//
+// Causality is decided from *global* token positions (q_pos0 + row,
+// k_pos0 + col), so chunked execution with arbitrary chunk offsets remains
+// bit-equivalent to the monolithic reference.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+struct AttentionOutput {
+  Tensor out;  // [sq, h, d]
+  Tensor lse;  // [sq, h] log-sum-exp of each row's logits (saved for bwd)
+};
+
+// ---- Reference (naive) attention ------------------------------------------
+
+AttentionOutput reference_attention_forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                                            bool causal, std::int64_t q_pos0 = 0,
+                                            std::int64_t k_pos0 = 0);
+
+struct AttentionGrads {
+  Tensor dq;
+  Tensor dk;
+  Tensor dv;
+};
+
+AttentionGrads reference_attention_backward(const Tensor& dout, const Tensor& q, const Tensor& k,
+                                            const Tensor& v, const Tensor& out, bool causal,
+                                            std::int64_t q_pos0 = 0, std::int64_t k_pos0 = 0);
+
+// ---- Online (blockwise) attention -----------------------------------------
+
+// Running state for one query chunk. `acc` is the unnormalised output
+// numerator; `m`/`l` are the row max and row sum of the online softmax.
+struct OnlineAttnState {
+  Tensor acc;  // [sq, h, d]
+  Tensor m;    // [sq, h], init -inf
+  Tensor l;    // [sq, h], init 0
+
+  static OnlineAttnState create(std::int64_t sq, std::int64_t h, std::int64_t d);
+};
+
+// Accumulates one KV chunk into the state. Positions of query row i and key
+// column j are q_pos0+i and k_pos0+j; with causal=true only j-positions
+// <= i-position contribute. Chunk pairs that are entirely masked are a
+// no-op (callers normally skip scheduling them).
+void online_attn_step(OnlineAttnState& state, const Tensor& q, const Tensor& k, const Tensor& v,
+                      bool causal, std::int64_t q_pos0, std::int64_t k_pos0);
+
+// Normalises the accumulator: out = acc / l, lse = m + log(l).
+AttentionOutput online_attn_finalize(const OnlineAttnState& state);
+
+// Precomputes D[i,h] = Σ_d dout·out — shared by all backward chunk steps of
+// one query chunk.
+Tensor online_attn_backward_D(const Tensor& out, const Tensor& dout);
+
+// One (q chunk, kv chunk) backward step: recomputes probabilities from lse,
+// accumulates dq += .., dk += .., dv += .. in place. dk/dv have kv-head
+// shape [sk, hk, d].
+void online_attn_backward_step(const Tensor& q, const Tensor& k, const Tensor& v,
+                               const Tensor& dout, const Tensor& lse, const Tensor& D,
+                               bool causal, std::int64_t q_pos0, std::int64_t k_pos0, Tensor& dq,
+                               Tensor& dk, Tensor& dv);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,93 @@
+#include "nn/checkpoint_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'P', 'D', 'T', 'C', 'K', 'P', '1'};
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FPDT_CHECK(in.good()) << " truncated checkpoint";
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  const std::uint64_t n = read_u64(in);
+  FPDT_CHECK_LT(n, 1u << 20) << " implausible name length";
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  FPDT_CHECK(in.good()) << " truncated checkpoint";
+  return s;
+}
+
+}  // namespace
+
+void save_checkpoint(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FPDT_CHECK(out.good()) << " cannot open " << path << " for writing";
+  out.write(kMagic, sizeof(kMagic));
+
+  std::uint64_t count = 0;
+  model.visit_params([&](Param&) { ++count; });
+  write_u64(out, count);
+
+  model.visit_params([&](Param& p) {
+    write_string(out, p.name);
+    write_u64(out, static_cast<std::uint64_t>(p.value.ndim()));
+    for (int i = 0; i < p.value.ndim(); ++i) {
+      write_u64(out, static_cast<std::uint64_t>(p.value.dim(i)));
+    }
+    out.write(reinterpret_cast<const char*>(p.value.data()),
+              static_cast<std::streamsize>(p.value.numel()) * 4);
+  });
+  FPDT_CHECK(out.good()) << " write failed for " << path;
+}
+
+void load_checkpoint(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FPDT_CHECK(in.good()) << " cannot open " << path;
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  FPDT_CHECK(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic))
+      << " not an FPDT checkpoint (bad magic): " << path;
+
+  const std::uint64_t count = read_u64(in);
+  std::uint64_t seen = 0;
+  model.visit_params([&](Param& p) {
+    FPDT_CHECK_LT(seen, count) << " checkpoint has fewer parameters than the model";
+    const std::string name = read_string(in);
+    FPDT_CHECK_EQ(name, p.name) << " parameter order/name mismatch";
+    const std::uint64_t ndim = read_u64(in);
+    FPDT_CHECK_EQ(ndim, static_cast<std::uint64_t>(p.value.ndim()))
+        << " rank mismatch for " << name;
+    for (int i = 0; i < p.value.ndim(); ++i) {
+      const std::uint64_t d = read_u64(in);
+      FPDT_CHECK_EQ(d, static_cast<std::uint64_t>(p.value.dim(i)))
+          << " shape mismatch for " << name << " dim " << i;
+    }
+    in.read(reinterpret_cast<char*>(p.value.data()),
+            static_cast<std::streamsize>(p.value.numel()) * 4);
+    FPDT_CHECK(in.good()) << " truncated tensor data for " << name;
+    ++seen;
+  });
+  FPDT_CHECK_EQ(seen, count) << " checkpoint has more parameters than the model";
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,21 @@
+// Model checkpoint serialization: a small self-describing binary format
+// (magic, version, per-parameter name/shape/data). Round-trips bit-exactly,
+// validates names and shapes on load, and refuses version/format
+// mismatches — the minimum a training system needs to survive restarts.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace fpdt::nn {
+
+// Writes every parameter of `model` (values only; optimizer state is the
+// caller's concern) to `path`. Throws FpdtError on I/O failure.
+void save_checkpoint(Model& model, const std::string& path);
+
+// Loads parameters into `model`; every parameter must match by name, order
+// and shape (same ModelConfig). Throws FpdtError on any mismatch.
+void load_checkpoint(Model& model, const std::string& path);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,39 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+Embedding::Embedding(std::string name, std::int64_t vocab, std::int64_t dim, Rng& rng) {
+  weight_ = Param(name + ".weight", Tensor::randn({vocab, dim}, rng, 0.0, 0.02));
+}
+
+Tensor Embedding::forward(const std::vector<std::int32_t>& tokens) const {
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size());
+  const std::int64_t dim = weight_.value.dim(1);
+  Tensor out({s, dim});
+  const float* w = weight_.value.data();
+  float* o = out.data();
+  for (std::int64_t t = 0; t < s; ++t) {
+    const std::int64_t id = tokens[static_cast<std::size_t>(t)];
+    FPDT_CHECK(id >= 0 && id < weight_.value.dim(0)) << " token id " << id << " out of vocab";
+    std::memcpy(o + t * dim, w + id * dim, static_cast<std::size_t>(dim) * sizeof(float));
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& dy, const std::vector<std::int32_t>& tokens) {
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size());
+  const std::int64_t dim = weight_.value.dim(1);
+  FPDT_CHECK_EQ(dy.numel(), s * dim) << " embedding backward size";
+  const float* g = dy.data();
+  float* wg = weight_.grad.data();
+  for (std::int64_t t = 0; t < s; ++t) {
+    const std::int64_t id = tokens[static_cast<std::size_t>(t)];
+    for (std::int64_t p = 0; p < dim; ++p) wg[id * dim + p] += g[t * dim + p];
+  }
+}
+
+}  // namespace fpdt::nn

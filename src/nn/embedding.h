@@ -1,0 +1,33 @@
+// Token embedding with scatter-add backward.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(std::string name, std::int64_t vocab, std::int64_t dim, Rng& rng);
+
+  // tokens: [s] of ids -> [s, dim].
+  Tensor forward(const std::vector<std::int32_t>& tokens) const;
+
+  // Accumulates into the weight grad.
+  void backward(const Tensor& dy, const std::vector<std::int32_t>& tokens);
+
+  void visit(const ParamVisitor& fn) { fn(weight_); }
+  std::int64_t vocab() const { return weight_.value.dim(0); }
+  std::int64_t dim() const { return weight_.value.dim(1); }
+
+ private:
+  Param weight_;  // [vocab, dim]
+};
+
+}  // namespace fpdt::nn

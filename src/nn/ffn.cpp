@@ -1,0 +1,141 @@
+#include "nn/ffn.h"
+
+#include "common/check.h"
+#include "nn/activation.h"
+
+namespace fpdt::nn {
+
+namespace {
+
+using runtime::Allocation;
+using runtime::Dtype;
+using runtime::dtype_size;
+
+std::int64_t bf16_bytes(std::int64_t numel) { return numel * dtype_size(Dtype::kBF16); }
+
+}  // namespace
+
+FeedForward::FeedForward(std::string name, Arch arch, std::int64_t d_model, std::int64_t hidden,
+                         Rng& rng)
+    : arch_(arch), hidden_(hidden) {
+  const bool bias = arch == Arch::kGpt;
+  fc1_ = Linear(name + (arch == Arch::kLlama ? ".gate" : ".fc1"), d_model, hidden, bias, rng);
+  fc2_ = Linear(name + (arch == Arch::kLlama ? ".down" : ".fc2"), hidden, d_model, bias, rng);
+  if (arch == Arch::kLlama) {
+    fc3_ = Linear(name + ".up", d_model, hidden, false, rng);
+  }
+}
+
+void FeedForward::visit(const ParamVisitor& fn) {
+  fc1_.visit(fn);
+  fc2_.visit(fn);
+  if (arch_ == Arch::kLlama) fc3_.visit(fn);
+}
+
+Tensor FeedForward::forward(const Tensor& x, std::int64_t chunks,
+                            runtime::MemoryPool* pool) const {
+  FPDT_CHECK_EQ(x.ndim(), 2) << " ffn input must be [s, d]";
+  const std::int64_t s = x.dim(0);
+  chunks = std::min(std::max<std::int64_t>(chunks, 1), s);
+  Tensor y(x.shape());
+  const std::int64_t base = s / chunks;
+  const std::int64_t rem = s % chunks;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t len = base + (c < rem ? 1 : 0);
+    if (len == 0) continue;
+    Tensor yc = forward_chunk(x.slice0(row, row + len), pool);
+    y.slice0(row, row + len).copy_from(yc);
+    row += len;
+  }
+  return y;
+}
+
+Tensor FeedForward::forward_chunk(const Tensor& xc, runtime::MemoryPool* pool) const {
+  const std::int64_t len = xc.dim(0);
+  if (arch_ == Arch::kGpt) {
+    Allocation pre(pool, bf16_bytes(len * hidden_));
+    Tensor u = fc1_.forward(xc);
+    Allocation act(pool, bf16_bytes(len * hidden_));
+    Tensor h = gelu_forward(u);
+    return fc2_.forward(h);
+  }
+  Allocation gate(pool, bf16_bytes(len * hidden_));
+  Tensor g = fc1_.forward(xc);
+  Allocation up(pool, bf16_bytes(len * hidden_));
+  Tensor u = fc3_.forward(xc);
+  Allocation act(pool, bf16_bytes(len * hidden_));
+  Tensor h = mul(silu_forward(g), u);
+  return fc2_.forward(h);
+}
+
+Tensor FeedForward::backward(const Tensor& dy, const Tensor& x, std::int64_t chunks,
+                             runtime::MemoryPool* pool) {
+  FPDT_CHECK(dy.shape() == x.shape()) << " ffn backward shapes";
+  const std::int64_t s = x.dim(0);
+  chunks = std::min(std::max<std::int64_t>(chunks, 1), s);
+  Tensor dx(x.shape());
+  const std::int64_t base = s / chunks;
+  const std::int64_t rem = s % chunks;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t len = base + (c < rem ? 1 : 0);
+    if (len == 0) continue;
+    Tensor dxc = backward_chunk(dy.slice0(row, row + len), x.slice0(row, row + len), pool);
+    dx.slice0(row, row + len).copy_from(dxc);
+    row += len;
+  }
+  return dx;
+}
+
+Tensor FeedForward::backward_chunk(const Tensor& dyc, const Tensor& xc,
+                                   runtime::MemoryPool* pool) {
+  const std::int64_t len = xc.dim(0);
+  if (arch_ == Arch::kGpt) {
+    // Recompute pre-activation u and activation h, then the standard chain.
+    // Buffers are released the moment their last consumer runs, so at most
+    // three hidden-sized buffers are live at once.
+    Allocation pre(pool, bf16_bytes(len * hidden_));
+    Tensor u = fc1_.forward(xc);
+    Allocation act(pool, bf16_bytes(len * hidden_));
+    Tensor h = gelu_forward(u);
+    Allocation grad_h(pool, bf16_bytes(len * hidden_));
+    Tensor dh = fc2_.backward(dyc, h);
+    h = Tensor();
+    act.release();
+    Allocation grad_u(pool, bf16_bytes(len * hidden_));
+    Tensor du = gelu_backward(dh, u);
+    dh = Tensor();
+    grad_h.release();
+    u = Tensor();
+    pre.release();
+    return fc1_.backward(du, xc);
+  }
+  Allocation gate(pool, bf16_bytes(len * hidden_));
+  Tensor g = fc1_.forward(xc);
+  Allocation up(pool, bf16_bytes(len * hidden_));
+  Tensor u = fc3_.forward(xc);
+  Allocation act(pool, bf16_bytes(2 * len * hidden_));  // silu(g) and h
+  Tensor sg = silu_forward(g);
+  Tensor h = mul(sg, u);
+  Allocation grad_h(pool, bf16_bytes(len * hidden_));
+  Tensor dh = fc2_.backward(dyc, h);
+  h = Tensor();
+  // dgate = dh ⊙ u ⊙ silu'(g); dup = dh ⊙ silu(g).
+  Allocation grad_branches(pool, bf16_bytes(2 * len * hidden_));
+  Tensor dg = silu_backward(mul(dh, u), g);
+  Tensor du = mul(dh, sg);
+  dh = Tensor();
+  grad_h.release();
+  sg = Tensor();
+  g = Tensor();
+  u = Tensor();
+  act.release();
+  gate.release();
+  up.release();
+  Tensor dx = fc1_.backward(dg, xc);
+  add_(dx, fc3_.backward(du, xc));
+  return dx;
+}
+
+}  // namespace fpdt::nn

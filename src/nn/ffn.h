@@ -1,0 +1,61 @@
+// Feed-forward networks: GPT's GELU MLP and Llama's SwiGLU, with optional
+// *chunked* execution along the sequence.
+//
+// FFN is token-wise, so compute and memory both scale linearly (§5.4:
+// F(N) = Θ(G(N))) — offloading can never hide behind compute here, which is
+// why the paper chunks the FFN (at 2× the attention chunk count) instead of
+// offloading it. The chunked path keeps only one chunk's intermediates live
+// (charged against the provided pool) and recomputes pre-activations in
+// backward, trading FLOPs for the Table-2 "FFN 4Nd/8Nd" buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/model_config.h"
+#include "nn/param.h"
+#include "runtime/memory_pool.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+class FeedForward {
+ public:
+  FeedForward() = default;
+  FeedForward(std::string name, Arch arch, std::int64_t d_model, std::int64_t hidden, Rng& rng);
+
+  // x: [s, d] -> [s, d]. `chunks` = 1 reproduces the monolithic layer.
+  // Intermediate buffers are charged to `pool` when provided.
+  Tensor forward(const Tensor& x, std::int64_t chunks = 1,
+                 runtime::MemoryPool* pool = nullptr) const;
+
+  // Backward with recompute from the saved layer input (activation-
+  // checkpoint style): accumulates weight grads, returns dx.
+  Tensor backward(const Tensor& dy, const Tensor& x, std::int64_t chunks = 1,
+                  runtime::MemoryPool* pool = nullptr);
+
+  void visit(const ParamVisitor& fn);
+
+  Arch arch() const { return arch_; }
+  std::int64_t hidden() const { return hidden_; }
+
+  // Component access for strategies that shard these weights (e.g.
+  // Megatron-SP column/row parallelism).
+  Linear& fc1() { return fc1_; }  // GPT up-projection | Llama gate
+  Linear& fc2() { return fc2_; }  // down-projection (row-parallel)
+  Linear& fc3() { return fc3_; }  // Llama up (undefined for GPT)
+
+ private:
+  Tensor forward_chunk(const Tensor& xc, runtime::MemoryPool* pool) const;
+  Tensor backward_chunk(const Tensor& dyc, const Tensor& xc, runtime::MemoryPool* pool);
+
+  Arch arch_ = Arch::kGpt;
+  std::int64_t hidden_ = 0;
+  Linear fc1_;   // GPT up-projection  | Llama gate
+  Linear fc2_;   // GPT down-projection| Llama down
+  Linear fc3_;   // Llama up (unused for GPT)
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,67 @@
+#include "nn/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+Tensor next_token_logits(Model& model, const std::vector<std::int32_t>& prompt) {
+  FPDT_CHECK(!prompt.empty()) << " empty prompt";
+  Tensor h = model.embedding().forward(prompt);
+  for (TransformerBlock& blk : model.blocks()) h = blk.forward_only(h);
+  NormStats st;
+  Tensor hn = model.final_norm().forward(h, st);
+  Tensor last = hn.slice0(hn.dim(0) - 1, hn.dim(0));
+  return matmul_nt(last, model.lm_head().weight().value).reshape({model.config().vocab});
+}
+
+namespace {
+
+std::int32_t pick(const Tensor& logits, const SampleOptions& options, Rng& rng) {
+  const std::int64_t vocab = logits.numel();
+  if (options.temperature <= 0.0) {
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < vocab; ++i) {
+      if (logits.data()[i] > logits.data()[best]) best = i;
+    }
+    return static_cast<std::int32_t>(best);
+  }
+  std::vector<std::pair<float, std::int64_t>> scored;
+  scored.reserve(static_cast<std::size_t>(vocab));
+  for (std::int64_t i = 0; i < vocab; ++i) scored.emplace_back(logits.data()[i], i);
+  std::sort(scored.begin(), scored.end(), std::greater<>());
+  const std::int64_t k = options.top_k > 0 ? std::min(options.top_k, vocab) : vocab;
+  double max_logit = scored[0].first;
+  double z = 0.0;
+  std::vector<double> probs(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    probs[static_cast<std::size_t>(i)] = std::exp(
+        (static_cast<double>(scored[static_cast<std::size_t>(i)].first) - max_logit) /
+        options.temperature);
+    z += probs[static_cast<std::size_t>(i)];
+  }
+  double pickpoint = rng.next_uniform() * z;
+  for (std::int64_t i = 0; i < k; ++i) {
+    pickpoint -= probs[static_cast<std::size_t>(i)];
+    if (pickpoint <= 0.0) {
+      return static_cast<std::int32_t>(scored[static_cast<std::size_t>(i)].second);
+    }
+  }
+  return static_cast<std::int32_t>(scored[static_cast<std::size_t>(k - 1)].second);
+}
+
+}  // namespace
+
+std::vector<std::int32_t> generate(Model& model, std::vector<std::int32_t> prompt,
+                                   std::int64_t new_tokens, const SampleOptions& options,
+                                   Rng& rng) {
+  for (std::int64_t t = 0; t < new_tokens; ++t) {
+    Tensor logits = next_token_logits(model, prompt);
+    prompt.push_back(pick(logits, options, rng));
+  }
+  return prompt;
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,27 @@
+// Autoregressive generation from a trained Model — greedy or
+// temperature/top-k sampling. Inference recomputes the full prefix each
+// step (no KV cache): fine at demo scale and keeps the forward path single.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/model.h"
+
+namespace fpdt::nn {
+
+struct SampleOptions {
+  double temperature = 1.0;  // <= 0 means greedy argmax
+  std::int64_t top_k = 0;    // 0 = no truncation
+};
+
+// Logits over the vocabulary for the next token after `prompt`.
+Tensor next_token_logits(Model& model, const std::vector<std::int32_t>& prompt);
+
+// Extends `prompt` by `new_tokens` sampled tokens; returns the full stream.
+std::vector<std::int32_t> generate(Model& model, std::vector<std::int32_t> prompt,
+                                   std::int64_t new_tokens, const SampleOptions& options,
+                                   Rng& rng);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,64 @@
+// KV-cache inference: chunked prefill + incremental decode.
+//
+// Training-side FPDT processes the sequence as chunks of online attention
+// against cached KV; inference prefill is the same computation with the
+// cache kept for decoding. An InferenceSession holds per-layer K/V caches,
+// fills them over the prompt in configurable chunks (bounding the prefill
+// working set exactly as FPDT bounds training memory), and then decodes one
+// token at a time in O(prompt) instead of generate()'s O(prompt²)
+// recompute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/generate.h"
+#include "nn/model.h"
+
+namespace fpdt::nn {
+
+class InferenceSession {
+ public:
+  // prefill_chunk: tokens per prefill chunk (0 = whole prompt at once).
+  explicit InferenceSession(Model& model, std::int64_t prefill_chunk = 0);
+
+  // Processes the prompt, filling the KV caches; returns logits for the
+  // next token. Callable once per session.
+  Tensor prefill(const std::vector<std::int32_t>& prompt);
+
+  // Appends `token` and returns logits for the position after it.
+  Tensor decode(std::int32_t token);
+
+  std::int64_t position() const { return position_; }
+
+  // Peak cache size in logical BF16 bytes across layers (for reporting).
+  std::int64_t kv_cache_bytes() const;
+
+ private:
+  struct LayerCache {
+    Tensor k;  // [capacity, hk, dh]
+    Tensor v;
+    std::int64_t length = 0;
+  };
+
+  // Runs tokens [pos0, pos0+n) through all layers, appending to the caches;
+  // returns the final hidden states [n, d].
+  Tensor advance(const std::vector<std::int32_t>& tokens, std::int64_t pos0);
+
+  void ensure_capacity(std::int64_t needed);
+
+  Model* model_;
+  std::int64_t prefill_chunk_;
+  std::int64_t position_ = 0;
+  std::int64_t capacity_ = 0;
+  std::vector<LayerCache> caches_;
+  bool prefilled_ = false;
+};
+
+// Generation through an InferenceSession (chunked prefill + O(1) decode
+// steps); produces exactly the same tokens as nn::generate.
+std::vector<std::int32_t> generate_cached(Model& model, std::vector<std::int32_t> prompt,
+                                          std::int64_t new_tokens, const SampleOptions& options,
+                                          Rng& rng, std::int64_t prefill_chunk = 0);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features, std::int64_t out_features,
+               bool has_bias, Rng& rng)
+    : has_bias_(has_bias) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_features));
+  weight_ = Param(name + ".weight",
+                  Tensor::randn({out_features, in_features}, rng, 0.0, stddev));
+  if (has_bias_) {
+    bias_ = Param(name + ".bias", Tensor::zeros({out_features}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  const std::int64_t in = weight_.value.dim(1);
+  FPDT_CHECK_EQ(x.dim(-1), in) << " linear input width";
+  const std::int64_t rows = x.numel() / in;
+  Tensor x2d = x.reshape({rows, in});
+  Tensor y2d = matmul_nt(x2d, weight_.value);  // [rows, out]
+  if (has_bias_) add_bias_(y2d, bias_.value);
+  std::vector<std::int64_t> out_shape = x.shape();
+  out_shape.back() = weight_.value.dim(0);
+  return y2d.reshape(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& dy, const Tensor& x) {
+  const std::int64_t in = weight_.value.dim(1);
+  const std::int64_t out = weight_.value.dim(0);
+  const std::int64_t rows = dy.numel() / out;
+  FPDT_CHECK_EQ(x.numel() / in, rows) << " linear backward rows";
+  Tensor dy2d = dy.reshape({rows, out});
+  Tensor x2d = x.reshape({rows, in});
+  // dW [out, in] += dyᵀ · x
+  Tensor dw = matmul_tn(dy2d, x2d);
+  add_(weight_.grad, dw);
+  if (has_bias_) {
+    const float* dp = dy2d.data();
+    float* bg = bias_.grad.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t j = 0; j < out; ++j) bg[j] += dp[r * out + j];
+    }
+  }
+  return backward_input_only(dy);
+}
+
+Tensor Linear::backward_input_only(const Tensor& dy) const {
+  const std::int64_t out = weight_.value.dim(0);
+  const std::int64_t rows = dy.numel() / out;
+  Tensor dy2d = dy.reshape({rows, out});
+  Tensor dx2d = matmul(dy2d, weight_.value);  // [rows, in]
+  std::vector<std::int64_t> in_shape = dy.shape();
+  in_shape.back() = weight_.value.dim(1);
+  return dx2d.reshape(std::move(in_shape));
+}
+
+}  // namespace fpdt::nn

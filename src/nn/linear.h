@@ -1,0 +1,48 @@
+// Linear layer with manual backward. Weights use the PyTorch [out, in]
+// convention; inputs are [.., in] with leading dims flattened.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features, bool has_bias,
+         Rng& rng);
+
+  // y = x · Wᵀ (+ b). x: [.., in] -> y: [.., out].
+  Tensor forward(const Tensor& x) const;
+
+  // Given dy and the saved input x, accumulates dW (and db) into this
+  // layer's grads and returns dx. Safe to call many times per step (chunked
+  // execution accumulates naturally).
+  Tensor backward(const Tensor& dy, const Tensor& x);
+
+  // dx only — used when a strategy computes weight grads elsewhere (e.g.
+  // tensor-parallel shards).
+  Tensor backward_input_only(const Tensor& dy) const;
+
+  void visit(const ParamVisitor& fn) {
+    fn(weight_);
+    if (has_bias_) fn(bias_);
+  }
+
+  std::int64_t in_features() const { return weight_.value.dim(1); }
+  std::int64_t out_features() const { return weight_.value.dim(0); }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  bool has_bias_ = false;
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,86 @@
+#include "nn/lm_head.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+LmHead::LmHead(std::string name, std::int64_t dim, std::int64_t vocab, Rng& rng) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(dim));
+  weight_ = Param(name + ".weight", Tensor::randn({vocab, dim}, rng, 0.0, stddev));
+}
+
+std::int64_t LmHead::suggested_chunks() const {
+  const std::int64_t vocab = weight_.value.dim(0);
+  const std::int64_t dim = weight_.value.dim(1);
+  return std::max<std::int64_t>(1, vocab / dim * 2);
+}
+
+LossResult LmHead::forward_backward(const Tensor& x, const std::vector<std::int32_t>& targets,
+                                    std::int64_t chunks, std::int64_t loss_scale_tokens,
+                                    runtime::MemoryPool* pool) {
+  FPDT_CHECK_EQ(x.ndim(), 2) << " lm head input must be [s, d]";
+  const std::int64_t s = x.dim(0);
+  const std::int64_t dim = x.dim(1);
+  const std::int64_t vocab = weight_.value.dim(0);
+  FPDT_CHECK_EQ(dim, weight_.value.dim(1)) << " lm head width";
+  FPDT_CHECK_EQ(static_cast<std::int64_t>(targets.size()), s) << " target count";
+  FPDT_CHECK_GE(loss_scale_tokens, 1) << " loss scale";
+  chunks = std::min(std::max<std::int64_t>(chunks, 1), s);
+
+  LossResult result;
+  result.dx = Tensor::zeros({s, dim});
+  const float inv_tokens = 1.0f / static_cast<float>(loss_scale_tokens);
+
+  const std::int64_t base = s / chunks;
+  const std::int64_t rem = s % chunks;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t len = base + (c < rem ? 1 : 0);
+    if (len == 0) continue;
+    Tensor xc = x.slice0(row, row + len);
+
+    // Logits buffer is FP32 (paper §5.4: the loss "usually requires a
+    // Float32 data type") — the measured spike scales with len * vocab.
+    runtime::Allocation logits_charge(
+        pool, len * vocab * runtime::dtype_size(runtime::Dtype::kFP32));
+    Tensor logits = matmul_nt(xc.reshape({len, dim}), weight_.value);  // [len, vocab]
+
+    // Fused softmax + CE + gradient, in place in the logits buffer.
+    float* lp = logits.data();
+    for (std::int64_t i = 0; i < len; ++i) {
+      float* lrow = lp + i * vocab;
+      float m = lrow[0];
+      for (std::int64_t j = 1; j < vocab; ++j) m = std::max(m, lrow[j]);
+      double z = 0.0;
+      for (std::int64_t j = 0; j < vocab; ++j) z += std::exp(static_cast<double>(lrow[j] - m));
+      const float lse = m + static_cast<float>(std::log(z));
+      const std::int64_t target = targets[static_cast<std::size_t>(row + i)];
+      if (target == kIgnoreTarget) {
+        // Padding: no loss, no gradient from this row.
+        for (std::int64_t j = 0; j < vocab; ++j) lrow[j] = 0.0f;
+        continue;
+      }
+      FPDT_CHECK(target >= 0 && target < vocab) << " target id " << target;
+      result.loss_sum += static_cast<double>(lse - lrow[target]);
+      result.token_count += 1;
+      // dlogits = (softmax - one_hot) / loss_scale_tokens, written in place.
+      for (std::int64_t j = 0; j < vocab; ++j) {
+        lrow[j] = std::exp(lrow[j] - lse) * inv_tokens;
+      }
+      lrow[target] -= inv_tokens;
+    }
+
+    // dx_chunk = dlogits · W; dW += dlogitsᵀ · x_chunk.
+    Tensor dxc = matmul(logits, weight_.value);
+    result.dx.slice0(row, row + len).copy_from(dxc);
+    Tensor dw = matmul_tn(logits, xc.reshape({len, dim}));
+    add_(weight_.grad, dw);
+
+    row += len;
+  }
+  return result;
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,62 @@
+// LM head: final projection to vocabulary fused with softmax cross-entropy.
+//
+// The paper identifies the logits buffer (seq × vocab in FP32) as one of the
+// worst memory spikes of long-context training (§5.4) and resolves it by
+// chunking the head along the sequence; the suggested chunk count is
+// (vocab / hidden) × 2. This class implements both the monolithic and the
+// chunked execution; both produce identical losses and gradients (tested),
+// but the chunked variant's live logits buffer is seq/u × vocab.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+#include "runtime/memory_pool.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+struct LossResult {
+  double loss_sum = 0.0;       // summed token NLL over non-ignored targets
+  std::int64_t token_count = 0;
+  Tensor dx;                   // gradient wrt head input [s, d], already
+                               // scaled for mean-loss (1/total_tokens)
+  double mean_loss() const {
+    return token_count > 0 ? loss_sum / static_cast<double>(token_count) : 0.0;
+  }
+};
+
+// Target id that contributes neither loss nor gradient (padding positions
+// in variable-length batches).
+inline constexpr std::int32_t kIgnoreTarget = -1;
+
+class LmHead {
+ public:
+  LmHead() = default;
+  LmHead(std::string name, std::int64_t dim, std::int64_t vocab, Rng& rng);
+
+  // Computes mean cross-entropy over targets and the input gradient in one
+  // fused pass; accumulates weight grads. `loss_scale` divides the gradient
+  // (pass total token count when chunking so chunk gradients compose).
+  // `chunks` splits the sequence; 1 = monolithic.
+  // If `pool` is non-null, the live logits buffer is charged against it
+  // (FP32, as the paper notes the loss runs in float) so the memory spike
+  // is measurable.
+  LossResult forward_backward(const Tensor& x, const std::vector<std::int32_t>& targets,
+                              std::int64_t chunks, std::int64_t loss_scale_tokens,
+                              runtime::MemoryPool* pool = nullptr);
+
+  // Paper §5.4: suggested chunk count = vocab / hidden * 2.
+  std::int64_t suggested_chunks() const;
+
+  void visit(const ParamVisitor& fn) { fn(weight_); }
+  Param& weight() { return weight_; }
+
+ private:
+  Param weight_;  // [vocab, dim]
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,85 @@
+#include "nn/model.h"
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+Model::Model(ModelConfig cfg, std::uint64_t seed) : cfg_(std::move(cfg)) {
+  Rng rng(seed);
+  embed_ = Embedding("embed", cfg_.vocab, cfg_.d_model, rng);
+  blocks_.reserve(static_cast<std::size_t>(cfg_.n_layer));
+  for (std::int64_t l = 0; l < cfg_.n_layer; ++l) {
+    blocks_.emplace_back("block" + std::to_string(l), cfg_, rng);
+  }
+  final_norm_ = Norm("final_norm", cfg_.arch, cfg_.d_model);
+  head_ = LmHead("lm_head", cfg_.d_model, cfg_.vocab, rng);
+}
+
+double Model::train_step_grads(const std::vector<std::int32_t>& tokens, std::int64_t lm_chunks) {
+  FPDT_CHECK_GE(tokens.size(), 2u) << " need at least 2 tokens";
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size()) - 1;
+  std::vector<std::int32_t> inputs(tokens.begin(), tokens.end() - 1);
+  std::vector<std::int32_t> targets(tokens.begin() + 1, tokens.end());
+
+  // Forward with activation checkpointing: keep each block's input only.
+  std::vector<Tensor> block_inputs;
+  block_inputs.reserve(blocks_.size());
+  Tensor h = embed_.forward(inputs);
+  for (TransformerBlock& blk : blocks_) {
+    block_inputs.push_back(h);
+    h = blk.forward_only(h);
+  }
+  NormStats fstats;
+  Tensor hn = final_norm_.forward(h, fstats);
+
+  LossResult loss = head_.forward_backward(hn, targets, lm_chunks, s);
+
+  // Backward.
+  Tensor dh = final_norm_.backward(loss.dx, h, fstats);
+  for (std::size_t l = blocks_.size(); l-- > 0;) {
+    dh = blocks_[l].backward_with_recompute(dh, block_inputs[l]);
+  }
+  embed_.backward(dh, inputs);
+  return loss.mean_loss();
+}
+
+double Model::eval_loss(const std::vector<std::int32_t>& tokens) {
+  FPDT_CHECK_GE(tokens.size(), 2u) << " need at least 2 tokens";
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size()) - 1;
+  std::vector<std::int32_t> inputs(tokens.begin(), tokens.end() - 1);
+  std::vector<std::int32_t> targets(tokens.begin() + 1, tokens.end());
+  Tensor h = embed_.forward(inputs);
+  for (TransformerBlock& blk : blocks_) h = blk.forward_only(h);
+  NormStats fstats;
+  Tensor hn = final_norm_.forward(h, fstats);
+  // Reuse the fused head but discard gradients by zeroing them afterwards.
+  Tensor saved = head_.weight().grad.clone();
+  LossResult loss = head_.forward_backward(hn, targets, 1, s);
+  head_.weight().grad.copy_from(saved);
+  return loss.mean_loss();
+}
+
+void Model::visit_params(const ParamVisitor& fn) {
+  embed_.visit(fn);
+  for (TransformerBlock& blk : blocks_) blk.visit(fn);
+  final_norm_.visit(fn);
+  head_.visit(fn);
+}
+
+void Model::zero_grads() {
+  visit_params([](Param& p) { p.zero_grad(); });
+}
+
+void Model::copy_params_from(Model& other) {
+  std::vector<Tensor*> src;
+  other.visit_params([&](Param& p) { src.push_back(&p.value); });
+  std::size_t i = 0;
+  visit_params([&](Param& p) {
+    FPDT_CHECK_LT(i, src.size()) << " param count mismatch";
+    p.value.copy_from(*src[i]);
+    ++i;
+  });
+  FPDT_CHECK_EQ(i, src.size()) << " param count mismatch";
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,59 @@
+// End-to-end causal LM: embedding -> N blocks -> final norm -> fused LM
+// head. The training step uses activation checkpointing (only block inputs
+// are kept; backward recomputes) — the configuration every strategy in the
+// paper's evaluation runs with ("By default, we enable activation
+// checkpoint", §5.1).
+//
+// This reference trainer is single-device and exact; the distributed
+// executors in src/parallel and src/core reuse its weights and must match
+// its losses and gradients bit-for-bit up to FP32 reduction order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/embedding.h"
+#include "nn/lm_head.h"
+#include "nn/model_config.h"
+#include "nn/transformer_block.h"
+
+namespace fpdt::nn {
+
+class Model {
+ public:
+  Model(ModelConfig cfg, std::uint64_t seed);
+
+  // One forward+backward over `tokens` (length s+1: positions 0..s-1 are
+  // inputs, 1..s are targets). Returns mean token loss; gradients are
+  // accumulated into the parameters. `lm_chunks` chunks the loss head.
+  double train_step_grads(const std::vector<std::int32_t>& tokens, std::int64_t lm_chunks = 1);
+
+  // Forward only; returns mean loss (used for eval).
+  double eval_loss(const std::vector<std::int32_t>& tokens);
+
+  void visit_params(const ParamVisitor& fn);
+  void zero_grads();
+
+  const ModelConfig& config() const { return cfg_; }
+  std::vector<TransformerBlock>& blocks() { return blocks_; }
+  Embedding& embedding() { return embed_; }
+  Norm& final_norm() { return final_norm_; }
+  LmHead& lm_head() { return head_; }
+
+  // Copies all parameter values from another model with identical config
+  // (used to give every strategy bit-identical weights in tests).
+  void copy_params_from(Model& other);
+
+ private:
+  ModelConfig cfg_;
+  Embedding embed_;
+  std::vector<TransformerBlock> blocks_;
+  Norm final_norm_;
+  LmHead head_;
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,87 @@
+#include "nn/model_config.h"
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+std::int64_t ModelConfig::param_count() const {
+  const std::int64_t d = d_model;
+  const std::int64_t kv_dim = n_kv_head * head_dim();
+  // Attention: Wq [d,d], Wk/Wv [kv_dim,d], Wo [d,d].
+  const std::int64_t attn = d * d + 2 * kv_dim * d + d * d;
+  // FFN: GPT MLP has 2 matrices (d*f + f*d); SwiGLU has 3 (gate, up, down).
+  const std::int64_t ffn =
+      arch == Arch::kLlama ? 3 * d * ffn_hidden : 2 * d * ffn_hidden;
+  // Norms: 2 per block (gamma [+ beta for GPT]).
+  const std::int64_t norms = (arch == Arch::kLlama ? 2 : 4) * d;
+  const std::int64_t block = attn + ffn + norms;
+  const std::int64_t embed = vocab * d;
+  const std::int64_t head = vocab * d;  // untied LM head
+  const std::int64_t final_norm = arch == Arch::kLlama ? d : 2 * d;
+  return n_layer * block + embed + head + final_norm;
+}
+
+double ModelConfig::train_flops_per_token(std::int64_t seq_len) const {
+  // Standard Megatron-style MFU accounting: 6 FLOPs per parameter per token
+  // (fwd 2 + bwd 4) for the dense part, plus 12*L*d*s for attention scores
+  // and values (the convention does not discount the causal mask).
+  const double dense = 6.0 * static_cast<double>(param_count());
+  const double attn = 12.0 * static_cast<double>(n_layer) * static_cast<double>(d_model) *
+                      static_cast<double>(seq_len);
+  return dense + attn;
+}
+
+namespace {
+
+ModelConfig make(const std::string& name, Arch arch, std::int64_t layers, std::int64_t d,
+                 std::int64_t heads, std::int64_t kv_heads, std::int64_t ffn,
+                 std::int64_t vocab) {
+  ModelConfig c;
+  c.name = name;
+  c.arch = arch;
+  c.n_layer = layers;
+  c.d_model = d;
+  c.n_head = heads;
+  c.n_kv_head = kv_heads;
+  c.ffn_hidden = ffn;
+  c.vocab = vocab;
+  return c;
+}
+
+}  // namespace
+
+ModelConfig gpt_2p7b() { return make("gpt-2.7b", Arch::kGpt, 32, 2560, 32, 32, 4 * 2560, 50304); }
+ModelConfig gpt_6p7b() { return make("gpt-6.7b", Arch::kGpt, 32, 4096, 32, 32, 4 * 4096, 50304); }
+ModelConfig gpt_13b() { return make("gpt-13b", Arch::kGpt, 40, 5120, 40, 40, 4 * 5120, 50304); }
+ModelConfig gpt_30b() { return make("gpt-30b", Arch::kGpt, 48, 7168, 56, 56, 4 * 7168, 50304); }
+ModelConfig llama_8b() {
+  return make("llama-8b", Arch::kLlama, 32, 4096, 32, 8, 14336, 128256);
+}
+ModelConfig llama_70b() {
+  return make("llama-70b", Arch::kLlama, 80, 8192, 64, 8, 28672, 128256);
+}
+
+ModelConfig tiny_gpt(std::int64_t d_model, std::int64_t n_layer, std::int64_t n_head,
+                     std::int64_t vocab) {
+  return make("tiny-gpt", Arch::kGpt, n_layer, d_model, n_head, n_head, 4 * d_model, vocab);
+}
+
+ModelConfig tiny_llama(std::int64_t d_model, std::int64_t n_layer, std::int64_t n_head,
+                       std::int64_t n_kv_head, std::int64_t vocab) {
+  return make("tiny-llama", Arch::kLlama, n_layer, d_model, n_head, n_kv_head,
+              d_model * 8 / 3 / 2 * 2, vocab);
+}
+
+ModelConfig model_by_name(const std::string& name) {
+  if (name == "gpt-2.7b") return gpt_2p7b();
+  if (name == "gpt-6.7b") return gpt_6p7b();
+  if (name == "gpt-13b") return gpt_13b();
+  if (name == "gpt-30b") return gpt_30b();
+  if (name == "llama-8b") return llama_8b();
+  if (name == "llama-70b") return llama_70b();
+  if (name == "tiny-gpt") return tiny_gpt();
+  if (name == "tiny-llama") return tiny_llama();
+  throw FpdtError("unknown model: " + name);
+}
+
+}  // namespace fpdt::nn

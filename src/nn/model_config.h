@@ -1,0 +1,57 @@
+// Model architecture descriptions for the GPT and Llama families used in the
+// paper's evaluation (2.7B…70B), plus tiny variants for functional tests and
+// the convergence experiment (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpdt::nn {
+
+enum class Arch {
+  kGpt,    // LayerNorm + GELU MLP + learned/rotary positions, MHA
+  kLlama,  // RMSNorm + SwiGLU + RoPE, grouped-query attention
+};
+
+struct ModelConfig {
+  std::string name;
+  Arch arch = Arch::kGpt;
+  std::int64_t n_layer = 0;
+  std::int64_t d_model = 0;
+  std::int64_t n_head = 0;
+  std::int64_t n_kv_head = 0;  // == n_head for MHA
+  std::int64_t ffn_hidden = 0;
+  std::int64_t vocab = 0;
+  double rope_base = 10000.0;
+
+  std::int64_t head_dim() const { return d_model / n_head; }
+
+  // Parameter count (embeddings + blocks + final norm + untied LM head).
+  std::int64_t param_count() const;
+
+  // Training FLOPs per token for sequence length s (fwd + bwd, standard
+  // 6N + attention term accounting; causal attention halves the quadratic
+  // term). Used for MFU.
+  double train_flops_per_token(std::int64_t seq_len) const;
+};
+
+// The six evaluation models of the paper plus small test configs.
+ModelConfig gpt_2p7b();
+ModelConfig gpt_6p7b();
+ModelConfig gpt_13b();
+ModelConfig gpt_30b();
+ModelConfig llama_8b();
+ModelConfig llama_70b();
+
+// Tiny models for unit tests / convergence runs; head count chosen divisible
+// by 2 and 4 so they shard across small emulated groups.
+ModelConfig tiny_gpt(std::int64_t d_model = 64, std::int64_t n_layer = 2, std::int64_t n_head = 4,
+                     std::int64_t vocab = 96);
+ModelConfig tiny_llama(std::int64_t d_model = 64, std::int64_t n_layer = 2,
+                       std::int64_t n_head = 4, std::int64_t n_kv_head = 2,
+                       std::int64_t vocab = 96);
+
+// Look up any config by name ("gpt-2.7b", "llama-8b", ...). Throws on miss.
+ModelConfig model_by_name(const std::string& name);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,54 @@
+// LayerNorm (GPT) and RMSNorm (Llama) with manual backward. Both normalise
+// over the last dimension. Backward recomputes the normalised activations
+// from saved statistics instead of storing them — the standard
+// memory-saving trade the paper's Table 2 accounting assumes.
+#pragma once
+
+#include <string>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+// Statistics saved by forward for use in backward.
+struct NormStats {
+  Tensor mean;  // [rows] (LayerNorm only)
+  Tensor rstd;  // [rows]
+};
+
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  LayerNorm(std::string name, std::int64_t dim);
+
+  Tensor forward(const Tensor& x, NormStats& stats) const;
+  Tensor backward(const Tensor& dy, const Tensor& x, const NormStats& stats);
+
+  void visit(const ParamVisitor& fn) {
+    fn(gamma_);
+    fn(beta_);
+  }
+
+ private:
+  Param gamma_;
+  Param beta_;
+  float eps_ = 1e-5f;
+};
+
+class RmsNorm {
+ public:
+  RmsNorm() = default;
+  RmsNorm(std::string name, std::int64_t dim);
+
+  Tensor forward(const Tensor& x, NormStats& stats) const;
+  Tensor backward(const Tensor& dy, const Tensor& x, const NormStats& stats);
+
+  void visit(const ParamVisitor& fn) { fn(gamma_); }
+
+ private:
+  Param gamma_;
+  float eps_ = 1e-5f;
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,29 @@
+// Parameter = value + gradient accumulator, owned by its layer. Layers
+// expose their parameters through visit() so optimizers, ZeRO partitioning
+// and weight cloning never need layer-specific code.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v) : name(std::move(n)), value(std::move(v)) {
+    grad = Tensor::zeros(value.shape());
+  }
+
+  void zero_grad() { grad.zero_(); }
+  std::int64_t numel() const { return value.numel(); }
+};
+
+using ParamVisitor = std::function<void(Param&)>;
+
+}  // namespace fpdt::nn

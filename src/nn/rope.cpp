@@ -1,0 +1,50 @@
+#include "nn/rope.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+namespace {
+
+void rotate(Tensor& x, std::int64_t pos0, double base, double sign) {
+  FPDT_CHECK_EQ(x.ndim(), 3) << " rope expects [s, h, d]";
+  const std::int64_t s = x.dim(0);
+  const std::int64_t h = x.dim(1);
+  const std::int64_t d = x.dim(2);
+  FPDT_CHECK_EQ(d % 2, 0) << " rope head dim must be even";
+  const std::int64_t half = d / 2;
+  std::vector<double> inv_freq(static_cast<std::size_t>(half));
+  for (std::int64_t i = 0; i < half; ++i) {
+    inv_freq[static_cast<std::size_t>(i)] =
+        std::pow(base, -2.0 * static_cast<double>(i) / static_cast<double>(d));
+  }
+  float* xp = x.data();
+  for (std::int64_t t = 0; t < s; ++t) {
+    const double pos = static_cast<double>(pos0 + t);
+    for (std::int64_t i = 0; i < half; ++i) {
+      const double theta = sign * pos * inv_freq[static_cast<std::size_t>(i)];
+      const float c = static_cast<float>(std::cos(theta));
+      const float sn = static_cast<float>(std::sin(theta));
+      for (std::int64_t hd = 0; hd < h; ++hd) {
+        float* pair = xp + (t * h + hd) * d + 2 * i;
+        const float a = pair[0];
+        const float b = pair[1];
+        pair[0] = a * c - b * sn;
+        pair[1] = a * sn + b * c;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void rope_apply_(Tensor& x, std::int64_t pos0, double base) { rotate(x, pos0, base, 1.0); }
+
+void rope_apply_backward_(Tensor& dx, std::int64_t pos0, double base) {
+  rotate(dx, pos0, base, -1.0);
+}
+
+}  // namespace fpdt::nn

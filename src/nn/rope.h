@@ -1,0 +1,23 @@
+// Rotary position embedding (RoPE), applied per head to query/key chunks.
+//
+// The position offset parameter matters for FPDT: projections run on local
+// sequence *chunks*, and with the rank-ordinal layout (Fig. 6) rank r's i-th
+// local chunk covers global positions [(i·P + r)·c, (i·P + r + 1)·c). Using
+// global positions here is what keeps chunked attention bit-equivalent to
+// the monolithic reference (verified in tests/core).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+// Rotates x [s, h, d_head] in place; token t gets position pos0 + t.
+void rope_apply_(Tensor& x, std::int64_t pos0, double base);
+
+// Backward of rope_apply_ is rotation by the negative angle (the map is
+// orthogonal); rotates gradients in place.
+void rope_apply_backward_(Tensor& dx, std::int64_t pos0, double base);
+
+}  // namespace fpdt::nn

@@ -1,0 +1,46 @@
+#include "nn/training.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace fpdt::nn {
+
+CosineLrSchedule::CosineLrSchedule(double peak_lr, double min_lr, std::int64_t warmup_steps,
+                                   std::int64_t total_steps)
+    : peak_lr_(peak_lr),
+      min_lr_(min_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  FPDT_CHECK_GE(total_steps, 1) << " schedule length";
+  FPDT_CHECK_GE(warmup_steps, 0) << " warmup";
+  FPDT_CHECK_LE(min_lr, peak_lr) << " min_lr above peak";
+}
+
+double CosineLrSchedule::lr_at(std::int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_lr_ * static_cast<double>(step + 1) / static_cast<double>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  const double progress = static_cast<double>(step - warmup_steps_) /
+                          static_cast<double>(std::max<std::int64_t>(1, total_steps_ - warmup_steps_));
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return min_lr_ + (peak_lr_ - min_lr_) * cosine;
+}
+
+double clip_grad_norm(const std::function<void(const ParamVisitor&)>& walk, double max_norm) {
+  FPDT_CHECK_GT(max_norm, 0.0) << " clip threshold";
+  double sum_sq = 0.0;
+  walk([&](Param& p) {
+    for (float g : p.grad.span()) sum_sq += static_cast<double>(g) * static_cast<double>(g);
+  });
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    walk([&](Param& p) { scale_(p.grad, scale); });
+  }
+  return norm;
+}
+
+}  // namespace fpdt::nn

@@ -1,0 +1,55 @@
+// Training-loop utilities: learning-rate schedules, global gradient-norm
+// clipping, and a tokens/sec meter. These are the pieces a real
+// long-context pretraining run wraps around FpdtTrainer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "nn/param.h"
+
+namespace fpdt::nn {
+
+// Linear warmup followed by cosine decay to min_lr — the standard LLM
+// pretraining schedule.
+class CosineLrSchedule {
+ public:
+  CosineLrSchedule(double peak_lr, double min_lr, std::int64_t warmup_steps,
+                   std::int64_t total_steps);
+
+  double lr_at(std::int64_t step) const;
+
+ private:
+  double peak_lr_, min_lr_;
+  std::int64_t warmup_steps_, total_steps_;
+};
+
+// Global L2 gradient-norm clipping over all parameters the walker visits.
+// Returns the pre-clip norm. Scale is applied only when norm > max_norm.
+double clip_grad_norm(const std::function<void(const ParamVisitor&)>& walk, double max_norm);
+
+// Simple throughput meter for examples/benches.
+class ThroughputMeter {
+ public:
+  void step(std::int64_t tokens) {
+    if (steps_ == 0) start_ = Clock::now();
+    tokens_ += tokens;
+    ++steps_;
+  }
+
+  double tokens_per_second() const {
+    if (steps_ < 2) return 0.0;
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    return secs > 0 ? static_cast<double>(tokens_) / secs : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  std::int64_t tokens_ = 0;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace fpdt::nn

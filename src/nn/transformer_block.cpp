@@ -1,0 +1,143 @@
+#include "nn/transformer_block.h"
+
+#include "common/check.h"
+#include "nn/rope.h"
+
+namespace fpdt::nn {
+
+Norm::Norm(std::string name, Arch arch, std::int64_t dim) : arch_(arch) {
+  if (arch_ == Arch::kGpt) {
+    ln_ = LayerNorm(std::move(name), dim);
+  } else {
+    rms_ = RmsNorm(std::move(name), dim);
+  }
+}
+
+Tensor Norm::forward(const Tensor& x, NormStats& stats) const {
+  return arch_ == Arch::kGpt ? ln_.forward(x, stats) : rms_.forward(x, stats);
+}
+
+Tensor Norm::backward(const Tensor& dy, const Tensor& x, const NormStats& stats) {
+  return arch_ == Arch::kGpt ? ln_.backward(dy, x, stats) : rms_.backward(dy, x, stats);
+}
+
+void Norm::visit(const ParamVisitor& fn) {
+  if (arch_ == Arch::kGpt) {
+    ln_.visit(fn);
+  } else {
+    rms_.visit(fn);
+  }
+}
+
+AttentionLayer::AttentionLayer(std::string name, const ModelConfig& cfg, Rng& rng)
+    : n_head_(cfg.n_head),
+      n_kv_head_(cfg.n_kv_head),
+      head_dim_(cfg.head_dim()),
+      rope_base_(cfg.rope_base) {
+  const bool bias = cfg.arch == Arch::kGpt;
+  const std::int64_t d = cfg.d_model;
+  const std::int64_t kv_dim = n_kv_head_ * head_dim_;
+  wq_ = Linear(name + ".wq", d, d, bias, rng);
+  wk_ = Linear(name + ".wk", d, kv_dim, bias, rng);
+  wv_ = Linear(name + ".wv", d, kv_dim, bias, rng);
+  wo_ = Linear(name + ".wo", d, d, bias, rng);
+}
+
+AttentionLayer::Qkv AttentionLayer::project_qkv(const Tensor& xn, std::int64_t pos0) const {
+  FPDT_CHECK_EQ(xn.ndim(), 2) << " project_qkv input";
+  const std::int64_t s = xn.dim(0);
+  Qkv qkv;
+  qkv.q = wq_.forward(xn).reshape({s, n_head_, head_dim_});
+  qkv.k = wk_.forward(xn).reshape({s, n_kv_head_, head_dim_});
+  qkv.v = wv_.forward(xn).reshape({s, n_kv_head_, head_dim_});
+  rope_apply_(qkv.q, pos0, rope_base_);
+  rope_apply_(qkv.k, pos0, rope_base_);
+  return qkv;
+}
+
+Tensor AttentionLayer::project_out(const Tensor& attn_out) const {
+  const std::int64_t s = attn_out.dim(0);
+  return wo_.forward(attn_out.reshape({s, n_head_ * head_dim_}));
+}
+
+Tensor AttentionLayer::backward_out(const Tensor& dy, const Tensor& attn_out) {
+  const std::int64_t s = attn_out.dim(0);
+  Tensor d_flat = wo_.backward(dy, attn_out.reshape({s, n_head_ * head_dim_}));
+  return d_flat.reshape({s, n_head_, head_dim_});
+}
+
+Tensor AttentionLayer::backward_qkv(const Tensor& dq, const Tensor& dk, const Tensor& dv,
+                                    const Tensor& xn, std::int64_t pos0) {
+  const std::int64_t s = xn.dim(0);
+  Tensor dq_rot = dq.clone();
+  Tensor dk_rot = dk.clone();
+  rope_apply_backward_(dq_rot, pos0, rope_base_);
+  rope_apply_backward_(dk_rot, pos0, rope_base_);
+  Tensor dxn = wq_.backward(dq_rot.reshape({s, n_head_ * head_dim_}), xn);
+  add_(dxn, wk_.backward(dk_rot.reshape({s, n_kv_head_ * head_dim_}), xn));
+  add_(dxn, wv_.backward(dv.reshape({s, n_kv_head_ * head_dim_}), xn));
+  return dxn;
+}
+
+void AttentionLayer::visit(const ParamVisitor& fn) {
+  wq_.visit(fn);
+  wk_.visit(fn);
+  wv_.visit(fn);
+  wo_.visit(fn);
+}
+
+TransformerBlock::TransformerBlock(std::string name, const ModelConfig& cfg, Rng& rng) {
+  norm1_ = Norm(name + ".norm1", cfg.arch, cfg.d_model);
+  norm2_ = Norm(name + ".norm2", cfg.arch, cfg.d_model);
+  attn_ = AttentionLayer(name + ".attn", cfg, rng);
+  ffn_ = FeedForward(name + ".ffn", cfg.arch, cfg.d_model, cfg.ffn_hidden, rng);
+}
+
+Tensor TransformerBlock::forward_only(const Tensor& x, std::int64_t pos0,
+                                      std::int64_t ffn_chunks) const {
+  NormStats st1;
+  Tensor xn = norm1_.forward(x, st1);
+  AttentionLayer::Qkv qkv = attn_.project_qkv(xn, pos0);
+  AttentionOutput ao = reference_attention_forward(qkv.q, qkv.k, qkv.v, /*causal=*/true,
+                                                   /*q_pos0=*/pos0, /*k_pos0=*/pos0);
+  Tensor y = add(x, attn_.project_out(ao.out));
+  NormStats st2;
+  Tensor yn = norm2_.forward(y, st2);
+  return add(y, ffn_.forward(yn, ffn_chunks));
+}
+
+// const_cast-free recompute helpers require non-const members, so the
+// backward recomputes through the mutable layer references directly.
+Tensor TransformerBlock::backward_with_recompute(const Tensor& dy, const Tensor& x,
+                                                 std::int64_t pos0, std::int64_t ffn_chunks) {
+  // ---- Recompute forward, keeping what backward needs.
+  NormStats st1;
+  Tensor xn = norm1_.forward(x, st1);
+  AttentionLayer::Qkv qkv = attn_.project_qkv(xn, pos0);
+  AttentionOutput ao = reference_attention_forward(qkv.q, qkv.k, qkv.v, /*causal=*/true, pos0,
+                                                   pos0);
+  Tensor y = add(x, attn_.project_out(ao.out));
+  NormStats st2;
+  Tensor yn = norm2_.forward(y, st2);
+
+  // ---- Backward. z = y + ffn(yn); dy is dz.
+  Tensor dyn = ffn_.backward(dy, yn, ffn_chunks);
+  Tensor dy_total = add(dy, norm2_.backward(dyn, y, st2));
+
+  // y = x + wo(attn(qkv(norm1(x)))).
+  Tensor dao = attn_.backward_out(dy_total, ao.out);
+  AttentionGrads ag = reference_attention_backward(dao, qkv.q, qkv.k, qkv.v, ao.out,
+                                                   /*causal=*/true, pos0, pos0);
+  Tensor dxn = attn_.backward_qkv(ag.dq, ag.dk, ag.dv, xn, pos0);
+  Tensor dx = add(dy_total, norm1_.backward(dxn, x, st1));
+  return dx;
+}
+
+void TransformerBlock::visit(const ParamVisitor& fn) {
+  norm1_.visit(fn);
+  attn_.visit(fn);
+  norm2_.visit(fn);
+  ffn_.visit(fn);
+}
+
+}  // namespace fpdt::nn

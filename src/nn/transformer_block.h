@@ -1,0 +1,115 @@
+// Transformer block: norm variant wrapper, attention sublayer (the weight
+// container every parallel strategy shares), and the block itself with
+// activation-checkpoint-style backward (recompute from the saved input).
+//
+// The distributed executors (Ulysses, Megatron-SP, Ring, FPDT) do not own
+// weights — they borrow an AttentionLayer / FeedForward from a block and run
+// their own dataflow through them, which is what makes the cross-strategy
+// equivalence tests meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/ffn.h"
+#include "nn/linear.h"
+#include "nn/model_config.h"
+#include "nn/norm.h"
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::nn {
+
+// LayerNorm (GPT) / RMSNorm (Llama) behind one interface.
+class Norm {
+ public:
+  Norm() = default;
+  Norm(std::string name, Arch arch, std::int64_t dim);
+
+  Tensor forward(const Tensor& x, NormStats& stats) const;
+  Tensor backward(const Tensor& dy, const Tensor& x, const NormStats& stats);
+  void visit(const ParamVisitor& fn);
+
+ private:
+  Arch arch_ = Arch::kGpt;
+  LayerNorm ln_;
+  RmsNorm rms_;
+};
+
+// QKV/out projections + RoPE for one attention sublayer.
+class AttentionLayer {
+ public:
+  struct Qkv {
+    Tensor q;  // [s, h, dh]
+    Tensor k;  // [s, hk, dh]
+    Tensor v;  // [s, hk, dh]
+  };
+
+  AttentionLayer() = default;
+  AttentionLayer(std::string name, const ModelConfig& cfg, Rng& rng);
+
+  // Projects a (chunk of the) normalised hidden state [s, d] whose first
+  // token sits at global position pos0; RoPE is applied to q and k with
+  // global positions, which is what keeps chunked execution exact.
+  Qkv project_qkv(const Tensor& xn, std::int64_t pos0) const;
+
+  // attn_out [s, h, dh] -> [s, d] through Wo.
+  Tensor project_out(const Tensor& attn_out) const;
+
+  // Backward of project_out: accumulates dWo, returns d(attn_out) [s,h,dh].
+  Tensor backward_out(const Tensor& dy, const Tensor& attn_out);
+
+  // Backward of project_qkv: un-rotates dq/dk, backprops the three
+  // projections (accumulating weight grads), returns dxn [s, d].
+  Tensor backward_qkv(const Tensor& dq, const Tensor& dk, const Tensor& dv, const Tensor& xn,
+                      std::int64_t pos0);
+
+  void visit(const ParamVisitor& fn);
+
+  std::int64_t n_head() const { return n_head_; }
+  std::int64_t n_kv_head() const { return n_kv_head_; }
+  std::int64_t head_dim() const { return head_dim_; }
+  double rope_base() const { return rope_base_; }
+
+  Linear& wq() { return wq_; }
+  Linear& wk() { return wk_; }
+  Linear& wv() { return wv_; }
+  Linear& wo() { return wo_; }
+
+ private:
+  std::int64_t n_head_ = 0, n_kv_head_ = 0, head_dim_ = 0;
+  double rope_base_ = 10000.0;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+// Pre-norm block: x + Attn(N1(x)), then y + FFN(N2(y)).
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(std::string name, const ModelConfig& cfg, Rng& rng);
+
+  // Forward without saving internal context (activation checkpointing: the
+  // caller keeps only `x`). `ffn_chunks` follows §5.4.
+  Tensor forward_only(const Tensor& x, std::int64_t pos0 = 0, std::int64_t ffn_chunks = 1) const;
+
+  // Recompute-forward then backprop; accumulates all weight grads, returns
+  // dx. Must be given the same pos0/ffn_chunks as the forward.
+  Tensor backward_with_recompute(const Tensor& dy, const Tensor& x, std::int64_t pos0 = 0,
+                                 std::int64_t ffn_chunks = 1);
+
+  void visit(const ParamVisitor& fn);
+
+  AttentionLayer& attention() { return attn_; }
+  FeedForward& ffn() { return ffn_; }
+  Norm& norm1() { return norm1_; }
+  Norm& norm2() { return norm2_; }
+
+ private:
+  Norm norm1_, norm2_;
+  AttentionLayer attn_;
+  FeedForward ffn_;
+};
+
+}  // namespace fpdt::nn

@@ -1,0 +1,108 @@
+#include "parallel/baseline_trainer.h"
+
+#include "common/check.h"
+
+namespace fpdt::parallel {
+
+namespace {
+
+core::FpdtConfig config_for(BaselineKind kind) {
+  if (kind == BaselineKind::kUlysses) return UlyssesBlockExecutor::config();
+  core::FpdtConfig cfg;  // Megatron-SP / Ring ignore the FPDT knobs
+  cfg.cache_forward_outputs = false;
+  return cfg;
+}
+
+}  // namespace
+
+BaselineTrainer::BaselineTrainer(nn::Model& model, int world, BaselineKind kind,
+                                 std::int64_t hbm_capacity_bytes)
+    : model_(&model), kind_(kind), env_(world, config_for(kind), hbm_capacity_bytes) {
+  executors_.reserve(model.blocks().size());
+  for (std::size_t l = 0; l < model.blocks().size(); ++l) {
+    switch (kind_) {
+      case BaselineKind::kUlysses:
+        executors_.emplace_back(std::in_place_type<UlyssesBlockExecutor>, model.blocks()[l],
+                                static_cast<std::int64_t>(l), env_);
+        break;
+      case BaselineKind::kMegatronSp:
+        executors_.emplace_back(std::in_place_type<MegatronSpBlockExecutor>, model.blocks()[l],
+                                env_);
+        break;
+      case BaselineKind::kRing:
+        executors_.emplace_back(std::in_place_type<RingAttentionBlockExecutor>,
+                                model.blocks()[l], env_);
+        break;
+    }
+  }
+}
+
+std::vector<Tensor> BaselineTrainer::exec_forward(std::size_t layer,
+                                                  const std::vector<Tensor>& x) {
+  return std::visit([&](auto& exec) { return exec.forward(x); }, executors_[layer]);
+}
+
+std::vector<Tensor> BaselineTrainer::exec_backward(std::size_t layer,
+                                                   const std::vector<Tensor>& dz,
+                                                   const std::vector<Tensor>& x) {
+  return std::visit([&](auto& exec) { return exec.backward(dz, x); }, executors_[layer]);
+}
+
+double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
+  const int P = env_.world();
+  const std::int64_t s_global = static_cast<std::int64_t>(tokens.size()) - 1;
+  FPDT_CHECK_GT(s_global, 0) << " need tokens";
+  FPDT_CHECK_EQ(s_global % P, 0) << " sequence must divide across ranks";
+  const std::int64_t s_local = s_global / P;
+
+  // Contiguous sharding: rank r owns tokens [r*s_local, (r+1)*s_local).
+  std::vector<std::vector<std::int32_t>> inputs(static_cast<std::size_t>(P));
+  std::vector<std::vector<std::int32_t>> labels(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    const std::int64_t base = r * s_local;
+    inputs[static_cast<std::size_t>(r)].assign(
+        tokens.begin() + base, tokens.begin() + base + s_local);
+    labels[static_cast<std::size_t>(r)].assign(
+        tokens.begin() + base + 1, tokens.begin() + base + s_local + 1);
+  }
+
+  std::vector<Tensor> h(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    h[static_cast<std::size_t>(r)] =
+        model_->embedding().forward(inputs[static_cast<std::size_t>(r)]);
+  }
+
+  // Activation checkpointing across blocks, as everywhere in the paper.
+  std::vector<std::vector<Tensor>> block_inputs;
+  block_inputs.reserve(executors_.size());
+  for (std::size_t l = 0; l < executors_.size(); ++l) {
+    block_inputs.push_back(h);
+    h = exec_forward(l, h);
+  }
+
+  double loss_sum = 0.0;
+  std::vector<Tensor> dh(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    nn::NormStats st;
+    Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
+    // Monolithic loss head: these baselines do not chunk the logits — the
+    // §5.4 spike the memory model charges them for.
+    nn::LossResult res = model_->lm_head().forward_backward(
+        hn, labels[static_cast<std::size_t>(r)], /*chunks=*/1, s_global,
+        &env_.device(r).hbm());
+    loss_sum += res.loss_sum;
+    dh[static_cast<std::size_t>(r)] =
+        model_->final_norm().backward(res.dx, h[static_cast<std::size_t>(r)], st);
+  }
+
+  for (std::size_t l = executors_.size(); l-- > 0;) {
+    dh = exec_backward(l, dh, block_inputs[l]);
+  }
+  for (int r = 0; r < P; ++r) {
+    model_->embedding().backward(dh[static_cast<std::size_t>(r)],
+                                 inputs[static_cast<std::size_t>(r)]);
+  }
+  return loss_sum / static_cast<double>(s_global);
+}
+
+}  // namespace fpdt::parallel

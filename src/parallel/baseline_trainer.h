@@ -1,0 +1,51 @@
+// End-to-end training steps for the baseline strategies — the counterpart
+// of core::FpdtTrainer for Ulysses, Megatron-SP and Ring Attention. All
+// three shard the sequence contiguously, run per-rank embedding and loss,
+// and execute every block through the respective distributed executor.
+// Like FpdtTrainer they borrow the wrapped nn::Model's weights, so losses
+// and gradients are directly comparable across strategies — extending the
+// Fig. 14 convergence-equivalence argument to every baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "core/fpdt_env.h"
+#include "nn/model.h"
+#include "parallel/megatron_sp.h"
+#include "parallel/ring_attention.h"
+#include "parallel/ulysses.h"
+
+namespace fpdt::parallel {
+
+enum class BaselineKind { kUlysses, kMegatronSp, kRing };
+
+class BaselineTrainer {
+ public:
+  BaselineTrainer(nn::Model& model, int world, BaselineKind kind,
+                  std::int64_t hbm_capacity_bytes = -1);
+
+  // tokens: s_global + 1 ids, s_global divisible by world.
+  // Returns mean token loss; accumulates grads into the wrapped model.
+  double train_step_grads(const std::vector<std::int32_t>& tokens);
+
+  core::FpdtEnv& env() { return env_; }
+  BaselineKind kind() const { return kind_; }
+
+ private:
+  using Executor =
+      std::variant<UlyssesBlockExecutor, MegatronSpBlockExecutor, RingAttentionBlockExecutor>;
+
+  std::vector<Tensor> exec_forward(std::size_t layer, const std::vector<Tensor>& x);
+  std::vector<Tensor> exec_backward(std::size_t layer, const std::vector<Tensor>& dz,
+                                    const std::vector<Tensor>& x);
+
+  nn::Model* model_;
+  BaselineKind kind_;
+  core::FpdtEnv env_;
+  std::vector<Executor> executors_;
+};
+
+}  // namespace fpdt::parallel

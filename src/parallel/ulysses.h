@@ -1,0 +1,58 @@
+// DeepSpeed Ulysses baseline (Jacobs et al., 2023).
+//
+// Ulysses shards the sequence contiguously across ranks and performs one
+// All2All per projection to scatter heads / gather sequence, runs full
+// (Flash-style) attention over the whole sequence with local heads, and one
+// All2All back. FPDT is "designed based on DeepSpeed Ulysses" (§4): with a
+// single chunk per rank, no offload and a contiguous layout, the FPDT
+// executor *is* Ulysses — rank-ordinal placement with u = 1 assigns global
+// chunk r to rank r. This adapter pins that configuration and exposes the
+// baseline under its own name; its memory profile (full-sequence QKV,
+// receive buffers and attention working set all resident at once) is the
+// Table-2 baseline the paper improves on.
+#pragma once
+
+#include "core/fpdt_block.h"
+#include "core/fpdt_env.h"
+#include "nn/transformer_block.h"
+
+namespace fpdt::parallel {
+
+class UlyssesBlockExecutor {
+ public:
+  UlyssesBlockExecutor(nn::TransformerBlock& block, std::int64_t layer_index,
+                       core::FpdtEnv& env)
+      : inner_(block, layer_index, env) {
+    FPDT_CHECK_EQ(env.cfg().chunks_per_rank, 1)
+        << " Ulysses is the single-chunk configuration";
+    FPDT_CHECK(!env.cfg().offload) << " Ulysses does not offload";
+  }
+
+  // x_local: contiguous sequence shard per rank ([r*s_local, (r+1)*s_local)).
+  std::vector<Tensor> forward(const std::vector<Tensor>& x_local) {
+    return inner_.forward(x_local);
+  }
+
+  std::vector<Tensor> backward(const std::vector<Tensor>& dz_local,
+                               const std::vector<Tensor>& x_local) {
+    return inner_.backward(dz_local, x_local);
+  }
+
+  // Environment config for a Ulysses run.
+  static core::FpdtConfig config() {
+    core::FpdtConfig cfg;
+    cfg.chunks_per_rank = 1;
+    cfg.offload = false;
+    cfg.double_buffer = false;
+    cfg.ffn_chunk_multiplier = 1;
+    // Ulysses under activation checkpointing recomputes the block forward
+    // in backward; it has no chunk cache to skip it with.
+    cfg.cache_forward_outputs = false;
+    return cfg;
+  }
+
+ private:
+  core::FpdtBlockExecutor inner_;
+};
+
+}  // namespace fpdt::parallel

@@ -1,0 +1,90 @@
+#include "perfmodel/evaluate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fpdt::perfmodel {
+
+std::int64_t fpdt_chunks(const Strategy& st, std::int64_t s_global) {
+  const std::int64_t chunk = std::min(st.fpdt_chunk_tokens, s_global);
+  return std::max<std::int64_t>(1, s_global / chunk);
+}
+
+Evaluation evaluate(const nn::ModelConfig& cfg, const Strategy& strategy, int world,
+                    std::int64_t s_global, const sim::HardwareSpec& hw) {
+  Evaluation ev;
+  Strategy st = strategy;
+  if (st.scheme == SeqScheme::kFpdt && st.fpdt_cache_fwd &&
+      !fits(cfg, st, world, s_global, hw)) {
+    // Prefer the recompute-free backward, but fall back to chunk-wise
+    // recompute when per-layer host caches do not fit (long sequences on
+    // few GPUs — the regime of Table 1's leftmost columns).
+    Strategy fallback = st;
+    fallback.fpdt_cache_fwd = false;
+    if (fits(cfg, fallback, world, s_global, hw)) {
+      st = fallback;
+      ev.recompute_fallback = true;
+    }
+  }
+  ev.memory = estimate_memory(cfg, st, world, s_global);
+  ev.fits = fits(cfg, st, world, s_global, hw);
+
+  const sim::CostModel cm(hw, world);
+  const bool tp_only = st.scheme == SeqScheme::kMegatronTp;
+  const std::int64_t s_local = tp_only ? s_global : s_global / world;
+
+  switch (st.scheme) {
+    case SeqScheme::kMegatronTp:
+      ev.layer = sim::megatron_layer_timing(cfg, cm, s_local, /*seq_parallel=*/false,
+                                            st.activation_checkpoint);
+      break;
+    case SeqScheme::kMegatronSp:
+      ev.layer = sim::megatron_layer_timing(cfg, cm, s_local, /*seq_parallel=*/true,
+                                            st.activation_checkpoint);
+      break;
+    case SeqScheme::kUlysses:
+      ev.layer = sim::ulysses_layer_timing(cfg, cm, s_local);
+      break;
+    case SeqScheme::kRing:
+      ev.layer = sim::ring_layer_timing(cfg, cm, s_local);
+      break;
+    case SeqScheme::kMst:
+      // Same dataflow as Ulysses; the MLP/loss chunking is compute-neutral.
+      ev.layer = sim::ulysses_layer_timing(cfg, cm, s_local);
+      break;
+    case SeqScheme::kFpdt: {
+      const std::int64_t u = fpdt_chunks(st, s_global);
+      ev.layer = sim::fpdt_layer_timing(cfg, cm, s_local, u, st.fpdt_offload,
+                                        st.fpdt_double_buffer, st.fpdt_cache_fwd);
+      break;
+    }
+  }
+  const bool chunked_head =
+      st.scheme == SeqScheme::kFpdt || st.scheme == SeqScheme::kMst;
+  sim::StepEstimate est = sim::step_estimate(cfg, cm, s_global, ev.layer, chunked_head);
+
+  // ZeRO data-parallel communication (per step). Stage 1/2: one gradient
+  // reduction over the full model; stage 3 additionally all-gathers each
+  // layer's parameters in forward and backward (half hidden by prefetch).
+  if (st.zero_stage > 0 && world > 1) {
+    const std::int64_t grad_bytes = 2 * cfg.param_count();
+    double zero_comm = (st.zero_stage >= 2) ? cm.reduce_scatter_time(grad_bytes)
+                                            : cm.allreduce_time(grad_bytes);
+    if (st.zero_stage >= 3) {
+      const std::int64_t layer_bytes = 2 * cfg.param_count() / cfg.n_layer;
+      zero_comm += 0.5 * 2.0 * static_cast<double>(cfg.n_layer) *
+                   cm.allgather_time(layer_bytes);
+    }
+    est.step_s += zero_comm;
+    const double useful = cfg.train_flops_per_token(s_global) *
+                          static_cast<double>(s_global) / static_cast<double>(world);
+    est.mfu = useful / (est.step_s * hw.peak_flops);
+  }
+
+  ev.step_s = est.step_s;
+  ev.mfu = est.mfu;
+  return ev;
+}
+
+}  // namespace fpdt::perfmodel

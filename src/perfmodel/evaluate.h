@@ -1,0 +1,34 @@
+// One-call evaluation of a (model, strategy, world, sequence) point:
+// does it fit, what is the per-GPU memory, and what step time / MFU does
+// the timeline simulator predict. Every bench for Figs. 1/11/12 and
+// Tables 1/3 goes through this.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model_config.h"
+#include "perfmodel/memory_model.h"
+#include "perfmodel/strategy.h"
+#include "sim/hardware.h"
+#include "sim/timeline.h"
+
+namespace fpdt::perfmodel {
+
+struct Evaluation {
+  bool fits = false;
+  MemoryBreakdown memory;
+  sim::LayerTiming layer;
+  double step_s = 0.0;
+  double mfu = 0.0;
+  // FPDT only: forward-output caching was disabled because host memory
+  // could not hold per-layer caches (backward falls back to recompute).
+  bool recompute_fallback = false;
+};
+
+Evaluation evaluate(const nn::ModelConfig& cfg, const Strategy& strategy, int world,
+                    std::int64_t s_global, const sim::HardwareSpec& hw);
+
+// FPDT chunk count per rank implied by the strategy at this sequence.
+std::int64_t fpdt_chunks(const Strategy& strategy, std::int64_t s_global);
+
+}  // namespace fpdt::perfmodel

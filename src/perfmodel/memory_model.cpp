@@ -1,0 +1,229 @@
+#include "perfmodel/memory_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fpdt::perfmodel {
+
+namespace {
+
+constexpr std::int64_t kBf16 = 2;
+constexpr std::int64_t kFp32 = 4;
+
+struct Dims {
+  std::int64_t d, kv_dim, f, vocab, layers;
+  bool gpt;
+};
+
+Dims dims_of(const nn::ModelConfig& cfg) {
+  return {cfg.d_model, cfg.n_kv_head * cfg.head_dim(), cfg.ffn_hidden, cfg.vocab, cfg.n_layer,
+          cfg.arch == nn::Arch::kGpt};
+}
+
+bool is_tensor_parallel(SeqScheme s) {
+  return s == SeqScheme::kMegatronTp || s == SeqScheme::kMegatronSp;
+}
+
+}  // namespace
+
+MemoryBreakdown estimate_memory(const nn::ModelConfig& cfg, const Strategy& st, int world,
+                                std::int64_t s_global) {
+  FPDT_CHECK_GE(world, 1) << " world";
+  const Dims dm = dims_of(cfg);
+  const std::int64_t N = cfg.param_count();
+  const std::int64_t P = world;
+  MemoryBreakdown mb;
+
+  // ---- Model state: weights 2B, grads 2B, fp32 master + Adam moments 12B.
+  if (is_tensor_parallel(st.scheme)) {
+    // Megatron shards parameters, gradients and optimizer across the TP
+    // group natively.
+    mb.params = 2 * N / P;
+    mb.grads = 2 * N / P;
+    mb.optimizer = 12 * N / P;
+  } else {
+    switch (st.zero_stage) {
+      case 0:
+        mb.params = 2 * N;
+        mb.grads = 2 * N;
+        mb.optimizer = 12 * N;
+        break;
+      case 1:
+        mb.params = 2 * N;
+        mb.grads = 2 * N;
+        mb.optimizer = 12 * N / P;
+        break;
+      case 2:
+        mb.params = 2 * N;
+        mb.grads = 2 * N / P;
+        mb.optimizer = 12 * N / P;
+        break;
+      default:  // ZeRO-3
+        mb.params = 2 * N / P;
+        mb.grads = 2 * N / P;
+        mb.optimizer = 12 * N / P;
+        // Two layers' parameters gathered at a time (compute + prefetch).
+        mb.gathered_params = 2 * (2 * N / dm.layers);
+        break;
+    }
+  }
+
+  // ---- Sequence geometry.
+  const bool tp_only = st.scheme == SeqScheme::kMegatronTp;
+  const std::int64_t s_local = tp_only ? s_global : s_global / P;
+
+  // ---- Stored activations (between forward and backward).
+  // Without AC: the Table-2 forward inventory lives for every layer,
+  // ~ (8d + 2·kv + {2|3}·f) BF16 elements per token per layer.
+  const std::int64_t stored_noac_elems =
+      8 * dm.d + 2 * dm.kv_dim + (dm.gpt ? 2 : 3) * dm.f;
+  std::int64_t stored = 0;
+  std::int64_t host = 0;
+  if (!st.activation_checkpoint) {
+    std::int64_t per_layer = stored_noac_elems * s_local * kBf16;
+    if (tp_only) {
+      // Plain TP replicates the norm/residual activations (~4d elements)
+      // and shards the rest.
+      const std::int64_t repl = 4 * dm.d;
+      per_layer = (repl + (stored_noac_elems - repl) / P) * s_local * kBf16;
+    } else if (st.scheme == SeqScheme::kMegatronSp) {
+      per_layer = stored_noac_elems * s_local * kBf16;  // SP shards storage
+    }
+    stored = per_layer * dm.layers;
+  } else {
+    // AC keeps one block input per layer ([s_local, d] BF16)…
+    const std::int64_t ckpt = s_local * dm.d * kBf16 * dm.layers;
+    if (st.ac_offload) {
+      host += ckpt;  // …moved to host with OC; a 2-chunk staging window stays
+      stored = 2 * s_local * dm.d * kBf16;
+    } else {
+      stored = ckpt;
+    }
+  }
+  mb.stored_activations = stored;
+
+  // ---- Transient working set (the buffers FPDT chunks/offloads).
+  const std::int64_t qkv_elems_per_tok = dm.d + 2 * dm.kv_dim;
+  std::int64_t attn_tokens;   // tokens' worth of attention-layout tensors per GPU
+  std::int64_t ffn_tokens;    // tokens per FFN sub-chunk per GPU
+  if (st.scheme == SeqScheme::kFpdt) {
+    const std::int64_t chunk = std::min(st.fpdt_chunk_tokens, s_global);
+    attn_tokens = std::max<std::int64_t>(1, chunk / P);
+    ffn_tokens = std::max<std::int64_t>(1, attn_tokens / 2);  // 2x chunks (§5.4)
+  } else if (is_tensor_parallel(st.scheme)) {
+    // TP attention/FFN GEMMs run over the *full* sequence with sharded
+    // heads/hidden (the /P happens below).
+    attn_tokens = s_global;
+    ffn_tokens = s_global;
+  } else if (st.scheme == SeqScheme::kMst) {
+    // MsT chunks the MLP (and loss) but not attention — "attention
+    // computation can incur the most significant memory spikes during
+    // training, which remains unsolved in their method" (§2.2).
+    attn_tokens = s_local;
+    ffn_tokens = std::max<std::int64_t>(1, s_local / 16);
+  } else {
+    attn_tokens = s_local;
+    ffn_tokens = s_local;
+  }
+  // Forward: QKV + non-in-place All2All receive buffers + output.
+  std::int64_t attn_fwd_elems = (2 * qkv_elems_per_tok + 2 * dm.d) * attn_tokens;
+  // Backward: FlashAttention's q,k,v,o,do,dq,dk,dv resident together (8Nd
+  // for MHA) plus the All2All send/recv pair.
+  std::int64_t attn_bwd_elems =
+      ((4 * dm.d + 4 * dm.kv_dim) + 2 * qkv_elems_per_tok) * attn_tokens;
+  std::int64_t ffn_elems = ((dm.gpt ? 2 : 3) * dm.f + 2 * dm.d) * ffn_tokens;
+  if (is_tensor_parallel(st.scheme)) {
+    // TP shards the attention heads and FFN hidden dimension, so the
+    // transient buffers shrink by P even though the token count does not.
+    attn_fwd_elems /= P;
+    attn_bwd_elems /= P;
+    ffn_elems /= P;
+  }
+  std::int64_t working =
+      std::max({attn_fwd_elems, attn_bwd_elems, ffn_elems}) * kBf16;
+
+  if (st.scheme == SeqScheme::kMegatronSp) {
+    // The sequence all-gather materialises the full [s, d] activation on
+    // every rank (input + gathered output in backward).
+    working += 2 * s_global * dm.d * kBf16;
+  } else if (st.scheme == SeqScheme::kRing) {
+    // Two in-flight KV blocks (compute + receive).
+    working += 2 * (2 * dm.kv_dim) * s_local * kBf16;
+  } else if (st.scheme == SeqScheme::kFpdt) {
+    // Per-layer chunk cache: k̂,v̂,q̂,ô (+y, d-sized). With
+    // fpdt_cache_fwd the cache of *every* layer lives on host between the
+    // forward and backward passes; otherwise only the layer currently in
+    // backward holds one (recompute mode).
+    const std::int64_t cached_elems = (2 * dm.kv_dim + 3 * dm.d) * s_local;
+    if (st.fpdt_offload) {
+      host += cached_elems * kBf16 * (st.fpdt_cache_fwd ? dm.layers : 1);
+      const int window = st.fpdt_double_buffer ? 2 : 1;
+      working += window * 2 * dm.kv_dim * attn_tokens * kBf16;
+    } else {
+      // "FPDT w. chunking": the cache stays in HBM — all layers' worth if
+      // forward outputs are kept, one layer's if backward recomputes.
+      working += cached_elems * kBf16 * (st.fpdt_cache_fwd ? dm.layers : 1);
+    }
+  }
+  mb.working_set = working;
+
+  // ---- Loss-head logits spike (FP32, §5.4).
+  if (st.scheme == SeqScheme::kMst) {
+    // MsT chunks the loss computation; same 2·s_local·d-byte bound.
+    mb.logits_spike = 2 * s_local * dm.d;
+  } else if (st.scheme == SeqScheme::kFpdt) {
+    // Chunked at vocab/hidden × 2: s_local·d/(2·vocab) tokens hold FP32
+    // logits at a time ⇒ spike of exactly 2·s_local·d bytes.
+    mb.logits_spike = 2 * s_local * dm.d;
+  } else if (is_tensor_parallel(st.scheme)) {
+    mb.logits_spike = s_local * (dm.vocab / P) * kFp32;  // vocab-parallel head
+  } else {
+    mb.logits_spike = s_local * dm.vocab * kFp32;
+  }
+
+  // ---- Gradient-reduction bucket spike (§6 "future work" bottleneck).
+  if (st.grad_reduce_bucket_layers > 0) {
+    mb.working_set += st.grad_reduce_bucket_layers * (N / dm.layers) * kFp32;
+  }
+
+  mb.host_bytes = host;
+  return mb;
+}
+
+bool fits(const nn::ModelConfig& cfg, const Strategy& st, int world, std::int64_t s_global,
+          const sim::HardwareSpec& hw) {
+  const MemoryBreakdown mb = estimate_memory(cfg, st, world, s_global);
+  if (mb.device_total() > hw.usable_hbm()) return false;
+  // Host memory is per node, shared by the GPUs on that node.
+  const std::int64_t host_per_node =
+      mb.host_bytes * static_cast<std::int64_t>(std::min(world, hw.gpus_per_node));
+  return host_per_node <= hw.host_bytes;
+}
+
+std::int64_t max_sequence(const nn::ModelConfig& cfg, const Strategy& st, int world,
+                          const sim::HardwareSpec& hw, std::int64_t limit) {
+  Strategy fallback = st;
+  fallback.fpdt_cache_fwd = false;  // recompute mode needs less host memory
+  std::int64_t best = 0;
+  for (std::int64_t s = 32 * 1024; s <= limit; s *= 2) {
+    if (fits(cfg, st, world, s, hw) ||
+        (st.scheme == SeqScheme::kFpdt && fits(cfg, fallback, world, s, hw))) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+const Table2Row* table2_rows(int* count) {
+  // Paper Table 2: memory footprint at each step of a Transformer block,
+  // in Nd units (N tokens × d hidden, BF16 elements).
+  static const Table2Row rows[] = {
+      {"hidden", 1.0, 2.0},   {"qkv_proj", 3.0, 6.0}, {"all2all", 4.0, 4.0},
+      {"attention", 4.0, 8.0}, {"ffn", 4.0, 8.0},      {"other", 3.0, 3.0},
+  };
+  *count = static_cast<int>(sizeof(rows) / sizeof(rows[0]));
+  return rows;
+}
+
+}  // namespace fpdt::perfmodel

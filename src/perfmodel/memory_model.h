@@ -1,0 +1,60 @@
+// Analytic per-GPU memory model at paper scale.
+//
+// The functional layer *measures* footprints at laptop scale; this model
+// extrapolates the same accounting to the paper's models (2.7B–70B) and
+// sequence lengths (128K–4M+), following Table 2's per-phase buffer
+// inventory, the ZeRO partitioning rules (Rajbhandari et al., 2020) and the
+// Megatron-SP sharding geometry. All quantities are bytes per GPU; BF16
+// activations, FP32 optimizer state (16 bytes/param total model state).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model_config.h"
+#include "perfmodel/strategy.h"
+#include "sim/hardware.h"
+
+namespace fpdt::perfmodel {
+
+struct MemoryBreakdown {
+  std::int64_t params = 0;           // weights (resident shard)
+  std::int64_t grads = 0;
+  std::int64_t optimizer = 0;        // fp32 master + Adam moments
+  std::int64_t gathered_params = 0;  // ZeRO-3 per-layer working gather
+  std::int64_t stored_activations = 0;  // saved between fwd and bwd (on GPU)
+  std::int64_t working_set = 0;      // transient per-layer buffers (peak)
+  std::int64_t logits_spike = 0;     // loss-head FP32 buffer
+  std::int64_t host_bytes = 0;       // offloaded state (checkpoints + chunks)
+
+  std::int64_t device_total() const {
+    return params + grads + optimizer + gathered_params + stored_activations + working_set +
+           logits_spike;
+  }
+};
+
+// Per-GPU memory for training `cfg` at global sequence s_global over
+// `world` GPUs with the given strategy.
+MemoryBreakdown estimate_memory(const nn::ModelConfig& cfg, const Strategy& strategy, int world,
+                                std::int64_t s_global);
+
+// Whether the configuration fits the device (and its node's host memory).
+bool fits(const nn::ModelConfig& cfg, const Strategy& strategy, int world,
+          std::int64_t s_global, const sim::HardwareSpec& hw);
+
+// Largest power-of-two global sequence (in 128K steps below 128K…) that
+// fits; 0 when even small sequences OOM (e.g. model state alone exceeds
+// HBM). Searches powers of two from 32K up to `limit`.
+std::int64_t max_sequence(const nn::ModelConfig& cfg, const Strategy& strategy, int world,
+                          const sim::HardwareSpec& hw, std::int64_t limit = 8LL << 20);
+
+// Table 2 export: per-phase activation buffer sizes in Nd "units" (elements
+// per token x d) for documentation and the bench that checks the functional
+// layer against them.
+struct Table2Row {
+  const char* phase;
+  double forward_nd;
+  double backward_nd;
+};
+const Table2Row* table2_rows(int* count);
+
+}  // namespace fpdt::perfmodel

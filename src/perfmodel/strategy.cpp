@@ -1,0 +1,91 @@
+#include "perfmodel/strategy.h"
+
+namespace fpdt::perfmodel {
+
+std::string Strategy::label() const {
+  std::string base;
+  switch (scheme) {
+    case SeqScheme::kMegatronTp:
+      base = "TP";
+      break;
+    case SeqScheme::kMegatronSp:
+      base = "Megatron-SP";
+      break;
+    case SeqScheme::kUlysses:
+      base = "Ulysses";
+      break;
+    case SeqScheme::kFpdt:
+      base = fpdt_offload ? "FPDT w. offload" : "FPDT w. chunking";
+      break;
+    case SeqScheme::kRing:
+      base = "Ring";
+      break;
+    case SeqScheme::kMst:
+      base = "MsT";
+      break;
+  }
+  if (zero_stage > 0) base += "+ZeRO-" + std::to_string(zero_stage);
+  if (activation_checkpoint) base += ac_offload ? "+AC(OC)" : "+AC";
+  return base;
+}
+
+Strategy Strategy::megatron_tp(bool ac, bool oc) {
+  Strategy s;
+  s.scheme = SeqScheme::kMegatronTp;
+  s.activation_checkpoint = ac;
+  s.ac_offload = oc;
+  return s;
+}
+
+Strategy Strategy::megatron_sp() {
+  Strategy s;
+  s.scheme = SeqScheme::kMegatronSp;
+  // Activation checkpointing, but no CPU offload of checkpoints: OC is a
+  // DeepSpeed feature the Megatron-LM stack the paper benchmarks lacks.
+  s.activation_checkpoint = true;
+  s.ac_offload = false;
+  return s;
+}
+
+Strategy Strategy::ulysses(int zero_stage, bool ac, bool oc) {
+  Strategy s;
+  s.scheme = SeqScheme::kUlysses;
+  s.zero_stage = zero_stage;
+  s.activation_checkpoint = ac;
+  s.ac_offload = oc;
+  return s;
+}
+
+Strategy Strategy::fpdt_chunking_only() {
+  Strategy s;
+  s.scheme = SeqScheme::kFpdt;
+  s.zero_stage = 3;
+  s.activation_checkpoint = true;
+  s.ac_offload = true;
+  s.fpdt_offload = false;
+  // Without host offload there is nowhere cheap to keep per-layer forward
+  // caches; backward recomputes chunk-wise instead.
+  s.fpdt_cache_fwd = false;
+  return s;
+}
+
+Strategy Strategy::fpdt() {
+  Strategy s;
+  s.scheme = SeqScheme::kFpdt;
+  s.zero_stage = 3;
+  s.activation_checkpoint = true;
+  s.ac_offload = true;
+  s.fpdt_offload = true;
+  return s;
+}
+
+Strategy Strategy::mst() {
+  Strategy s;
+  s.scheme = SeqScheme::kMst;
+  s.zero_stage = 3;
+  s.activation_checkpoint = true;
+  s.ac_offload = true;
+  return s;
+}
+
+}  // namespace fpdt::perfmodel

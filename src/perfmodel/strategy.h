@@ -1,0 +1,52 @@
+// Training-strategy descriptions covering every row of Table 3 and every
+// curve of Figs. 1 and 11: the sequence-parallel scheme, the ZeRO stage,
+// activation checkpointing (AC) and its CPU offload (OC), and the FPDT
+// chunking/offloading knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpdt::perfmodel {
+
+enum class SeqScheme {
+  kMegatronTp,   // plain tensor parallel (activations replicated)
+  kMegatronSp,   // Megatron-SP: TP + sequence parallelism
+  kUlysses,      // DeepSpeed Ulysses
+  kFpdt,         // this paper
+  kRing,         // Ring Attention (related-work comparison)
+  kMst,          // Mini-sequence Transformer (Luo et al. 2024): chunks the
+                 // MLP and loss only — attention spikes remain (§2.2)
+};
+
+struct Strategy {
+  SeqScheme scheme = SeqScheme::kUlysses;
+  int zero_stage = 0;  // 0 = replicated, 1/2/3 = ZeRO stages
+  bool activation_checkpoint = false;
+  bool ac_offload = false;  // OC: move checkpoints to host memory
+
+  // FPDT knobs (ignored by other schemes).
+  std::int64_t fpdt_chunk_tokens = 64 * 1024;  // global chunk size (§5.3 sweet spot)
+  bool fpdt_offload = true;                    // false = "FPDT w. chunking" only
+  bool fpdt_double_buffer = true;
+  // Cache forward chunk outputs for a recompute-free backward; disabled
+  // automatically when host memory cannot hold them (see evaluate()).
+  bool fpdt_cache_fwd = true;
+
+  // Models the PyTorch gradient-reduction memory spike the paper flags as
+  // its remaining bottleneck (§6): a transient FP32 bucket covering this
+  // many layers' gradients. 0 = ideal reducer (default).
+  std::int64_t grad_reduce_bucket_layers = 0;
+
+  std::string label() const;
+
+  // Canonical configurations used across the benches.
+  static Strategy megatron_tp(bool ac = false, bool oc = false);
+  static Strategy megatron_sp();
+  static Strategy ulysses(int zero_stage = 3, bool ac = false, bool oc = false);
+  static Strategy fpdt_chunking_only();  // chunking without offload
+  static Strategy fpdt();                // full FPDT (offload + double buffer)
+  static Strategy mst();                 // MsT: chunked MLP + loss only
+};
+
+}  // namespace fpdt::perfmodel

@@ -1,0 +1,124 @@
+// Emulated GPU ("device") and node-shared host memory, plus Buffer — a
+// tensor bound to a pool charge. Transfers between host and device pools go
+// through the Device's transfer counters so H2D/D2H traffic is observable
+// (cross-checked against the simulator's PCIe model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/memory_pool.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::runtime {
+
+// Tensor + accounting charge. The tensor data lives in process memory either
+// way; "where" it lives logically is defined by which pool is charged.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(MemoryPool* pool, Tensor tensor, Dtype dtype)
+      : tensor_(std::move(tensor)),
+        dtype_(dtype),
+        allocation_(pool, tensor_.numel() * dtype_size(dtype)) {}
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  bool defined() const { return tensor_.defined(); }
+  Tensor& tensor() { return tensor_; }
+  const Tensor& tensor() const { return tensor_; }
+  Dtype dtype() const { return dtype_; }
+  std::int64_t bytes() const { return allocation_.bytes(); }
+
+  // Drop the charge and the data.
+  void release() {
+    allocation_.release();
+    tensor_ = Tensor();
+  }
+
+  // Take the tensor out, dropping the charge (used when data migrates pools).
+  Tensor detach() {
+    allocation_.release();
+    return std::move(tensor_);
+  }
+
+ private:
+  Tensor tensor_;
+  Dtype dtype_ = Dtype::kBF16;
+  Allocation allocation_;
+};
+
+struct TransferStats {
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  std::int64_t h2d_count = 0;
+  std::int64_t d2h_count = 0;
+};
+
+// One emulated GPU: an HBM arena plus transfer counters.
+class Device {
+ public:
+  Device(int rank, std::int64_t hbm_capacity_bytes)
+      : rank_(rank), hbm_("hbm[rank " + std::to_string(rank) + "]", hbm_capacity_bytes) {}
+
+  int rank() const { return rank_; }
+  MemoryPool& hbm() { return hbm_; }
+  const MemoryPool& hbm() const { return hbm_; }
+  TransferStats& transfers() { return transfers_; }
+  const TransferStats& transfers() const { return transfers_; }
+
+  Buffer alloc(Tensor t, Dtype dtype = Dtype::kBF16) { return Buffer(&hbm_, std::move(t), dtype); }
+
+ private:
+  int rank_;
+  MemoryPool hbm_;
+  TransferStats transfers_;
+};
+
+// Node-shared host memory (the offload target). Unlimited by default, or
+// bounded to model the paper's 1 TB nodes.
+class Host {
+ public:
+  explicit Host(std::int64_t capacity_bytes = -1) : pool_("host", capacity_bytes) {}
+
+  MemoryPool& pool() { return pool_; }
+
+  Buffer alloc(Tensor t, Dtype dtype = Dtype::kBF16) { return Buffer(&pool_, std::move(t), dtype); }
+
+ private:
+  MemoryPool pool_;
+};
+
+// Move data device -> host ("offload"). Counts D2H bytes on the device.
+inline Buffer offload_to_host(Device& device, Host& host, Buffer device_buffer) {
+  const std::int64_t bytes = device_buffer.bytes();
+  const Dtype dtype = device_buffer.dtype();
+  Tensor t = device_buffer.detach();
+  device.transfers().d2h_bytes += bytes;
+  device.transfers().d2h_count += 1;
+  return host.alloc(std::move(t), dtype);
+}
+
+// Move data host -> device ("fetch"). Counts H2D bytes; may throw OOM.
+inline Buffer fetch_to_device(Device& device, Buffer host_buffer) {
+  const std::int64_t bytes = host_buffer.bytes();
+  const Dtype dtype = host_buffer.dtype();
+  Tensor t = host_buffer.detach();
+  device.transfers().h2d_bytes += bytes;
+  device.transfers().h2d_count += 1;
+  return device.alloc(std::move(t), dtype);
+}
+
+// Copy (not move) host -> device, leaving the host copy resident. This is
+// the semantics of fetching a cached KV chunk that later iterations fetch
+// again (backward pass).
+inline Buffer fetch_copy_to_device(Device& device, const Buffer& host_buffer) {
+  Tensor t = host_buffer.tensor().clone();
+  device.transfers().h2d_bytes += host_buffer.bytes();
+  device.transfers().h2d_count += 1;
+  return device.alloc(std::move(t), host_buffer.dtype());
+}
+
+}  // namespace fpdt::runtime

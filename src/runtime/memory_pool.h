@@ -1,0 +1,152 @@
+// Emulated accelerator memory.
+//
+// The paper's claims about FPDT are, at heart, claims about *bytes resident
+// in HBM over time*. To measure (not assert) those claims, every tensor the
+// functional layer places "on device" carries an accounting charge against a
+// MemoryPool with finite capacity. Exceeding capacity throws
+// OutOfMemoryError — exactly how the paper's OOM points in Fig. 11 arise.
+//
+// Charges are expressed in *logical* bytes: the paper trains in BF16
+// (2 bytes/elem) while our arithmetic runs in FP32, so a charge of
+// numel * dtype_size(kBF16) reproduces the paper's footprints even though
+// the backing std::vector<float> is wider.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fpdt::runtime {
+
+enum class Dtype { kBF16, kFP32 };
+
+inline constexpr std::int64_t dtype_size(Dtype d) { return d == Dtype::kBF16 ? 2 : 4; }
+
+// One sample of pool occupancy; recorded at every charge/discharge when
+// timeline recording is on (used by the Fig. 13 memory-timeline bench).
+struct MemorySample {
+  std::int64_t tick = 0;       // monotonically increasing event counter
+  std::int64_t used_bytes = 0;
+  std::string label;           // op that caused the change
+};
+
+class MemoryPool {
+ public:
+  // capacity_bytes < 0 means unlimited (host memory pools, reference runs).
+  MemoryPool(std::string name, std::int64_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_;
+  }
+  std::int64_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  void reset_peak() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peak_ = used_;
+  }
+
+  void start_timeline() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recording_ = true;
+    timeline_.clear();
+    tick_ = 0;
+  }
+  void stop_timeline() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recording_ = false;
+  }
+  const std::vector<MemorySample>& timeline() const { return timeline_; }
+
+  // Label attached to subsequent samples; set by executors around each op.
+  void set_phase_label(std::string label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_label_ = std::move(label);
+  }
+
+  // Thread-safe: the host pool is shared by all emulated ranks, whose
+  // attention loops fork across threads (common/thread_pool.h).
+  void charge(std::int64_t bytes) {
+    FPDT_CHECK_GE(bytes, 0) << " negative charge on " << name_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ >= 0 && used_ + bytes > capacity_) {
+      throw OutOfMemoryError(name_ + ": OOM allocating " + std::to_string(bytes) +
+                             " bytes (used " + std::to_string(used_) + " / capacity " +
+                             std::to_string(capacity_) + ")");
+    }
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    record_locked();
+  }
+
+  void discharge(std::int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FPDT_CHECK_LE(bytes, used_) << " discharge underflow on " << name_;
+    used_ -= bytes;
+    record_locked();
+  }
+
+ private:
+  void record_locked() {
+    if (recording_) timeline_.push_back({tick_++, used_, phase_label_});
+  }
+
+  std::string name_;
+  std::int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+  bool recording_ = false;
+  std::int64_t tick_ = 0;
+  std::string phase_label_;
+  std::vector<MemorySample> timeline_;
+};
+
+// RAII accounting token. Move-only; discharges its pool on destruction.
+class Allocation {
+ public:
+  Allocation() = default;
+  Allocation(MemoryPool* pool, std::int64_t bytes) : pool_(pool), bytes_(bytes) {
+    if (pool_ != nullptr) pool_->charge(bytes_);
+  }
+  Allocation(Allocation&& other) noexcept { *this = std::move(other); }
+  Allocation& operator=(Allocation&& other) noexcept {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    return *this;
+  }
+  Allocation(const Allocation&) = delete;
+  Allocation& operator=(const Allocation&) = delete;
+  ~Allocation() { release(); }
+
+  void release() {
+    if (pool_ != nullptr) {
+      pool_->discharge(bytes_);
+      pool_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+  std::int64_t bytes() const { return bytes_; }
+  bool active() const { return pool_ != nullptr; }
+
+ private:
+  MemoryPool* pool_ = nullptr;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace fpdt::runtime

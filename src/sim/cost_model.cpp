@@ -1,0 +1,90 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fpdt::sim {
+
+double CostModel::gemm_time(double flops) const {
+  return flops / (hw_.peak_flops * hw_.matmul_efficiency) + hw_.kernel_overhead_s;
+}
+
+double CostModel::attn_time(double flops) const {
+  return flops / (hw_.peak_flops * hw_.attn_efficiency) + hw_.kernel_overhead_s;
+}
+
+double CostModel::all2all_time(std::int64_t bytes_per_gpu) const {
+  if (world_ <= 1) return 0.0;
+  const double sent = static_cast<double>(bytes_per_gpu) * (world_ - 1) / world_;
+  if (!multi_node()) {
+    return sent / hw_.nvlink_bw + hw_.nvlink_latency_s;
+  }
+  // Fraction of peers on other nodes funnels through the shared HCA.
+  const double off_node_fraction =
+      static_cast<double>(world_ - hw_.gpus_per_node) / static_cast<double>(world_ - 1);
+  const double inter = sent * off_node_fraction;
+  const double intra = sent - inter;
+  return std::max(intra / hw_.nvlink_bw, inter / inter_bw_per_gpu()) + hw_.ib_latency_s;
+}
+
+double CostModel::allgather_time(std::int64_t full_bytes) const {
+  if (world_ <= 1) return 0.0;
+  // Ring collective: each link carries (P-1)/P of the payload; across nodes
+  // only the two ring edges on the HCA cross IB, so the bottleneck is the
+  // full HCA bandwidth (unlike All2All's all-pairs sharing).
+  const double moved = static_cast<double>(full_bytes) * (world_ - 1) / world_;
+  // NCCL ring efficiency across nodes is well below line rate in practice.
+  const double bw = multi_node() ? 0.3 * hw_.ib_bw : 0.85 * hw_.nvlink_bw;
+  const double lat = multi_node() ? hw_.ib_latency_s : hw_.nvlink_latency_s;
+  return moved / bw + (world_ - 1) * lat;
+}
+
+double CostModel::reduce_scatter_time(std::int64_t full_bytes) const {
+  // Same ring volume as all-gather.
+  return allgather_time(full_bytes);
+}
+
+double CostModel::allreduce_time(std::int64_t bytes) const {
+  // Ring allreduce = reduce-scatter + all-gather.
+  return 2.0 * allgather_time(bytes);
+}
+
+double CostModel::p2p_time(std::int64_t bytes) const {
+  const double bw = multi_node() ? inter_bw_per_gpu() : hw_.nvlink_bw;
+  const double lat = multi_node() ? hw_.ib_latency_s : hw_.nvlink_latency_s;
+  return static_cast<double>(bytes) / bw + lat;
+}
+
+double CostModel::fetch_time(std::int64_t bytes_per_gpu, FetchStrategy strategy) const {
+  const int gpus_on_link = std::min(world_, hw_.gpus_per_node);
+  switch (strategy) {
+    case FetchStrategy::kPerGpu: {
+      // All GPUs DMA simultaneously: per-socket lane sharing plus a lane-
+      // contention penalty that dominates at small sizes (§4.2: "performs
+      // worse at smaller data sizes, due to the overhead in lane
+      // contention").
+      const double share =
+          (gpus_on_link > 1) ? hw_.pcie_share() : 1.0;
+      const double contention_lat = (gpus_on_link > 1) ? 3.0 * hw_.pcie_latency_s
+                                                       : hw_.pcie_latency_s;
+      return static_cast<double>(bytes_per_gpu) / (hw_.pcie_bw * share) + contention_lat;
+    }
+    case FetchStrategy::kOneGpuScatter: {
+      // One GPU pulls everyone's bytes at full link speed, then scatters
+      // over NVLink; the extra synchronisation shows up as latency.
+      const double pull =
+          static_cast<double>(bytes_per_gpu) * gpus_on_link / hw_.pcie_bw + hw_.pcie_latency_s;
+      const double scatter = static_cast<double>(bytes_per_gpu) * (gpus_on_link - 1) /
+                                 gpus_on_link / hw_.nvlink_bw +
+                             2.0 * hw_.nvlink_latency_s;
+      return pull + scatter;
+    }
+    case FetchStrategy::kPerGpuExclusive:
+      return static_cast<double>(bytes_per_gpu) / hw_.pcie_bw + hw_.pcie_latency_s;
+  }
+  FPDT_CHECK(false) << " unknown fetch strategy";
+  return 0.0;
+}
+
+}  // namespace fpdt::sim

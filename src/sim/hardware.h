@@ -1,0 +1,60 @@
+// Hardware description of the paper's testbed (§5.1): nodes of four A100
+// 80 GB GPUs on 3rd-gen NVLink, two CPU sockets, PCIe Gen-4 ×16 to host
+// (32 GB/s unidirectional theoretical), 1 TB host memory, 200 Gb/s HDR
+// InfiniBand between nodes. A100 40 GB variants cover Table 1's left half.
+//
+// Efficiency factors are calibration constants (documented in DESIGN.md §6):
+// they set achievable fractions of peak for each engine and are the only
+// fitted quantities in the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace fpdt::sim {
+
+struct HardwareSpec {
+  // Compute.
+  double peak_flops = 312e12;     // A100 BF16 tensor core peak
+  double matmul_efficiency = 0.62;  // achievable fraction for dense GEMM
+  double attn_efficiency = 0.45;    // fused attention kernels
+  double kernel_overhead_s = 12e-6;  // fixed launch/dispatch cost per kernel
+
+  // Memory capacities.
+  std::int64_t hbm_bytes = 80LL * kGiB;
+  std::int64_t hbm_reserve_bytes = 4LL * kGiB;  // framework/fragmentation
+  std::int64_t host_bytes = 1024LL * kGiB;      // per node
+
+  // Interconnect.
+  double nvlink_bw = 100e9;        // effective per-GPU p2p (§4.2 "more than 100 GB/s")
+  double nvlink_latency_s = 5e-6;
+  double pcie_bw = 32e9;           // Gen-4 x16 unidirectional
+  double pcie_latency_s = 15e-6;
+  double ib_bw = 25e9;             // 200 Gb/s HDR, per node
+  double ib_latency_s = 8e-6;
+
+  // Topology.
+  int gpus_per_node = 4;
+  int sockets_per_node = 2;
+
+  std::int64_t usable_hbm() const { return hbm_bytes - hbm_reserve_bytes; }
+
+  // GPUs sharing one socket's PCIe lanes contend; each gets this fraction
+  // of pcie_bw when all issue DMA simultaneously (the "multi-GPU HtoD"
+  // strategy of §4.2).
+  double pcie_share() const {
+    const int per_socket = (gpus_per_node + sockets_per_node - 1) / sockets_per_node;
+    return 1.0 / static_cast<double>(per_socket);
+  }
+};
+
+inline HardwareSpec a100_80g_node() { return HardwareSpec{}; }
+
+inline HardwareSpec a100_40g_node() {
+  HardwareSpec hw;
+  hw.hbm_bytes = 40LL * kGiB;
+  return hw;
+}
+
+}  // namespace fpdt::sim

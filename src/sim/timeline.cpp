@@ -1,0 +1,329 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fpdt::sim {
+
+namespace {
+
+constexpr std::int64_t kBf16 = 2;
+
+struct LayerShapes {
+  std::int64_t d, dh, h, hk, kv_dim, ffn, c_local, c_global, h_local, hk_local, u;
+  bool llama;
+
+  double proj_qkv_flops() const {
+    return 2.0 * static_cast<double>(c_local) * static_cast<double>(d) *
+           static_cast<double>(d + 2 * kv_dim);
+  }
+  double proj_out_flops() const {
+    return 2.0 * static_cast<double>(c_local) * static_cast<double>(d) *
+           static_cast<double>(d);
+  }
+  double ffn_flops() const {
+    return 2.0 * static_cast<double>(c_local) * static_cast<double>(d) *
+           static_cast<double>(ffn) * (llama ? 3.0 : 2.0);
+  }
+  std::int64_t qkv_chunk_bytes() const { return c_local * (d + 2 * kv_dim) * kBf16; }
+  std::int64_t kv_hat_chunk_bytes() const { return 2 * c_global * hk_local * dh * kBf16; }
+  std::int64_t q_hat_chunk_bytes() const { return c_global * h_local * dh * kBf16; }
+  std::int64_t hidden_chunk_bytes() const { return c_local * d * kBf16; }
+};
+
+LayerShapes shapes_of(const nn::ModelConfig& cfg, int world, std::int64_t s_local,
+                      std::int64_t u) {
+  LayerShapes s{};
+  s.d = cfg.d_model;
+  s.dh = cfg.head_dim();
+  s.h = cfg.n_head;
+  s.hk = cfg.n_kv_head;
+  s.kv_dim = cfg.n_kv_head * cfg.head_dim();
+  s.ffn = cfg.ffn_hidden;
+  s.u = u;
+  s.c_local = s_local / u;
+  s.c_global = s.c_local * world;
+  s.h_local = std::max<std::int64_t>(1, cfg.n_head / world);
+  s.hk_local = std::max<std::int64_t>(1, cfg.n_kv_head / world);
+  s.llama = cfg.arch == nn::Arch::kLlama;
+  return s;
+}
+
+// Builds the FPDT forward chunk pipeline into `ps`. Returns, per chunk, the
+// id of its last compute task. `caching` adds the backward-cache offload
+// traffic (q̂/ô/lse on top of k̂/v̂).
+std::vector<int> build_fpdt_forward(PipelineSim& ps, int comp, int h2d, int d2h, int comm,
+                                    const LayerShapes& sh, const CostModel& cm, bool offload,
+                                    bool double_buffer, bool caching) {
+  std::vector<int> chunk_done;
+  // attn_task[i][j] ids for prefetch-window dependencies.
+  std::vector<std::vector<int>> attn_task(static_cast<std::size_t>(sh.u));
+  std::vector<int> offload_kv(static_cast<std::size_t>(sh.u), -1);
+  for (std::int64_t i = 0; i < sh.u; ++i) {
+    const int proj = ps.add_task(comp, cm.gemm_time(sh.proj_qkv_flops()), {},
+                                 "proj.q" + std::to_string(i));
+    const int a2a = ps.add_task(comm, cm.all2all_time(sh.qkv_chunk_bytes()), {proj},
+                                "a2a." + std::to_string(i));
+    int last_attn = -1;
+    for (std::int64_t j = 0; j <= i; ++j) {
+      std::vector<int> deps = {a2a};
+      if (last_attn >= 0) deps.push_back(last_attn);
+      if (offload && j < i) {
+        // Fetch k̂ⱼ/v̂ⱼ from host; gated by the offload that produced it and
+        // by the double-buffer window (the buffer of chunk j-2 or j-1 must
+        // have retired).
+        std::vector<int> fdeps;
+        if (offload_kv[static_cast<std::size_t>(j)] >= 0) {
+          fdeps.push_back(offload_kv[static_cast<std::size_t>(j)]);
+        }
+        const std::int64_t window = double_buffer ? 2 : 1;
+        if (j >= window) {
+          fdeps.push_back(attn_task[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+              j - window)]);
+        }
+        const int fetch = ps.add_task(h2d, cm.h2d_time(sh.kv_hat_chunk_bytes()),
+                                      std::move(fdeps),
+                                      "fetch.kv" + std::to_string(j));
+        deps.push_back(fetch);
+      }
+      // The diagonal chunk pair is causally masked to half its work; pairs
+      // below the diagonal are dense.
+      const double causal_frac = (j == i) ? 0.5 : 1.0;
+      const double flops =
+          causal_frac *
+          CostModel::attn_pair_flops(sh.c_global, sh.c_global, sh.h_local, sh.dh);
+      last_attn = ps.add_task(comp, cm.attn_time(flops), std::move(deps),
+                              "attn." + std::to_string(i) + "." + std::to_string(j));
+      attn_task[static_cast<std::size_t>(i)].push_back(last_attn);
+    }
+    if (offload) {
+      std::int64_t bytes = sh.kv_hat_chunk_bytes();
+      if (caching) bytes += 2 * sh.q_hat_chunk_bytes();  // q̂ and ô (+lse, minor)
+      offload_kv[static_cast<std::size_t>(i)] =
+          ps.add_task(d2h, cm.d2h_time(bytes), {a2a, last_attn}, "offload." + std::to_string(i));
+    }
+    const int a2a_back = ps.add_task(comm, cm.all2all_time(sh.q_hat_chunk_bytes()), {last_attn},
+                                     "a2a_back." + std::to_string(i));
+    const int post = ps.add_task(
+        comp, cm.gemm_time(sh.proj_out_flops()) + cm.gemm_time(sh.ffn_flops()), {a2a_back},
+        "post." + std::to_string(i));
+    chunk_done.push_back(post);
+  }
+  return chunk_done;
+}
+
+LayerTiming finish(PipelineSim& fwd, PipelineSim& bwd, int comp, int h2d, int d2h, int comm) {
+  LayerTiming t;
+  t.forward_s = fwd.run();
+  t.backward_s = bwd.run();
+  t.compute_busy_s = fwd.resource_busy(comp) + bwd.resource_busy(comp);
+  t.h2d_busy_s = fwd.resource_busy(h2d) + bwd.resource_busy(h2d);
+  t.d2h_busy_s = fwd.resource_busy(d2h) + bwd.resource_busy(d2h);
+  t.comm_busy_s = fwd.resource_busy(comm) + bwd.resource_busy(comm);
+  return t;
+}
+
+}  // namespace
+
+LayerTiming fpdt_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                              std::int64_t s_local, std::int64_t u, bool offload,
+                              bool double_buffer, bool cache_fwd_outputs) {
+  FPDT_CHECK_EQ(s_local % u, 0) << " chunking divisibility";
+  const LayerShapes sh = shapes_of(cfg, cm.world(), s_local, u);
+
+  // Forward: when caching for backward, the chunk caches (q̂/ô on top of
+  // k̂/v̂) are offloaded from the real forward pass.
+  PipelineSim fwd;
+  const int comp = fwd.add_resource("compute");
+  const int h2d = fwd.add_resource("h2d");
+  const int d2h = fwd.add_resource("d2h");
+  const int comm = fwd.add_resource("comm");
+  build_fpdt_forward(fwd, comp, h2d, d2h, comm, sh, cm, offload, double_buffer,
+                     /*caching=*/cache_fwd_outputs);
+
+  PipelineSim bwd;
+  const int bcomp = bwd.add_resource("compute");
+  const int bh2d = bwd.add_resource("h2d");
+  const int bd2h = bwd.add_resource("d2h");
+  const int bcomm = bwd.add_resource("comm");
+  if (!cache_fwd_outputs) {
+    // Plain activation checkpointing: backward re-runs the chunked forward
+    // first, producing the caches (the fallback when host memory cannot
+    // hold per-layer caches for the whole model).
+    build_fpdt_forward(bwd, bcomp, bh2d, bd2h, bcomm, sh, cm, offload, double_buffer,
+                       /*caching=*/true);
+  }
+
+  // Phase A: per chunk, FFN backward (with internal recompute ≈ 3× fwd
+  // GEMMs), Wo backward, two All2Alls.
+  std::vector<int> phase_a_done(static_cast<std::size_t>(sh.u));
+  for (std::int64_t i = 0; i < sh.u; ++i) {
+    std::vector<int> fdeps;
+    const int fetch_y =
+        offload ? bwd.add_task(bh2d, cm.h2d_time(sh.hidden_chunk_bytes()), {},
+                               "fetch.y" + std::to_string(i))
+                : -1;
+    std::vector<int> deps;
+    if (fetch_y >= 0) deps.push_back(fetch_y);
+    const int ffn_bwd = bwd.add_task(bcomp, cm.gemm_time(3.0 * sh.ffn_flops()), deps,
+                                     "ffn_bwd." + std::to_string(i));
+    const int a2a_o = bwd.add_task(bcomm, cm.all2all_time(sh.q_hat_chunk_bytes()), {ffn_bwd},
+                                   "a2a_o." + std::to_string(i));
+    const int wo_bwd = bwd.add_task(bcomp, cm.gemm_time(2.0 * sh.proj_out_flops()), {a2a_o},
+                                    "wo_bwd." + std::to_string(i));
+    phase_a_done[static_cast<std::size_t>(i)] =
+        bwd.add_task(bcomm, cm.all2all_time(sh.q_hat_chunk_bytes()), {wo_bwd},
+                     "a2a_do." + std::to_string(i));
+  }
+
+  // Phase B: outer KV chunks, inner query chunks; fetches overlap the
+  // 2.5×-forward attention backward kernels; All2All + projection backward
+  // of chunk j overlaps the next outer iteration's prefetches.
+  int prev_attn = -1;
+  for (std::int64_t j = 0; j < sh.u; ++j) {
+    const int fetch_kv = offload
+                             ? bwd.add_task(bh2d, cm.h2d_time(sh.kv_hat_chunk_bytes()), {},
+                                            "bfetch.kv" + std::to_string(j))
+                             : -1;
+    int last = -1;
+    for (std::int64_t i = j; i < sh.u; ++i) {
+      std::vector<int> deps = {phase_a_done[static_cast<std::size_t>(i)]};
+      if (fetch_kv >= 0) deps.push_back(fetch_kv);
+      if (offload) {
+        // q̂ᵢ, dôᵢ and the dq̂ᵢ accumulator stream in from host.
+        const int fetch_q = bwd.add_task(
+            bh2d, cm.h2d_time(3 * sh.q_hat_chunk_bytes()),
+            prev_attn >= 0 ? std::vector<int>{prev_attn} : std::vector<int>{},
+            "bfetch.q" + std::to_string(i));
+        deps.push_back(fetch_q);
+      }
+      if (last >= 0) deps.push_back(last);
+      const double causal_frac = (j == i) ? 0.5 : 1.0;
+      const double flops = 2.5 * causal_frac *
+                           CostModel::attn_pair_flops(sh.c_global, sh.c_global, sh.h_local,
+                                                      sh.dh);
+      last = bwd.add_task(bcomp, cm.attn_time(flops), std::move(deps),
+                          "attn_bwd." + std::to_string(j) + "." + std::to_string(i));
+      prev_attn = last;
+      if (offload && i > j) {
+        bwd.add_task(bd2h, cm.d2h_time(sh.q_hat_chunk_bytes()), {last},
+                     "offload.dq" + std::to_string(i));
+      }
+    }
+    const int a2a_dqkv = bwd.add_task(
+        bcomm, cm.all2all_time(sh.qkv_chunk_bytes()), {last}, "a2a_dqkv." + std::to_string(j));
+    bwd.add_task(bcomp, cm.gemm_time(2.0 * sh.proj_qkv_flops()), {a2a_dqkv},
+                 "proj_bwd." + std::to_string(j));
+  }
+
+  return finish(fwd, bwd, comp, h2d, d2h, comm);
+}
+
+PipelineSim build_fpdt_forward_sim(const nn::ModelConfig& cfg, const CostModel& cm,
+                                   std::int64_t s_local, std::int64_t u, bool offload,
+                                   bool double_buffer) {
+  const LayerShapes sh = shapes_of(cfg, cm.world(), s_local, u);
+  PipelineSim ps;
+  const int comp = ps.add_resource("compute");
+  const int h2d = ps.add_resource("h2d");
+  const int d2h = ps.add_resource("d2h");
+  const int comm = ps.add_resource("comm");
+  build_fpdt_forward(ps, comp, h2d, d2h, comm, sh, cm, offload, double_buffer,
+                     /*caching=*/true);
+  ps.run();
+  return ps;
+}
+
+std::string fpdt_forward_trace(const nn::ModelConfig& cfg, const CostModel& cm,
+                               std::int64_t s_local, std::int64_t u, bool offload,
+                               bool double_buffer, int max_tasks) {
+  return build_fpdt_forward_sim(cfg, cm, s_local, u, offload, double_buffer).trace(max_tasks);
+}
+
+LayerTiming ulysses_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                                 std::int64_t s_local) {
+  // Single chunk, no offload, and the generic activation-checkpoint
+  // recompute in backward.
+  return fpdt_layer_timing(cfg, cm, s_local, /*u=*/1, /*offload=*/false,
+                           /*double_buffer=*/false, /*cache_fwd_outputs=*/false);
+}
+
+LayerTiming megatron_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                                  std::int64_t s_local, bool seq_parallel,
+                                  bool activation_checkpoint) {
+  const int P = cm.world();
+  const std::int64_t s = s_local * (seq_parallel ? P : 1);
+  const LayerShapes sh = shapes_of(cfg, P, s, 1);  // full sequence per rank
+
+  // TP GEMMs are 1/P of the full layer; attention runs h/P heads over the
+  // full sequence. Collectives are exposed (not overlapped) — the property
+  // that hurts Megatron-SP across nodes (§5.2).
+  const double gemm_fwd =
+      (sh.proj_qkv_flops() + sh.proj_out_flops() + sh.ffn_flops()) / P;
+  const double attn_fwd =
+      CostModel::attn_pair_flops(s, s, std::max<std::int64_t>(1, cfg.n_head / P),
+                                 cfg.head_dim()) /
+      2.0;  // causal halves the realised pair work
+  const std::int64_t act_bytes = s * cfg.d_model * kBf16;
+
+  double comm_fwd = 0.0;
+  if (P > 1) {
+    comm_fwd = seq_parallel
+                   ? 2.0 * (cm.allgather_time(act_bytes) + cm.reduce_scatter_time(act_bytes))
+                   : 2.0 * cm.allreduce_time(act_bytes);
+  }
+  LayerTiming t;
+  t.forward_s = cm.gemm_time(gemm_fwd) + cm.attn_time(attn_fwd) + comm_fwd;
+  const double recompute = activation_checkpoint ? t.forward_s : 0.0;
+  t.backward_s = recompute + cm.gemm_time(2.0 * gemm_fwd) + cm.attn_time(2.5 * attn_fwd) +
+                 comm_fwd;  // mirrored collectives
+  t.compute_busy_s = cm.gemm_time(gemm_fwd * (activation_checkpoint ? 4.0 : 3.0)) +
+                     cm.attn_time(attn_fwd * (activation_checkpoint ? 4.5 : 3.5));
+  t.comm_busy_s = comm_fwd * (activation_checkpoint ? 3.0 : 2.0);
+  return t;
+}
+
+LayerTiming ring_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                              std::int64_t s_local) {
+  const int P = cm.world();
+  const LayerShapes sh = shapes_of(cfg, 1, s_local, 1);  // full heads per rank
+  // P rounds; each round the critical rank computes a full (s_local,
+  // s_local) block (causal imbalance: the last rank is never masked), and
+  // the KV block transfer overlaps compute.
+  const double block_flops =
+      CostModel::attn_pair_flops(s_local, s_local, cfg.n_head, cfg.head_dim());
+  const std::int64_t kv_block_bytes = 2 * s_local * sh.kv_dim * kBf16;
+  const double round = std::max(cm.attn_time(block_flops), cm.p2p_time(kv_block_bytes));
+  const double gemms =
+      cm.gemm_time(sh.proj_qkv_flops() + sh.proj_out_flops() + sh.ffn_flops());
+  LayerTiming t;
+  t.forward_s = gemms + P * round;
+  t.backward_s = t.forward_s + cm.gemm_time(2.0 * (sh.proj_qkv_flops() + sh.proj_out_flops() +
+                                                   sh.ffn_flops())) +
+                 P * std::max(cm.attn_time(2.5 * block_flops), cm.p2p_time(kv_block_bytes));
+  t.compute_busy_s = t.forward_s + t.backward_s;
+  return t;
+}
+
+StepEstimate step_estimate(const nn::ModelConfig& cfg, const CostModel& cm,
+                           std::int64_t s_global, const LayerTiming& layer, bool chunked_head) {
+  const std::int64_t s_local = s_global / cm.world();
+  // Loss head + embedding: 3 fused GEMM passes over [s_local, d]×[d, V].
+  // The unchunked baseline head runs in FP32 (§5.4) at roughly half the
+  // BF16 tensor-core throughput.
+  const double head_flops = 6.0 * static_cast<double>(s_local) *
+                            static_cast<double>(cfg.d_model) * static_cast<double>(cfg.vocab);
+  StepEstimate est;
+  const double head_time =
+      chunked_head ? cm.gemm_time(head_flops) : 2.0 * cm.gemm_time(head_flops);
+  est.step_s = layer.total() * static_cast<double>(cfg.n_layer) + head_time;
+  const double useful =
+      cfg.train_flops_per_token(s_global) * static_cast<double>(s_global) /
+      static_cast<double>(cm.world());
+  est.mfu = useful / (est.step_s * cm.hw().peak_flops);
+  return est;
+}
+
+}  // namespace fpdt::sim

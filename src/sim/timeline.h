@@ -1,0 +1,72 @@
+// Timeline builders: turn a (model, strategy, sequence) triple into a
+// per-layer task graph on the four engines (compute, H2D, D2H, collective)
+// and simulate it. These produce the step times behind every MFU number in
+// Figs. 1, 11, 12 and Table 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model_config.h"
+#include "sim/cost_model.h"
+#include "sim/pipeline_sim.h"
+
+namespace fpdt::sim {
+
+struct LayerTiming {
+  double forward_s = 0.0;
+  double backward_s = 0.0;  // includes activation-checkpoint recompute
+  double compute_busy_s = 0.0;
+  double h2d_busy_s = 0.0;
+  double d2h_busy_s = 0.0;
+  double comm_busy_s = 0.0;
+  double total() const { return forward_s + backward_s; }
+};
+
+// FPDT chunk pipeline (Figs. 5 and 7). s_local = per-GPU sequence;
+// u = chunks per rank; offload toggles host caching of q̂/k̂/v̂/ô;
+// double_buffer controls the prefetch window (2 vs 1 resident KV chunks).
+LayerTiming fpdt_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                              std::int64_t s_local, std::int64_t u, bool offload,
+                              bool double_buffer, bool cache_fwd_outputs = true);
+
+// Ulysses = single-chunk FPDT without offload.
+LayerTiming ulysses_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                                 std::int64_t s_local);
+
+// Megatron tensor parallelism; seq_parallel=true is Megatron-SP (all-gather/
+// reduce-scatter in the norm regions), false is plain TP (all-reduce per
+// block) as in Table 3's first rows.
+LayerTiming megatron_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                                  std::int64_t s_local, bool seq_parallel,
+                                  bool activation_checkpoint);
+
+// Ring Attention: P blockwise steps whose P2P transfers overlap compute but
+// whose causal load imbalance leaves the last rank on the critical path.
+LayerTiming ring_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
+                              std::int64_t s_local);
+
+// The simulated FPDT forward chunk pipeline as a ready-to-run PipelineSim
+// (already run()); callers can pull the text trace or chrome://tracing JSON.
+PipelineSim build_fpdt_forward_sim(const nn::ModelConfig& cfg, const CostModel& cm,
+                                   std::int64_t s_local, std::int64_t u, bool offload,
+                                   bool double_buffer);
+
+// Human-readable task trace of the simulated FPDT forward chunk pipeline
+// (for debugging and the pipeline_trace example).
+std::string fpdt_forward_trace(const nn::ModelConfig& cfg, const CostModel& cm,
+                               std::int64_t s_local, std::int64_t u, bool offload,
+                               bool double_buffer, int max_tasks = 64);
+
+struct StepEstimate {
+  double step_s = 0.0;
+  double mfu = 0.0;
+};
+
+// Full training step: n_layer copies of the layer timing plus the (chunked)
+// loss head, with MFU = useful model FLOPs / (time × GPUs × peak).
+StepEstimate step_estimate(const nn::ModelConfig& cfg, const CostModel& cm,
+                           std::int64_t s_global, const LayerTiming& layer,
+                           bool chunked_head = true);
+
+}  // namespace fpdt::sim

@@ -1,0 +1,482 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace fpdt {
+
+std::int64_t Tensor::shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    FPDT_CHECK_GE(d, 0) << " negative dim";
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  storage_ = std::make_shared<std::vector<float>>(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+Tensor::Tensor(std::shared_ptr<std::vector<float>> storage, std::int64_t offset,
+               std::vector<std::int64_t> shape)
+    : storage_(std::move(storage)),
+      offset_(offset),
+      shape_(std::move(shape)),
+      numel_(shape_numel(shape_)) {
+  FPDT_CHECK_LE(offset_ + numel_, static_cast<std::int64_t>(storage_->size()))
+      << " view out of bounds";
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, double mean, double stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = static_cast<float>(rng.next_normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, Rng& rng, double lo, double hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = static_cast<float>(rng.next_uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_values(std::vector<std::int64_t> shape, std::vector<float> values) {
+  std::int64_t n = shape_numel(shape);
+  FPDT_CHECK_EQ(n, static_cast<std::int64_t>(values.size())) << " from_values size mismatch";
+  Tensor t;
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.offset_ = 0;
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  return t;
+}
+
+std::int64_t Tensor::dim(int i) const {
+  if (i < 0) i += ndim();
+  FPDT_CHECK(i >= 0 && i < ndim()) << " dim index " << i << " for " << shape_str();
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float* Tensor::data() {
+  FPDT_CHECK(defined()) << " data() on undefined tensor";
+  return storage_->data() + offset_;
+}
+
+const float* Tensor::data() const {
+  FPDT_CHECK(defined()) << " data() on undefined tensor";
+  return storage_->data() + offset_;
+}
+
+namespace {
+
+std::int64_t flat_index(const std::vector<std::int64_t>& shape,
+                        std::initializer_list<std::int64_t> idx, const Tensor& t) {
+  FPDT_CHECK_EQ(idx.size(), shape.size()) << " at() rank mismatch";
+  std::int64_t flat = 0;
+  std::size_t i = 0;
+  for (std::int64_t ix : idx) {
+    FPDT_CHECK(ix >= 0 && ix < shape[i])
+        << " index " << ix << " out of bounds at dim " << i << " of " << t.shape_str();
+    flat = flat * shape[i] + ix;
+    ++i;
+  }
+  return flat;
+}
+
+}  // namespace
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data()[flat_index(shape_, idx, *this)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data()[flat_index(shape_, idx, *this)];
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::reshape(std::vector<std::int64_t> new_shape) const {
+  FPDT_CHECK_EQ(shape_numel(new_shape), numel_)
+      << " reshape " << shape_str() << " numel mismatch";
+  return Tensor(storage_, offset_, std::move(new_shape));
+}
+
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
+  FPDT_CHECK(ndim() >= 1) << " slice0 on scalar";
+  FPDT_CHECK(begin >= 0 && begin <= end && end <= shape_[0])
+      << " slice0 [" << begin << "," << end << ") of " << shape_str();
+  std::int64_t row = numel_ / std::max<std::int64_t>(shape_[0], 1);
+  std::vector<std::int64_t> s = shape_;
+  s[0] = end - begin;
+  return Tensor(storage_, offset_ + begin * row, std::move(s));
+}
+
+Tensor Tensor::select0(std::int64_t index) const {
+  Tensor v = slice0(index, index + 1);
+  std::vector<std::int64_t> s(shape_.begin() + 1, shape_.end());
+  return v.reshape(std::move(s));
+}
+
+Tensor Tensor::narrow(int d, std::int64_t start, std::int64_t length) const {
+  if (d < 0) d += ndim();
+  FPDT_CHECK(d >= 0 && d < ndim()) << " narrow dim";
+  FPDT_CHECK(start >= 0 && start + length <= shape_[static_cast<std::size_t>(d)])
+      << " narrow range [" << start << "," << start + length << ") of " << shape_str();
+  std::vector<std::int64_t> out_shape = shape_;
+  out_shape[static_cast<std::size_t>(d)] = length;
+  Tensor out(out_shape);
+  std::int64_t outer = 1;
+  for (int i = 0; i < d; ++i) outer *= shape_[static_cast<std::size_t>(i)];
+  std::int64_t inner = 1;
+  for (int i = d + 1; i < ndim(); ++i) inner *= shape_[static_cast<std::size_t>(i)];
+  const std::int64_t src_mid = shape_[static_cast<std::size_t>(d)];
+  const float* src = data();
+  float* dst = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    std::memcpy(dst + o * length * inner, src + (o * src_mid + start) * inner,
+                static_cast<std::size_t>(length * inner) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Tensor::permute(const std::vector<int>& perm) const {
+  FPDT_CHECK_EQ(static_cast<int>(perm.size()), ndim()) << " permute rank";
+  std::vector<std::int64_t> out_shape(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out_shape[i] = shape_[static_cast<std::size_t>(perm[i])];
+  }
+  Tensor out(out_shape);
+  // Strides of the source, then walk the destination in order.
+  std::vector<std::int64_t> src_strides(static_cast<std::size_t>(ndim()), 1);
+  for (int i = ndim() - 2; i >= 0; --i) {
+    src_strides[static_cast<std::size_t>(i)] =
+        src_strides[static_cast<std::size_t>(i + 1)] * shape_[static_cast<std::size_t>(i + 1)];
+  }
+  std::vector<std::int64_t> idx(perm.size(), 0);
+  const float* src = data();
+  float* dst = out.data();
+  for (std::int64_t flat = 0; flat < numel_; ++flat) {
+    std::int64_t src_flat = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      src_flat += idx[i] * src_strides[static_cast<std::size_t>(perm[i])];
+    }
+    dst[flat] = src[src_flat];
+    for (int i = static_cast<int>(perm.size()) - 1; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < out_shape[static_cast<std::size_t>(i)]) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+void Tensor::fill_(float value) {
+  for (float& v : span()) v = value;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  FPDT_CHECK_EQ(numel_, src.numel()) << " copy_from size mismatch";
+  std::memcpy(data(), src.data(), static_cast<std::size_t>(numel_) * sizeof(float));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
+  os << "]";
+  return os.str();
+}
+
+// ---- free functions -------------------------------------------------------
+
+namespace {
+
+// Core 2-D GEMM: C[m,n] += A[m,k] · B[k,n]; ikj loop order keeps B row
+// access contiguous.
+void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FPDT_CHECK(a.ndim() >= 2 && b.ndim() >= 2) << " matmul rank";
+  const std::int64_t m = a.dim(-2);
+  const std::int64_t k = a.dim(-1);
+  if (b.ndim() == 2) {
+    FPDT_CHECK_EQ(k, b.dim(0)) << " matmul inner dim " << a.shape_str() << " x " << b.shape_str();
+    const std::int64_t n = b.dim(1);
+    const std::int64_t batch = a.numel() / (m * k);
+    std::vector<std::int64_t> out_shape = a.shape();
+    out_shape.back() = n;
+    Tensor out(out_shape);
+    // Flatten batch into rows: [batch*m, k] x [k, n].
+    gemm_nn_acc(a.data(), b.data(), out.data(), batch * m, k, n);
+    return out;
+  }
+  FPDT_CHECK_EQ(a.ndim(), b.ndim()) << " matmul batch rank";
+  for (int i = 0; i < a.ndim() - 2; ++i) {
+    FPDT_CHECK_EQ(a.dim(i), b.dim(i)) << " matmul batch dim " << i;
+  }
+  FPDT_CHECK_EQ(k, b.dim(-2)) << " matmul inner dim";
+  const std::int64_t n = b.dim(-1);
+  const std::int64_t batch = a.numel() / (m * k);
+  std::vector<std::int64_t> out_shape = a.shape();
+  out_shape.back() = n;
+  Tensor out(out_shape);
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    gemm_nn_acc(a.data() + bi * m * k, b.data() + bi * k * n, out.data() + bi * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  FPDT_CHECK(a.ndim() == 2 && b.ndim() == 2) << " matmul_nt expects 2-D";
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  FPDT_CHECK_EQ(k, b.dim(1)) << " matmul_nt inner dim";
+  const std::int64_t n = b.dim(0);
+  Tensor out({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = ad + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = bd + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      cd[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  FPDT_CHECK(a.ndim() == 2 && b.ndim() == 2) << " matmul_tn expects 2-D";
+  const std::int64_t k = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  FPDT_CHECK_EQ(k, b.dim(0)) << " matmul_tn inner dim";
+  const std::int64_t n = b.dim(1);
+  Tensor out({m, n});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = out.data();
+  // Accumulate rank-1 updates; keeps both A and B row access contiguous.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* a_row = ad + p * m;
+    const float* b_row = bd + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* c_row = cd + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FPDT_CHECK(a.shape() == b.shape())
+      << " " << op << " shape mismatch " << a.shape_str() << " vs " << b.shape_str();
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a.clone();
+  add_(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a.clone();
+  float* o = out.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] -= bd[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a.clone();
+  float* o = out.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) o[i] *= bd[i];
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a.clone();
+  scale_(out, s);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_");
+  float* ad = a.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) ad[i] += bd[i];
+}
+
+void axpy_(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_");
+  float* ad = a.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) ad[i] += s * bd[i];
+}
+
+void scale_(Tensor& a, float s) {
+  for (float& v : a.span()) v *= s;
+}
+
+void add_bias_(Tensor& x, const Tensor& bias) {
+  FPDT_CHECK_EQ(bias.ndim(), 1) << " bias must be 1-D";
+  const std::int64_t n = bias.dim(0);
+  FPDT_CHECK_EQ(x.dim(-1), n) << " bias width";
+  const std::int64_t rows = x.numel() / n;
+  float* xd = x.data();
+  const float* bd = bias.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = xd + r * n;
+    for (std::int64_t j = 0; j < n; ++j) row[j] += bd[j];
+  }
+}
+
+Tensor row_max(const Tensor& x) {
+  const std::int64_t cols = x.dim(-1);
+  const std::int64_t rows = x.numel() / cols;
+  Tensor out({rows});
+  const float* xd = x.data();
+  float* od = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float m = xd[r * cols];
+    for (std::int64_t j = 1; j < cols; ++j) m = std::max(m, xd[r * cols + j]);
+    od[r] = m;
+  }
+  return out;
+}
+
+Tensor row_sum(const Tensor& x) {
+  const std::int64_t cols = x.dim(-1);
+  const std::int64_t rows = x.numel() / cols;
+  Tensor out({rows});
+  const float* xd = x.data();
+  float* od = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) s += xd[r * cols + j];
+    od[r] = s;
+  }
+  return out;
+}
+
+void softmax_rows_(Tensor& x) {
+  const std::int64_t cols = x.dim(-1);
+  const std::int64_t rows = x.numel() / cols;
+  float* xd = x.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = xd + r * cols;
+    float m = row[0];
+    for (std::int64_t j = 1; j < cols; ++j) m = std::max(m, row[j]);
+    float z = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - m);
+      z += row[j];
+    }
+    const float inv = 1.0f / z;
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+Tensor transpose_last2(const Tensor& x) {
+  FPDT_CHECK(x.ndim() >= 2) << " transpose_last2 rank";
+  std::vector<int> perm(static_cast<std::size_t>(x.ndim()));
+  for (int i = 0; i < x.ndim(); ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::swap(perm[static_cast<std::size_t>(x.ndim() - 1)],
+            perm[static_cast<std::size_t>(x.ndim() - 2)]);
+  return x.permute(perm);
+}
+
+Tensor concat0(std::span<const Tensor> parts) {
+  FPDT_CHECK(!parts.empty()) << " concat0 of nothing";
+  std::vector<std::int64_t> shape = parts[0].shape();
+  std::int64_t total0 = 0;
+  for (const Tensor& t : parts) {
+    FPDT_CHECK_EQ(t.ndim(), parts[0].ndim()) << " concat0 rank";
+    for (int i = 1; i < t.ndim(); ++i) FPDT_CHECK_EQ(t.dim(i), parts[0].dim(i)) << " concat0 dim";
+    total0 += t.dim(0);
+  }
+  shape[0] = total0;
+  Tensor out(shape);
+  std::int64_t row = 0;
+  for (const Tensor& t : parts) {
+    out.slice0(row, row + t.dim(0)).copy_from(t);
+    row += t.dim(0);
+  }
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  double m = 0.0;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(ad[i]) - static_cast<double>(bd[i])));
+  }
+  return m;
+}
+
+double l2_norm(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.span()) s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+double mean_value(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.span()) s += v;
+  return a.numel() > 0 ? s / static_cast<double>(a.numel()) : 0.0;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double diff = std::abs(static_cast<double>(ad[i]) - static_cast<double>(bd[i]));
+    if (diff > atol + rtol * std::abs(static_cast<double>(bd[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace fpdt

@@ -1,0 +1,138 @@
+// Dense FP32 tensor used by the functional (numerically exact) layer of the
+// reproduction.
+//
+// Design notes:
+//  - Storage is shared (std::shared_ptr) so slicing along the leading
+//    dimension yields zero-copy views — the operation FPDT performs
+//    constantly when splitting sequences into chunks.
+//  - All tensors are contiguous row-major. Views are only created along
+//    dim 0, which preserves contiguity; every other re-layout is an explicit
+//    copy (permute/narrow), mirroring how real GPU kernels materialise
+//    transposed buffers.
+//  - FP32 everywhere: the paper trains in BF16, but precision is irrelevant
+//    to the algorithmic claims we validate; byte accounting for BF16 lives
+//    in the memory model (perfmodel/), not here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fpdt {
+
+class Tensor {
+ public:
+  // Default-constructed tensor is "undefined": no storage, 0 dims.
+  Tensor() = default;
+
+  // Zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  static Tensor zeros(std::vector<std::int64_t> shape);
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng, double mean = 0.0,
+                      double stddev = 1.0);
+  static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng, double lo, double hi);
+  static Tensor from_values(std::vector<std::int64_t> shape, std::vector<float> values);
+
+  bool defined() const { return storage_ != nullptr; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t numel() const { return numel_; }
+  std::int64_t size_bytes() const { return numel_ * static_cast<std::int64_t>(sizeof(float)); }
+
+  float* data();
+  const float* data() const;
+  std::span<float> span() { return {data(), static_cast<std::size_t>(numel_)}; }
+  std::span<const float> span() const { return {data(), static_cast<std::size_t>(numel_)}; }
+
+  // Multi-index accessors; slow, intended for tests and small setups.
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // Deep copy with fresh storage.
+  Tensor clone() const;
+
+  // View with a new shape over the same storage (numel must match).
+  Tensor reshape(std::vector<std::int64_t> new_shape) const;
+
+  // Zero-copy view of rows [begin, end) along dim 0.
+  Tensor slice0(std::int64_t begin, std::int64_t end) const;
+
+  // Zero-copy view of row `index` along dim 0 (rank reduced by one).
+  Tensor select0(std::int64_t index) const;
+
+  // Copying narrow along an arbitrary dim.
+  Tensor narrow(int dim, std::int64_t start, std::int64_t length) const;
+
+  // Copying axis permutation; perm is a permutation of [0, ndim).
+  Tensor permute(const std::vector<int>& perm) const;
+
+  void fill_(float value);
+  void zero_() { fill_(0.0f); }
+  void copy_from(const Tensor& src);
+
+  std::string shape_str() const;
+
+  // True when the two tensors alias the same storage bytes (used by tests
+  // verifying zero-copy slicing).
+  bool shares_storage_with(const Tensor& other) const { return storage_ == other.storage_; }
+
+ private:
+  Tensor(std::shared_ptr<std::vector<float>> storage, std::int64_t offset,
+         std::vector<std::int64_t> shape);
+
+  static std::int64_t shape_numel(const std::vector<std::int64_t>& shape);
+
+  std::shared_ptr<std::vector<float>> storage_;
+  std::int64_t offset_ = 0;
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+};
+
+// ---- Elementwise / BLAS-ish free functions -------------------------------
+
+// C = A · B. Either both operands carry identical leading batch dims over
+// matrices [m,k]·[k,n], or B is 2-D and broadcast over A's batch dims.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// C = A · Bᵀ for 2-D A [m,k], B [n,k]. Cache-friendly form used by q·kᵀ.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// C = Aᵀ · B for 2-D A [k,m], B [k,n]. Used for weight gradients.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor mul_scalar(const Tensor& a, float s);
+void add_(Tensor& a, const Tensor& b);          // a += b
+void axpy_(Tensor& a, float s, const Tensor& b);  // a += s * b
+void scale_(Tensor& a, float s);
+
+// Adds row-broadcast bias: x [.., n] += bias [n].
+void add_bias_(Tensor& x, const Tensor& bias);
+
+// Treats x as [rows, cols] with cols = last dim.
+Tensor row_max(const Tensor& x);
+Tensor row_sum(const Tensor& x);
+void softmax_rows_(Tensor& x);
+
+Tensor transpose_last2(const Tensor& x);
+
+Tensor concat0(std::span<const Tensor> parts);
+
+double max_abs_diff(const Tensor& a, const Tensor& b);
+double l2_norm(const Tensor& a);
+double mean_value(const Tensor& a);
+
+// True if every element of |a - b| <= atol + rtol * |b|.
+bool allclose(const Tensor& a, const Tensor& b, double rtol = 1e-5, double atol = 1e-6);
+
+}  // namespace fpdt

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "comm/process_group.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+using comm::ProcessGroup;
+
+std::vector<Tensor> make_rank_tensors(int world, std::vector<std::int64_t> shape,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (int r = 0; r < world; ++r) out.push_back(Tensor::randn(shape, rng));
+  return out;
+}
+
+// Parameterised over (world size, s_local, h_global, d).
+class AllToAllParam : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(AllToAllParam, RoundTripIsIdentity) {
+  auto [P, s, h, d] = GetParam();
+  ProcessGroup pg(P);
+  auto local = make_rank_tensors(P, {s, h, d}, 11);
+  auto global = pg.all_to_all_heads_to_seq(local);
+  ASSERT_EQ(static_cast<int>(global.size()), P);
+  EXPECT_EQ(global[0].dim(0), static_cast<std::int64_t>(P) * s);
+  EXPECT_EQ(global[0].dim(1), h / P);
+  auto back = pg.all_to_all_seq_to_heads(global);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_LT(max_abs_diff(back[static_cast<std::size_t>(r)], local[static_cast<std::size_t>(r)]),
+              1e-7)
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllToAllParam,
+                         ::testing::Values(std::tuple{1, 4, 4, 2}, std::tuple{2, 3, 4, 2},
+                                           std::tuple{4, 2, 8, 4}, std::tuple{4, 5, 4, 8},
+                                           std::tuple{8, 1, 8, 2}));
+
+// Encode (rank, token, head) into values and verify the exact Ulysses
+// re-shard semantics: rank j ends with head block j from every rank, with
+// sequence pieces in rank order.
+TEST(AllToAllTest, HeadScatterSequenceGatherLayout) {
+  const int P = 4;
+  const std::int64_t s = 2, h = 8, d = 1;
+  ProcessGroup pg(P);
+  std::vector<Tensor> local;
+  for (int r = 0; r < P; ++r) {
+    Tensor t({s, h, d});
+    for (std::int64_t tok = 0; tok < s; ++tok) {
+      for (std::int64_t hd = 0; hd < h; ++hd) {
+        t.at({tok, hd, 0}) = static_cast<float>(r * 1000 + tok * 100 + hd);
+      }
+    }
+    local.push_back(std::move(t));
+  }
+  auto global = pg.all_to_all_heads_to_seq(local);
+  const std::int64_t h_local = h / P;
+  for (int j = 0; j < P; ++j) {
+    const Tensor& g = global[static_cast<std::size_t>(j)];
+    for (int src = 0; src < P; ++src) {
+      for (std::int64_t tok = 0; tok < s; ++tok) {
+        for (std::int64_t hl = 0; hl < h_local; ++hl) {
+          const float expected = static_cast<float>(src * 1000 + tok * 100 + (j * h_local + hl));
+          EXPECT_EQ(g.at({src * s + tok, hl, 0}), expected)
+              << "dst " << j << " src " << src << " tok " << tok << " head " << hl;
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectivesTest, AllGatherConcatsInRankOrder) {
+  const int P = 3;
+  ProcessGroup pg(P);
+  std::vector<Tensor> local;
+  for (int r = 0; r < P; ++r) local.push_back(Tensor::full({2, 2}, static_cast<float>(r)));
+  auto out = pg.all_gather(local);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].dim(0), 6);
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].at({0, 0}), 0.0f);
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].at({4, 0}), 2.0f);
+  }
+}
+
+TEST(CollectivesTest, ReduceScatterSumsThenShards) {
+  const int P = 2;
+  ProcessGroup pg(P);
+  std::vector<Tensor> full;
+  full.push_back(Tensor::full({4, 1}, 1.0f));
+  full.push_back(Tensor::full({4, 1}, 2.0f));
+  auto out = pg.reduce_scatter(full);
+  EXPECT_EQ(out[0].dim(0), 2);
+  EXPECT_EQ(out[0].at({0, 0}), 3.0f);
+  EXPECT_EQ(out[1].at({1, 0}), 3.0f);
+}
+
+TEST(CollectivesTest, AllReduceReplicatesSum) {
+  const int P = 3;
+  ProcessGroup pg(P);
+  auto local = make_rank_tensors(P, {3}, 5);
+  auto out = pg.all_reduce(local);
+  Tensor expected = local[0].clone();
+  add_(expected, local[1]);
+  add_(expected, local[2]);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_LT(max_abs_diff(out[static_cast<std::size_t>(r)], expected), 1e-6);
+  }
+}
+
+TEST(CollectivesTest, RingShiftRotatesByOne) {
+  const int P = 4;
+  ProcessGroup pg(P);
+  std::vector<Tensor> local;
+  for (int r = 0; r < P; ++r) local.push_back(Tensor::full({1}, static_cast<float>(r)));
+  auto out = pg.ring_shift(local);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].at({0}), static_cast<float>((r + P - 1) % P));
+  }
+  // P shifts return to start.
+  auto cur = local;
+  for (int i = 0; i < P; ++i) cur = pg.ring_shift(cur);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(cur[static_cast<std::size_t>(r)].at({0}), static_cast<float>(r));
+  }
+}
+
+TEST(CollectivesTest, StatsAccumulate) {
+  ProcessGroup pg(2);
+  auto local = make_rank_tensors(2, {2, 4, 2}, 3);
+  EXPECT_EQ(pg.stats().all_to_all_bytes, 0);
+  pg.all_to_all_heads_to_seq(local);
+  EXPECT_GT(pg.stats().all_to_all_bytes, 0);
+}
+
+TEST(CollectivesTest, HeadsNotDivisibleThrows) {
+  ProcessGroup pg(3);
+  auto local = make_rank_tensors(3, {2, 4, 2}, 3);  // 4 heads, P=3
+  EXPECT_THROW(pg.all_to_all_heads_to_seq(local), FpdtError);
+}
+
+}  // namespace
+}  // namespace fpdt

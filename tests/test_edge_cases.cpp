@@ -1,0 +1,289 @@
+// Edge cases and error paths across the API surface: geometry boundaries,
+// GQA variants, RoPE position offsets through distributed execution,
+// optimizer state isolation, and the smaller utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comm/process_group.h"
+#include "common/table.h"
+#include "core/fpdt_block.h"
+#include "data/rank_ordinal.h"
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/lm_head.h"
+#include "nn/model.h"
+#include "nn/rope.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+// ---- Tensor error paths -----------------------------------------------------
+
+TEST(TensorEdgeTest, SliceBoundsChecked) {
+  Tensor t({4, 2});
+  EXPECT_THROW(t.slice0(3, 2), FpdtError);   // begin > end
+  EXPECT_THROW(t.slice0(0, 5), FpdtError);   // end > dim
+  EXPECT_THROW(t.narrow(0, 2, 3), FpdtError);
+  EXPECT_THROW(t.narrow(5, 0, 1), FpdtError);
+  EXPECT_NO_THROW(t.slice0(4, 4));  // empty tail view is legal
+}
+
+TEST(TensorEdgeTest, ZeroSizedTensors) {
+  Tensor t({0, 5});
+  EXPECT_EQ(t.numel(), 0);
+  Tensor s = t.slice0(0, 0);
+  EXPECT_EQ(s.numel(), 0);
+  EXPECT_EQ(l2_norm(t), 0.0);
+}
+
+TEST(TensorEdgeTest, PermuteValidation) {
+  Tensor t({2, 3, 4});
+  EXPECT_THROW(t.permute({0, 1}), FpdtError);  // rank mismatch
+  Tensor same = t.permute({0, 1, 2});
+  EXPECT_LT(max_abs_diff(same, t), 1e-9);
+}
+
+TEST(TensorEdgeTest, FromValuesSizeChecked) {
+  EXPECT_THROW(Tensor::from_values({2, 2}, {1.0f, 2.0f}), FpdtError);
+}
+
+// ---- Collectives: GQA head counts -------------------------------------------
+
+class GqaAllToAllParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GqaAllToAllParam, KvHeadsRoundTrip) {
+  auto [P, hk] = GetParam();
+  if (hk % P != 0) GTEST_SKIP() << "kv heads must divide world";
+  comm::ProcessGroup pg(P);
+  Rng rng(1);
+  std::vector<Tensor> kv;
+  for (int r = 0; r < P; ++r) kv.push_back(Tensor::randn({6, hk, 4}, rng));
+  auto global = pg.all_to_all_heads_to_seq(kv);
+  EXPECT_EQ(global[0].dim(1), hk / P);
+  auto back = pg.all_to_all_seq_to_heads(global);
+  for (int r = 0; r < P; ++r) {
+    EXPECT_LT(max_abs_diff(back[static_cast<std::size_t>(r)], kv[static_cast<std::size_t>(r)]),
+              1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GqaAllToAllParam,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{2, 4},
+                                           std::tuple{4, 4}, std::tuple{4, 8},
+                                           std::tuple{8, 8}));
+
+// ---- RoPE offsets through chunked attention ----------------------------------
+
+TEST(RopeOffsetTest, ChunkedProjectionMatchesMonolithic) {
+  // Projecting a chunk at its global offset must equal slicing the
+  // monolithic projection — the property that makes FPDT's per-chunk RoPE
+  // correct.
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 32);
+  Rng wrng(2);
+  nn::AttentionLayer attn("a", cfg, wrng);
+  Rng xrng(3);
+  Tensor xn = Tensor::randn({24, cfg.d_model}, xrng);
+  nn::AttentionLayer::Qkv full = attn.project_qkv(xn, 0);
+  for (std::int64_t start : {0, 8, 16}) {
+    nn::AttentionLayer::Qkv chunk = attn.project_qkv(xn.slice0(start, start + 8), start);
+    EXPECT_LT(max_abs_diff(chunk.q, full.q.slice0(start, start + 8).clone()), 1e-5)
+        << "offset " << start;
+    EXPECT_LT(max_abs_diff(chunk.k, full.k.slice0(start, start + 8).clone()), 1e-5);
+  }
+}
+
+TEST(RopeOffsetTest, LargeOffsetsStayFinite) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({4, 2, 16}, rng);
+  nn::rope_apply_(x, (1LL << 40), 10000.0);  // positions far beyond any context
+  for (float v : x.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RopeOffsetTest, OddHeadDimRejected) {
+  Tensor x({2, 1, 7});
+  EXPECT_THROW(nn::rope_apply_(x, 0, 10000.0), FpdtError);
+}
+
+// ---- Attention geometry edge cases -------------------------------------------
+
+TEST(AttentionEdgeTest, SingleTokenSequence) {
+  Rng rng(5);
+  Tensor q = Tensor::randn({1, 2, 8}, rng);
+  Tensor k = Tensor::randn({1, 2, 8}, rng);
+  Tensor v = Tensor::randn({1, 2, 8}, rng);
+  nn::AttentionOutput out = nn::reference_attention_forward(q, k, v, true);
+  // Softmax over one element: output == v.
+  EXPECT_LT(max_abs_diff(out.out, v), 1e-6);
+}
+
+TEST(AttentionEdgeTest, SingleHeadSingleDim) {
+  Rng rng(6);
+  Tensor q = Tensor::randn({3, 1, 2}, rng);
+  Tensor k = Tensor::randn({3, 1, 2}, rng);
+  Tensor v = Tensor::randn({3, 1, 2}, rng);
+  nn::OnlineAttnState st = nn::OnlineAttnState::create(3, 1, 2);
+  nn::online_attn_step(st, q, k, v, true, 0, 0);
+  nn::AttentionOutput online = nn::online_attn_finalize(st);
+  nn::AttentionOutput ref = nn::reference_attention_forward(q, k, v, true);
+  EXPECT_LT(max_abs_diff(online.out, ref.out), 1e-5);
+}
+
+TEST(AttentionEdgeTest, MismatchedShapesRejected) {
+  Tensor q({4, 2, 8}), k({4, 2, 8}), v({4, 2, 4});
+  EXPECT_THROW(nn::reference_attention_forward(q, k, v, true), FpdtError);
+  Tensor k_bad_heads({4, 3, 8}), v2({4, 3, 8});
+  EXPECT_THROW(nn::reference_attention_forward(q, k_bad_heads, v2, true), FpdtError);
+}
+
+TEST(AttentionEdgeTest, FinalizeWithoutAnyStepThrows) {
+  nn::OnlineAttnState st = nn::OnlineAttnState::create(2, 1, 4);
+  EXPECT_THROW(nn::online_attn_finalize(st), FpdtError);
+}
+
+// ---- Adam state isolation -----------------------------------------------------
+
+TEST(AdamEdgeTest, StateKeyedByName) {
+  // Two parameters with different names get independent moments even with
+  // identical shapes and gradients.
+  nn::Param a("layer.a", Tensor::zeros({2}));
+  nn::Param b("layer.b", Tensor::zeros({2}));
+  nn::Adam opt(0.1);
+  a.grad.fill_(1.0f);
+  b.grad.fill_(1.0f);
+  opt.step([&](const nn::ParamVisitor& f) {
+    f(a);
+    f(b);
+  });
+  // Now update only `a`; `b`'s moments must be untouched on the next step.
+  a.grad.fill_(1.0f);
+  b.grad.fill_(0.0f);
+  opt.step([&](const nn::ParamVisitor& f) {
+    f(a);
+    f(b);
+  });
+  EXPECT_LT(a.value.at({0}), b.value.at({0}));  // a moved further down
+}
+
+TEST(AdamEdgeTest, GradZeroedAfterStep) {
+  nn::Param p("p", Tensor::zeros({3}));
+  p.grad.fill_(2.0f);
+  nn::Adam opt(0.1);
+  opt.step([&](const nn::ParamVisitor& f) { f(p); });
+  for (float g : p.grad.span()) EXPECT_EQ(g, 0.0f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+// ---- LM head edges -------------------------------------------------------------
+
+TEST(LmHeadEdgeTest, SingleToken) {
+  Rng rng(7);
+  nn::LmHead head("h", 8, 16, rng);
+  Tensor x = Tensor::randn({1, 8}, rng);
+  nn::LossResult res = head.forward_backward(x, {5}, 4, 1);  // chunks > tokens
+  EXPECT_EQ(res.token_count, 1);
+  EXPECT_GT(res.mean_loss(), 0.0);
+  EXPECT_EQ(res.dx.dim(0), 1);
+}
+
+TEST(LmHeadEdgeTest, OutOfVocabTargetRejected) {
+  Rng rng(8);
+  nn::LmHead head("h", 8, 16, rng);
+  Tensor x = Tensor::randn({2, 8}, rng);
+  EXPECT_THROW(head.forward_backward(x, {5, 16}, 1, 2), FpdtError);
+}
+
+TEST(LmHeadEdgeTest, LossMatchesManualCrossEntropy) {
+  Rng rng(9);
+  nn::LmHead head("h", 4, 6, rng);
+  Tensor x = Tensor::randn({1, 4}, rng);
+  nn::LossResult res = head.forward_backward(x, {2}, 1, 1);
+  // Manual: logits = x · Wᵀ; loss = lse - logit[target].
+  Tensor logits = matmul_nt(x, head.weight().value);
+  float m = logits.data()[0];
+  for (std::int64_t j = 1; j < 6; ++j) m = std::max(m, logits.data()[j]);
+  double z = 0;
+  for (std::int64_t j = 0; j < 6; ++j) z += std::exp(static_cast<double>(logits.data()[j] - m));
+  const double expected = m + std::log(z) - logits.data()[2];
+  EXPECT_NEAR(res.mean_loss(), expected, 1e-5);
+}
+
+// ---- Model config / sharder edges ----------------------------------------------
+
+TEST(ConfigEdgeTest, AllNamedModelsResolve) {
+  for (const char* name : {"gpt-2.7b", "gpt-6.7b", "gpt-13b", "gpt-30b", "llama-8b",
+                           "llama-70b", "tiny-gpt", "tiny-llama"}) {
+    const nn::ModelConfig cfg = nn::model_by_name(name);
+    EXPECT_GT(cfg.param_count(), 0) << name;
+    EXPECT_EQ(cfg.d_model % cfg.n_head, 0) << name;
+    EXPECT_EQ(cfg.n_head % cfg.n_kv_head, 0) << name;
+  }
+}
+
+TEST(SharderEdgeTest, SingleRankSingleChunkIsIdentity) {
+  data::RankOrdinalSharder sh(1, 1);
+  Rng rng(10);
+  Tensor x = Tensor::randn({8, 3}, rng);
+  auto locals = sh.shard_tensor(x);
+  ASSERT_EQ(locals.size(), 1u);
+  EXPECT_LT(max_abs_diff(locals[0], x), 1e-9);
+}
+
+TEST(SharderEdgeTest, ManyChunksFewRanks) {
+  data::RankOrdinalSharder sh(2, 16);
+  Rng rng(11);
+  Tensor x = Tensor::randn({64, 2}, rng);
+  EXPECT_LT(max_abs_diff(sh.unshard_tensor(sh.shard_tensor(x)), x), 1e-9);
+}
+
+// ---- Table / formatting utilities -----------------------------------------------
+
+TEST(TableEdgeTest, RowWidthValidated) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), FpdtError);
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("x  y"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableEdgeTest, CellFormatters) {
+  EXPECT_EQ(cell_f1(1.25), "1.2");
+  EXPECT_EQ(cell_f2(1.256), "1.26");
+  EXPECT_EQ(cell_pct(0.557), "55.7%");
+}
+
+// ---- FPDT executor geometry errors ----------------------------------------------
+
+TEST(FpdtGeometryTest, NonDivisibleChunksRejected) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 32);
+  Rng wrng(12);
+  nn::TransformerBlock block("b", cfg, wrng);
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 3;
+  core::FpdtEnv env(2, fcfg);
+  core::FpdtBlockExecutor exec(block, 0, env);
+  Rng xrng(13);
+  // s_local = 8 not divisible by 3 chunks.
+  std::vector<Tensor> x = {Tensor::randn({8, cfg.d_model}, xrng),
+                           Tensor::randn({8, cfg.d_model}, xrng)};
+  EXPECT_THROW(exec.forward(x), FpdtError);
+}
+
+TEST(FpdtGeometryTest, WrongRankCountRejected) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 32);
+  Rng wrng(14);
+  nn::TransformerBlock block("b", cfg, wrng);
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 1;
+  core::FpdtEnv env(4, fcfg);
+  core::FpdtBlockExecutor exec(block, 0, env);
+  Rng xrng(15);
+  std::vector<Tensor> x = {Tensor::randn({4, cfg.d_model}, xrng)};  // 1 of 4 ranks
+  EXPECT_THROW(exec.forward(x), FpdtError);
+}
+
+}  // namespace
+}  // namespace fpdt

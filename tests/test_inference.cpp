@@ -1,0 +1,125 @@
+// KV-cache inference tests: parity with the recompute-based generation
+// path, chunked-prefill invariance (the inference analogue of FPDT's
+// training-side chunk invariance), and session lifecycle errors.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/synthetic_corpus.h"
+#include "nn/adam.h"
+#include "nn/generate.h"
+#include "nn/inference.h"
+#include "nn/model.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+using namespace fpdt::nn;
+
+TEST(InferenceTest, PrefillLogitsMatchRecomputePath) {
+  Model model(tiny_gpt(48, 2, 4, 40), 21);
+  std::vector<std::int32_t> prompt = {3, 17, 5, 9, 22, 1, 30};
+  Tensor ref = next_token_logits(model, prompt);
+  InferenceSession session(model);
+  Tensor got = session.prefill(prompt);
+  EXPECT_LT(max_abs_diff(got, ref), 1e-4);
+}
+
+class PrefillChunkParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefillChunkParam, ChunkedPrefillMatchesMonolithic) {
+  const std::int64_t chunk = GetParam();
+  Model model(tiny_llama(48, 2, 4, 2, 40), 22);
+  data::SyntheticCorpus corpus(40, 4);
+  const auto prompt = corpus.sample(23);  // deliberately not chunk-aligned
+  InferenceSession mono(model, 0);
+  InferenceSession chunked(model, chunk);
+  Tensor a = mono.prefill(prompt);
+  Tensor b = chunked.prefill(prompt);
+  EXPECT_LT(max_abs_diff(a, b), 1e-4) << "chunk " << chunk;
+  EXPECT_EQ(mono.position(), chunked.position());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefillChunkParam, ::testing::Values(1, 3, 4, 8, 16, 64));
+
+TEST(InferenceTest, DecodeMatchesRecomputedPrefixLogits) {
+  Model model(tiny_gpt(48, 2, 4, 40), 23);
+  std::vector<std::int32_t> prompt = {1, 2, 3, 4, 5};
+  InferenceSession session(model, 2);
+  session.prefill(prompt);
+  // Decode three tokens; after each, the logits must equal a fresh
+  // full-prefix recompute.
+  std::vector<std::int32_t> extended = prompt;
+  for (std::int32_t tok : {7, 11, 13}) {
+    Tensor dec = session.decode(tok);
+    extended.push_back(tok);
+    Tensor ref = next_token_logits(model, extended);
+    EXPECT_LT(max_abs_diff(dec, ref), 1e-4) << "after token " << tok;
+  }
+  EXPECT_EQ(session.position(), 8);
+}
+
+TEST(InferenceTest, GenerateCachedMatchesGenerate) {
+  Model model(tiny_gpt(48, 2, 4, 40), 24);
+  // Train briefly so logits are not near-uniform (argmax would be noisy).
+  Adam opt(2e-3);
+  data::SyntheticCorpus corpus(40, 9);
+  for (int s = 0; s < 30; ++s) {
+    model.train_step_grads(corpus.sample(65));
+    opt.step([&](const ParamVisitor& f) { model.visit_params(f); });
+  }
+  SampleOptions greedy;
+  greedy.temperature = 0.0;
+  Rng r1(1), r2(1);
+  const auto prompt = corpus.sample(16);
+  const auto ref = generate(model, prompt, 12, greedy, r1);
+  const auto cached = generate_cached(model, prompt, 12, greedy, r2, /*prefill_chunk=*/4);
+  EXPECT_EQ(ref, cached);
+}
+
+TEST(InferenceTest, CacheGrowsAcrossDecodes) {
+  Model model(tiny_gpt(32, 1, 2, 32), 25);
+  InferenceSession session(model);
+  session.prefill({1, 2, 3});
+  const std::int64_t after_prefill = session.kv_cache_bytes();
+  EXPECT_GT(after_prefill, 0);
+  session.decode(4);
+  session.decode(5);
+  EXPECT_GT(session.kv_cache_bytes(), after_prefill);
+  // Per-layer cache bytes = 2 (k+v) * length * kv_dim * 2 bytes.
+  const auto& cfg = model.config();
+  EXPECT_EQ(session.kv_cache_bytes(),
+            cfg.n_layer * 2 * 5 * cfg.n_kv_head * cfg.head_dim() * 2);
+}
+
+TEST(InferenceTest, LifecycleErrors) {
+  Model model(tiny_gpt(32, 1, 2, 32), 26);
+  InferenceSession session(model);
+  EXPECT_THROW(session.decode(1), FpdtError);  // decode before prefill
+  session.prefill({1, 2});
+  EXPECT_THROW(session.prefill({3}), FpdtError);  // double prefill
+  InferenceSession other(model);
+  EXPECT_THROW(other.prefill({}), FpdtError);  // empty prompt
+  SampleOptions sampling;
+  sampling.temperature = 1.0;
+  Rng rng(1);
+  EXPECT_THROW(generate_cached(model, {1}, 2, sampling, rng), FpdtError);  // greedy only
+}
+
+TEST(InferenceTest, LongPromptDecodeIsCheap) {
+  // Smoke of the complexity claim: decoding after a long prompt touches
+  // one token's worth of compute; just verify it completes and agrees for
+  // a longer prompt than the capacity growth's initial 64.
+  Model model(tiny_gpt(32, 1, 2, 32), 27);
+  data::SyntheticCorpus corpus(32, 3);
+  const auto prompt = corpus.sample(200);
+  InferenceSession session(model, 64);
+  session.prefill(prompt);
+  Tensor dec = session.decode(5);
+  std::vector<std::int32_t> extended = prompt;
+  extended.push_back(5);
+  EXPECT_LT(max_abs_diff(dec, next_token_logits(model, extended)), 2e-4);
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -1,0 +1,110 @@
+// Tests of the episodic needle-retrieval data and the end-to-end capability
+// property behind examples/needle_eval.cpp: a model trained on episodes up
+// to length L recalls reliably within L and collapses beyond it — the
+// train-on-the-target-context-length effect the paper motivates.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/needle.h"
+#include "nn/adam.h"
+#include "nn/generate.h"
+#include "nn/model.h"
+
+namespace fpdt {
+namespace {
+
+using data::NeedleGenerator;
+using data::NeedleSample;
+
+TEST(NeedleTest, ProbeStructure) {
+  NeedleGenerator gen(64, 1);
+  const NeedleSample s = gen.sample(40);
+  ASSERT_EQ(s.tokens.size(), 41u);  // KEY at 0, QUERY at index `distance`
+  EXPECT_EQ(s.tokens.front(), gen.key_marker());
+  EXPECT_EQ(s.tokens[1], s.answer);
+  EXPECT_EQ(s.tokens.back(), gen.query_marker());
+  EXPECT_LT(s.answer, gen.value_range());
+  // Markers appear exactly once each; the value exactly once.
+  int keys = 0, queries = 0, answers = 0;
+  for (std::int32_t t : s.tokens) {
+    keys += (t == gen.key_marker());
+    queries += (t == gen.query_marker());
+    answers += (t == s.answer);
+  }
+  EXPECT_EQ(keys, 1);
+  EXPECT_EQ(queries, 1);
+  EXPECT_EQ(answers, 1);
+}
+
+TEST(NeedleTest, TrainingSequenceEpisodeStructure) {
+  NeedleGenerator gen(64, 2);
+  const auto seq = gen.training_sequence(8, 24, 5);
+  // Five episodes: five KEY markers, five QUERYs, each QUERY followed by
+  // the value after the episode's KEY.
+  std::vector<std::size_t> key_pos, query_pos;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == gen.key_marker()) key_pos.push_back(i);
+    if (seq[i] == gen.query_marker()) query_pos.push_back(i);
+  }
+  ASSERT_EQ(key_pos.size(), 5u);
+  ASSERT_EQ(query_pos.size(), 5u);
+  for (std::size_t e = 0; e < 5; ++e) {
+    ASSERT_LT(query_pos[e] + 1, seq.size());
+    EXPECT_EQ(seq[query_pos[e] + 1], seq[key_pos[e] + 1]) << "episode " << e;
+    // Episode lengths within the requested band (KEY to QUERY inclusive+1).
+    const std::size_t len = query_pos[e] - key_pos[e] + 1;
+    EXPECT_GE(len, 8u);
+    EXPECT_LE(len, 24u);
+  }
+}
+
+TEST(NeedleTest, DeterministicPerSeed) {
+  NeedleGenerator a(64, 7), b(64, 7), c(64, 8);
+  EXPECT_EQ(a.sample(20).tokens, b.sample(20).tokens);
+  EXPECT_EQ(a.training_sequence(8, 16, 3), b.training_sequence(8, 16, 3));
+  EXPECT_NE(c.sample(20).tokens, NeedleGenerator(64, 7).sample(20).tokens);
+}
+
+TEST(NeedleTest, BoundsChecked) {
+  NeedleGenerator gen(64, 2);
+  EXPECT_THROW(gen.sample(1), FpdtError);
+  EXPECT_THROW(gen.training_sequence(3, 10, 2), FpdtError);   // episode < 4
+  EXPECT_THROW(gen.training_sequence(10, 8, 2), FpdtError);   // min > max
+  EXPECT_THROW(gen.training_sequence(8, 10, 0), FpdtError);   // no episodes
+  EXPECT_THROW(NeedleGenerator(4, 1), FpdtError);             // vocab too small
+}
+
+TEST(NeedleTest, RecallLearnedWithinTrainedContextCollapsesBeyond) {
+  // The headline property: train on episodes of length 8..24, probe within
+  // (distance 12: high accuracy) and far beyond (distance 96: near chance).
+  nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 32);
+  nn::Model model(cfg, 3);
+  nn::Adam opt(3e-3);
+  NeedleGenerator gen(cfg.vocab, 17);
+  for (int step = 0; step < 900; ++step) {
+    model.train_step_grads(gen.training_sequence(8, 24, 4));
+    opt.step([&](const nn::ParamVisitor& f) { model.visit_params(f); });
+  }
+  auto accuracy_at = [&](std::int64_t distance) {
+    NeedleGenerator probe(cfg.vocab, 99);
+    int correct = 0;
+    const int probes = 32;
+    for (int p = 0; p < probes; ++p) {
+      const NeedleSample s = probe.sample(distance);
+      Tensor logits = nn::next_token_logits(model, s.tokens);
+      std::int64_t best = 0;
+      for (std::int64_t v = 1; v < logits.numel(); ++v) {
+        if (logits.data()[v] > logits.data()[best]) best = v;
+      }
+      correct += (best == s.answer);
+    }
+    return static_cast<double>(correct) / probes;
+  };
+  const double in_context = accuracy_at(12);
+  const double beyond = accuracy_at(96);
+  EXPECT_GT(in_context, 0.5) << "in-context recall should be reliable";
+  EXPECT_LT(beyond, in_context * 0.75) << "recall must degrade beyond the trained length";
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -1,0 +1,166 @@
+// Memory-model and evaluation properties at paper scale: ZeRO partitioning
+// arithmetic, strategy orderings the paper's tables depend on, capacity
+// search, and cross-checks of headline numbers (Table 1 / Table 3 anchors).
+#include <gtest/gtest.h>
+
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+#include "perfmodel/memory_model.h"
+#include "perfmodel/strategy.h"
+
+namespace fpdt {
+namespace {
+
+using perfmodel::estimate_memory;
+using perfmodel::evaluate;
+using perfmodel::max_sequence;
+using perfmodel::MemoryBreakdown;
+using perfmodel::SeqScheme;
+using perfmodel::Strategy;
+
+TEST(StrategyTest, Labels) {
+  EXPECT_EQ(Strategy::fpdt().label(), "FPDT w. offload+ZeRO-3+AC(OC)");
+  EXPECT_EQ(Strategy::fpdt_chunking_only().label(), "FPDT w. chunking+ZeRO-3+AC(OC)");
+  EXPECT_EQ(Strategy::megatron_tp().label(), "TP");
+  EXPECT_EQ(Strategy::ulysses(2, true, false).label(), "Ulysses+ZeRO-2+AC");
+}
+
+TEST(MemoryModelTest, ZeroStagesMonotone) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  std::int64_t prev = -1;
+  for (int stage = 0; stage <= 3; ++stage) {
+    Strategy st = Strategy::ulysses(stage);
+    const MemoryBreakdown mb = estimate_memory(cfg, st, 8, 64 * 1024);
+    const std::int64_t model_state = mb.params + mb.grads + mb.optimizer;
+    if (prev >= 0) {
+      EXPECT_LE(model_state, prev) << "stage " << stage;
+    }
+    prev = model_state;
+  }
+}
+
+TEST(MemoryModelTest, Zero3ModelStateIs16BytesPerParamSharded) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  Strategy st = Strategy::ulysses(3);
+  const MemoryBreakdown mb = estimate_memory(cfg, st, 8, 64 * 1024);
+  EXPECT_EQ(mb.params + mb.grads + mb.optimizer, 16 * cfg.param_count() / 8);
+}
+
+TEST(MemoryModelTest, FpdtWorkingSetIndependentOfSequence) {
+  // The whole point of the design: at fixed chunk size, the transient
+  // working set does not grow with s (only caches/checkpoints do, and they
+  // live on host).
+  const nn::ModelConfig cfg = nn::llama_8b();
+  Strategy st = Strategy::fpdt();
+  const MemoryBreakdown a = estimate_memory(cfg, st, 8, 256 * 1024);
+  const MemoryBreakdown b = estimate_memory(cfg, st, 8, 4 * 1024 * 1024);
+  EXPECT_EQ(a.working_set, b.working_set);
+  EXPECT_GT(b.host_bytes, a.host_bytes);
+}
+
+TEST(MemoryModelTest, UlyssesWorkingSetGrowsWithSequence) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  Strategy st = Strategy::ulysses(3, true, true);
+  const MemoryBreakdown a = estimate_memory(cfg, st, 8, 128 * 1024);
+  const MemoryBreakdown b = estimate_memory(cfg, st, 8, 512 * 1024);
+  EXPECT_EQ(b.working_set, 4 * a.working_set);
+  EXPECT_EQ(b.logits_spike, 4 * a.logits_spike);
+}
+
+TEST(MemoryModelTest, FpdtLogitsSpikeFollowsChunkRule) {
+  // vocab/hidden × 2 chunks ⇒ spike of 2·s_local·d FP32 values.
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const MemoryBreakdown mb = estimate_memory(cfg, Strategy::fpdt(), 8, 1024 * 1024);
+  EXPECT_EQ(mb.logits_spike, 2 * (1024 * 1024 / 8) * cfg.d_model);
+}
+
+TEST(MemoryModelTest, ChunkingOnlyKeepsCacheOnDevice) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const MemoryBreakdown off = estimate_memory(cfg, Strategy::fpdt(), 4, 512 * 1024);
+  const MemoryBreakdown chunk =
+      estimate_memory(cfg, Strategy::fpdt_chunking_only(), 4, 512 * 1024);
+  EXPECT_GT(chunk.working_set, off.working_set);
+  EXPECT_LT(chunk.host_bytes, off.host_bytes);  // no chunk cache on host
+}
+
+// ---- Paper anchors -----------------------------------------------------------
+
+TEST(PaperAnchorsTest, Table3MaxLengths) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  EXPECT_EQ(max_sequence(cfg, Strategy::megatron_tp(false, false), 8, hw), 32 * 1024);
+  EXPECT_EQ(max_sequence(cfg, Strategy::megatron_tp(true, false), 8, hw), 128 * 1024);
+  EXPECT_EQ(max_sequence(cfg, Strategy::megatron_tp(true, true), 8, hw), 512 * 1024);
+  EXPECT_EQ(max_sequence(cfg, Strategy::ulysses(3, false, false), 8, hw), 64 * 1024);
+  EXPECT_EQ(max_sequence(cfg, Strategy::ulysses(3, true, true), 8, hw), 512 * 1024);
+  EXPECT_EQ(max_sequence(cfg, Strategy::fpdt(), 8, hw), 4 * 1024 * 1024);
+}
+
+TEST(PaperAnchorsTest, Table1SelectedCells) {
+  const sim::HardwareSpec a80 = sim::a100_80g_node();
+  // 8B on 4x A100-80G reaches 2M (the headline claim).
+  EXPECT_GE(max_sequence(nn::llama_8b(), Strategy::fpdt(), 4, a80), 2 * 1024 * 1024);
+  // 2.7B on 4x A100-80G reaches 4M.
+  EXPECT_GE(max_sequence(nn::gpt_2p7b(), Strategy::fpdt(), 4, a80), 4 * 1024 * 1024);
+  // 70B needs 32 GPUs for 4M.
+  EXPECT_GE(max_sequence(nn::llama_70b(), Strategy::fpdt(), 32, a80), 4 * 1024 * 1024);
+  // 70B cannot even hold model state on 8 GPUs.
+  EXPECT_EQ(max_sequence(nn::llama_70b(), Strategy::fpdt(), 8, a80), 0);
+}
+
+TEST(PaperAnchorsTest, FpdtBeatsUlyssesMaxLengthBy8x) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  const std::int64_t ul = max_sequence(cfg, Strategy::ulysses(3, true, true), 8, hw);
+  const std::int64_t fp = max_sequence(cfg, Strategy::fpdt(), 8, hw);
+  EXPECT_GE(fp / ul, 8);
+}
+
+TEST(PaperAnchorsTest, FpdtMfuOver55Percent) {
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  const perfmodel::Evaluation ev = evaluate(cfg, Strategy::fpdt(), 8, 4 * 1024 * 1024, hw);
+  EXPECT_GT(ev.mfu, 0.50);
+  EXPECT_LT(ev.mfu, 0.70);
+}
+
+TEST(PaperAnchorsTest, EvaluateFallsBackWhenHostBound) {
+  // At 4M on 8 GPUs the per-layer forward caches exceed the node's host
+  // memory; evaluate() must transparently fall back to recompute mode.
+  const nn::ModelConfig cfg = nn::llama_8b();
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  const perfmodel::Evaluation ev = evaluate(cfg, Strategy::fpdt(), 8, 4 * 1024 * 1024, hw);
+  EXPECT_TRUE(ev.fits);
+  EXPECT_TRUE(ev.recompute_fallback);
+  const perfmodel::Evaluation small = evaluate(cfg, Strategy::fpdt(), 8, 256 * 1024, hw);
+  EXPECT_FALSE(small.recompute_fallback);
+}
+
+TEST(PaperAnchorsTest, ChunkSweetSpotNear64K) {
+  // Fig. 12 at 256K global on 4 GPUs: 64K chunks pay almost no MFU versus
+  // no chunking at all, while tiny chunks (8K) visibly starve the GPU, and
+  // the chunked working set is far below the monolithic one — jointly, the
+  // reason the paper defaults to 64K.
+  const nn::ModelConfig cfg = nn::gpt_2p7b();
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  auto eval_at = [&](std::int64_t chunk) {
+    Strategy st = Strategy::fpdt();
+    st.fpdt_chunk_tokens = chunk;
+    return evaluate(cfg, st, 4, 256 * 1024, hw);
+  };
+  const perfmodel::Evaluation mono = eval_at(256 * 1024);
+  const perfmodel::Evaluation sweet = eval_at(64 * 1024);
+  const perfmodel::Evaluation tiny = eval_at(8 * 1024);
+  EXPECT_GT(sweet.mfu, mono.mfu * 0.95);   // pipeline hides the chunk overhead
+  EXPECT_LT(tiny.mfu, sweet.mfu * 0.995);  // GPU-starving regime (Fig. 8)
+  EXPECT_LT(sweet.memory.working_set, mono.memory.working_set / 2);
+}
+
+TEST(PaperAnchorsTest, FpdtChunks) {
+  Strategy st = Strategy::fpdt();
+  EXPECT_EQ(perfmodel::fpdt_chunks(st, 256 * 1024), 4);
+  EXPECT_EQ(perfmodel::fpdt_chunks(st, 32 * 1024), 1);  // chunk > sequence
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -1,0 +1,317 @@
+// Cross-cutting property and integration tests:
+//  - schedule ↔ executor agreement: the ChunkSchedule's op counts must
+//    match the functional executor's actual DMA/offload counters;
+//  - memory monotonicity and double-buffer window effects, measured;
+//  - online attention over irregular (non-uniform) chunk partitions;
+//  - gradient-equivalence fuzzing across random seeds and geometries;
+//  - failure injection: host capacity exhaustion, mid-run OOM recovery.
+#include <gtest/gtest.h>
+
+#include "core/chunk_schedule.h"
+#include "core/fpdt_block.h"
+#include "core/fpdt_trainer.h"
+#include "data/rank_ordinal.h"
+#include "data/synthetic_corpus.h"
+#include "nn/attention.h"
+#include "nn/model.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+using core::ChunkSchedule;
+using core::FpdtBlockExecutor;
+using core::FpdtConfig;
+using core::FpdtEnv;
+using core::FpdtTrainer;
+using core::OpKind;
+using data::RankOrdinalSharder;
+
+// ---- Schedule vs executor ---------------------------------------------------
+
+class ScheduleExecParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleExecParam, ForwardDmaCountsMatchSchedule) {
+  const std::int64_t u = GetParam();
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  Rng wrng(1);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(2);
+  const int world = 2;
+  Tensor x = Tensor::randn({world * u * 4, cfg.d_model}, xrng);
+
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = u;
+  fcfg.offload = true;
+  fcfg.cache_forward_outputs = false;  // plain forward: k̂/v̂ traffic only
+  FpdtEnv env(world, fcfg);
+  FpdtBlockExecutor exec(block, 0, env);
+  RankOrdinalSharder sh(world, u);
+  exec.forward(sh.shard_tensor(x));
+
+  const ChunkSchedule sched = ChunkSchedule::forward(u, true, true);
+  // Each schedule-level KV fetch is two buffer fetches (k̂ and v̂); each
+  // offload op parks the k̂/v̂ pair.
+  EXPECT_EQ(env.device(0).transfers().h2d_count, 2 * sched.count(OpKind::kFetchKv));
+  EXPECT_EQ(env.device(0).transfers().d2h_count, 2 * sched.count(OpKind::kOffloadKv));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleExecParam, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(ScheduleExecTest, AllRanksSeeIdenticalTraffic) {
+  // FPDT's load-balance claim: "each GPU always processes the same piece
+  // of sequence at any given time" — so DMA traffic must be identical on
+  // every rank.
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  Rng wrng(3);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(4);
+  const int world = 4;
+  Tensor x = Tensor::randn({world * 16, cfg.d_model}, xrng);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  FpdtEnv env(world, fcfg);
+  FpdtBlockExecutor exec(block, 0, env);
+  RankOrdinalSharder sh(world, 4);
+  Tensor dz = Tensor::randn(x.shape(), xrng);
+  exec.forward(sh.shard_tensor(x));
+  exec.backward(sh.shard_tensor(dz), sh.shard_tensor(x));
+  for (int r = 1; r < world; ++r) {
+    EXPECT_EQ(env.device(r).transfers().h2d_bytes, env.device(0).transfers().h2d_bytes);
+    EXPECT_EQ(env.device(r).transfers().d2h_bytes, env.device(0).transfers().d2h_bytes);
+    EXPECT_EQ(env.device(r).hbm().peak(), env.device(0).hbm().peak());
+  }
+}
+
+// ---- Memory monotonicity and buffering --------------------------------------
+
+TEST(MemoryPropertyTest, PeakDecreasesMonotonicallyInChunkCount) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  Rng wrng(5);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(6);
+  const int world = 2;
+  Tensor x = Tensor::randn({world * 48, cfg.d_model}, xrng);
+  std::int64_t prev_peak = INT64_MAX;
+  for (std::int64_t u : {1, 2, 4, 8}) {
+    FpdtConfig fcfg;
+    fcfg.chunks_per_rank = u;
+    fcfg.offload = true;
+    fcfg.cache_forward_outputs = false;
+    FpdtEnv env(world, fcfg);
+    FpdtBlockExecutor exec(block, 0, env);
+    RankOrdinalSharder sh(world, u);
+    exec.forward(sh.shard_tensor(x));
+    EXPECT_LT(env.max_hbm_peak(), prev_peak) << "u=" << u;
+    prev_peak = env.max_hbm_peak();
+  }
+}
+
+TEST(MemoryPropertyTest, DoubleBufferCostsOneExtraKvChunk) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  Rng wrng(7);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(8);
+  const int world = 2;
+  const std::int64_t u = 8;
+  Tensor x = Tensor::randn({world * u * 4, cfg.d_model}, xrng);
+  auto peak_with = [&](bool dbuf) {
+    FpdtConfig fcfg;
+    fcfg.chunks_per_rank = u;
+    fcfg.offload = true;
+    fcfg.double_buffer = dbuf;
+    fcfg.cache_forward_outputs = false;
+    FpdtEnv env(world, fcfg);
+    FpdtBlockExecutor exec(block, 0, env);
+    RankOrdinalSharder sh(world, u);
+    exec.forward(sh.shard_tensor(x));
+    return env.max_hbm_peak();
+  };
+  const std::int64_t strict = peak_with(false);
+  const std::int64_t dbuf = peak_with(true);
+  EXPECT_GE(dbuf, strict);
+  // The extra resident buffer is one k̂/v̂ chunk pair: c_global × kv_dim.
+  const std::int64_t kv_chunk_bytes = (world * 4) * cfg.d_model * 2 * 2;
+  EXPECT_LE(dbuf - strict, kv_chunk_bytes);
+}
+
+TEST(MemoryPropertyTest, CacheForwardShiftsBytesToHost) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  Rng wrng(9);
+  nn::TransformerBlock block("b", cfg, wrng);
+  Rng xrng(10);
+  const int world = 2;
+  Tensor x = Tensor::randn({world * 16, cfg.d_model}, xrng);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  fcfg.offload = true;
+  fcfg.cache_forward_outputs = true;
+  FpdtEnv env(world, fcfg);
+  FpdtBlockExecutor exec(block, 0, env);
+  RankOrdinalSharder sh(world, 4);
+  exec.forward(sh.shard_tensor(x));
+  // q̂/k̂/v̂/ô/lse/y for all chunks parked on host; device drained.
+  EXPECT_GT(env.host().pool().used(), 0);
+  EXPECT_EQ(env.device(0).hbm().used(), 0);
+  EXPECT_GT(exec.cached_host_bytes(), 0);
+  // Backward consumes the caches completely.
+  Tensor dz = Tensor::randn(x.shape(), xrng);
+  exec.backward(sh.shard_tensor(dz), sh.shard_tensor(x));
+  EXPECT_EQ(env.host().pool().used(), 0);
+}
+
+// ---- Online attention: irregular partitions ---------------------------------
+
+TEST(IrregularChunksTest, OnlineAttentionExactOverRandomPartitions) {
+  // The online-softmax recurrence must be partition-invariant: accumulate
+  // KV in randomly-sized pieces and match the monolithic reference.
+  Rng rng(20);
+  const std::int64_t s = 96, h = 2, d = 8;
+  Tensor q = Tensor::randn({s, h, d}, rng);
+  Tensor k = Tensor::randn({s, h, d}, rng);
+  Tensor v = Tensor::randn({s, h, d}, rng);
+  nn::AttentionOutput ref = nn::reference_attention_forward(q, k, v, true);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng trng(100 + static_cast<std::uint64_t>(trial));
+    // Random cut points for the KV axis.
+    std::vector<std::int64_t> cuts = {0, s};
+    for (int c = 0; c < 4; ++c) {
+      cuts.push_back(1 + static_cast<std::int64_t>(trng.next_below(s - 1)));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    nn::OnlineAttnState st = nn::OnlineAttnState::create(s, h, d);
+    for (std::size_t ci = 0; ci + 1 < cuts.size(); ++ci) {
+      const std::int64_t b = cuts[ci], e = cuts[ci + 1];
+      nn::online_attn_step(st, q, k.slice0(b, e), v.slice0(b, e), true, 0, b);
+    }
+    nn::AttentionOutput got = nn::online_attn_finalize(st);
+    EXPECT_LT(max_abs_diff(got.out, ref.out), 1e-4) << "trial " << trial;
+    EXPECT_LT(max_abs_diff(got.lse, ref.lse), 1e-4) << "trial " << trial;
+  }
+}
+
+TEST(IrregularChunksTest, KvChunkOrderIsIrrelevant) {
+  // Online softmax is order-invariant over KV chunks (up to FP error) —
+  // the property that lets Ring Attention and FPDT schedule freely.
+  Rng rng(21);
+  const std::int64_t s = 32, h = 1, d = 8, c = 8;
+  Tensor q = Tensor::randn({c, h, d}, rng);
+  Tensor k = Tensor::randn({s, h, d}, rng);
+  Tensor v = Tensor::randn({s, h, d}, rng);
+  const std::int64_t q_pos = s;  // q after all kv: no masking
+  auto run_order = [&](std::vector<std::int64_t> order) {
+    nn::OnlineAttnState st = nn::OnlineAttnState::create(c, h, d);
+    for (std::int64_t j : order) {
+      nn::online_attn_step(st, q, k.slice0(j * c, (j + 1) * c), v.slice0(j * c, (j + 1) * c),
+                           true, q_pos, j * c);
+    }
+    return nn::online_attn_finalize(st);
+  };
+  nn::AttentionOutput fwd = run_order({0, 1, 2, 3});
+  nn::AttentionOutput rev = run_order({3, 2, 1, 0});
+  nn::AttentionOutput shuffled = run_order({2, 0, 3, 1});
+  EXPECT_LT(max_abs_diff(fwd.out, rev.out), 1e-4);
+  EXPECT_LT(max_abs_diff(fwd.out, shuffled.out), 1e-4);
+}
+
+// ---- Gradient-equivalence fuzzing -------------------------------------------
+
+class SeedFuzzParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedFuzzParam, TrainerGradientsMatchReference) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Rng meta(seed);
+  const bool llama = meta.next_uniform() < 0.5;
+  const int world = meta.next_uniform() < 0.5 ? 2 : 4;
+  const int chunks = 1 + static_cast<int>(meta.next_below(3));
+  nn::ModelConfig cfg = llama ? nn::tiny_llama(32, 1, 4, 4, 40) : nn::tiny_gpt(32, 1, 4, 40);
+
+  nn::Model ref(cfg, seed * 31 + 1);
+  nn::Model dist(cfg, seed * 31 + 1);
+  data::SyntheticCorpus corpus(cfg.vocab, seed);
+  const std::int64_t s_global = static_cast<std::int64_t>(world) * chunks * 4;
+  const auto tokens = corpus.sample(s_global + 1);
+
+  const double l_ref = ref.train_step_grads(tokens);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = chunks;
+  FpdtTrainer trainer(dist, world, fcfg);
+  const double l_dist = trainer.train_step_grads(tokens);
+  EXPECT_NEAR(l_ref, l_dist, 1e-4) << "seed " << seed;
+
+  std::vector<Tensor> ga;
+  ref.visit_params([&](nn::Param& p) { ga.push_back(p.grad); });
+  std::size_t i = 0;
+  dist.visit_params([&](nn::Param& p) {
+    const double scale = std::max(1.0, l2_norm(ga[i]));
+    EXPECT_LT(max_abs_diff(ga[i], p.grad) / scale, 2e-3) << p.name << " seed " << seed;
+    ++i;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SeedFuzzParam, ::testing::Range(1, 13));
+
+// ---- Failure injection --------------------------------------------------------
+
+TEST(FailureInjectionTest, HostCapacityExhaustionThrows) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  nn::Model model(cfg, 1);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  fcfg.offload = true;
+  // Host too small for the offloaded chunk caches.
+  FpdtEnv env(2, fcfg, /*hbm=*/-1, /*host=*/512);
+  FpdtBlockExecutor exec(model.blocks()[0], 0, env);
+  RankOrdinalSharder sh(2, 4);
+  Rng xrng(2);
+  Tensor x = Tensor::randn({32, cfg.d_model}, xrng);
+  EXPECT_THROW(exec.forward(sh.shard_tensor(x)), OutOfMemoryError);
+}
+
+TEST(FailureInjectionTest, OomLeavesPoolConsistent) {
+  // After a mid-run OOM, all RAII charges must unwind: used() returns to 0
+  // and a smaller run still succeeds on the same environment.
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  nn::Model model(cfg, 1);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 2;
+  fcfg.offload = false;
+  fcfg.cache_forward_outputs = false;
+  FpdtEnv env(2, fcfg, /*hbm=*/6 * 1024);
+  FpdtBlockExecutor exec(model.blocks()[0], 0, env);
+  Rng xrng(3);
+  RankOrdinalSharder sh(2, 2);
+  Tensor big = Tensor::randn({128, cfg.d_model}, xrng);
+  EXPECT_THROW(exec.forward(sh.shard_tensor(big)), OutOfMemoryError);
+  EXPECT_EQ(env.device(0).hbm().used(), 0);
+  EXPECT_EQ(env.device(1).hbm().used(), 0);
+  Tensor small = Tensor::randn({8, cfg.d_model}, xrng);
+  EXPECT_NO_THROW(exec.forward(sh.shard_tensor(small)));
+}
+
+TEST(FailureInjectionTest, TrainerRejectsBadGeometry) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  nn::Model model(cfg, 1);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 3;
+  FpdtTrainer trainer(model, 4, fcfg);
+  // 100 tokens not divisible by world*chunks = 12.
+  std::vector<std::int32_t> tokens(101, 1);
+  EXPECT_THROW(trainer.train_step_grads(tokens), FpdtError);
+}
+
+TEST(FailureInjectionTest, HeadsNotDivisibleByWorldThrows) {
+  nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);  // 4 heads
+  nn::Model model(cfg, 1);
+  FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 1;
+  FpdtTrainer trainer(model, 3, fcfg);  // 4 heads % 3 != 0
+  std::vector<std::int32_t> tokens(3 * 4 + 1, 1);
+  EXPECT_THROW(trainer.train_step_grads(tokens), FpdtError);
+}
+
+}  // namespace
+}  // namespace fpdt

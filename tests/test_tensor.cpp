@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.size_bytes(), 24 * 4);
+  for (float v : t.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, UndefinedTensor) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data(), FpdtError);
+}
+
+TEST(TensorTest, FromValuesAndAt) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({1, 2}), 6.0f);
+  t.at({1, 0}) = 9.0f;
+  EXPECT_EQ(t.at({1, 0}), 9.0f);
+  EXPECT_THROW(t.at({2, 0}), FpdtError);
+}
+
+TEST(TensorTest, Slice0IsZeroCopyView) {
+  Tensor t = Tensor::from_values({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor v = t.slice0(1, 3);
+  EXPECT_TRUE(v.shares_storage_with(t));
+  EXPECT_EQ(v.dim(0), 2);
+  EXPECT_EQ(v.at({0, 0}), 2.0f);
+  v.at({0, 0}) = 42.0f;
+  EXPECT_EQ(t.at({1, 0}), 42.0f);  // writes through
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::full({3}, 1.0f);
+  Tensor c = t.clone();
+  c.at({0}) = 5.0f;
+  EXPECT_EQ(t.at({0}), 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_TRUE(r.shares_storage_with(t));
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), FpdtError);
+}
+
+TEST(TensorTest, Select0) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = t.select0(1);
+  EXPECT_EQ(row.ndim(), 1);
+  EXPECT_EQ(row.at({2}), 6.0f);
+}
+
+TEST(TensorTest, NarrowCopies) {
+  Tensor t = Tensor::from_values({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor n = t.narrow(1, 1, 2);
+  EXPECT_EQ(n.dim(0), 2);
+  EXPECT_EQ(n.dim(1), 2);
+  EXPECT_EQ(n.at({0, 0}), 1.0f);
+  EXPECT_EQ(n.at({1, 1}), 6.0f);
+  EXPECT_FALSE(n.shares_storage_with(t));
+}
+
+TEST(TensorTest, PermuteMatchesManualTranspose) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 5}, rng);
+  Tensor tt = t.permute({1, 0});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) EXPECT_EQ(t.at({i, j}), tt.at({j, i}));
+  }
+}
+
+TEST(TensorTest, Permute3d) {
+  Rng rng(2);
+  Tensor t = Tensor::randn({2, 3, 4}, rng);
+  Tensor p = t.permute({2, 0, 1});
+  EXPECT_EQ(p.dim(0), 4);
+  EXPECT_EQ(p.dim(1), 2);
+  EXPECT_EQ(p.dim(2), 3);
+  for (std::int64_t a = 0; a < 2; ++a) {
+    for (std::int64_t b = 0; b < 3; ++b) {
+      for (std::int64_t c = 0; c < 4; ++c) EXPECT_EQ(t.at({a, b, c}), p.at({c, a, b}));
+    }
+  }
+}
+
+TEST(TensorTest, Concat0) {
+  Tensor a = Tensor::full({2, 2}, 1.0f);
+  Tensor b = Tensor::full({1, 2}, 2.0f);
+  std::vector<Tensor> parts;
+  parts.push_back(a);
+  parts.push_back(b);
+  Tensor c = concat0(parts);
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_EQ(c.at({2, 0}), 2.0f);
+}
+
+TEST(TensorTest, MatmulAgainstManual) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_values({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(TensorTest, MatmulBatchBroadcastWeight) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({2, 3, 4}, rng);
+  Tensor w = Tensor::randn({4, 5}, rng);
+  Tensor c = matmul(a, w);
+  EXPECT_EQ(c.dim(0), 2);
+  EXPECT_EQ(c.dim(2), 5);
+  // Check one batch slice equals its own 2-D matmul.
+  Tensor c0 = matmul(a.select0(0), w);
+  EXPECT_LT(max_abs_diff(c.select0(0), c0), 1e-6);
+}
+
+TEST(TensorTest, MatmulNtEqualsMatmulWithTranspose) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({3, 6}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  Tensor via_nt = matmul_nt(a, b);
+  Tensor via_t = matmul(a, transpose_last2(b));
+  EXPECT_LT(max_abs_diff(via_nt, via_t), 1e-5);
+}
+
+TEST(TensorTest, MatmulTnEqualsMatmulWithTranspose) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({6, 3}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor via_tn = matmul_tn(a, b);
+  Tensor via_t = matmul(transpose_last2(a), b);
+  EXPECT_LT(max_abs_diff(via_tn, via_t), 1e-5);
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({7, 9}, rng, 0.0, 3.0);
+  softmax_rows_(x);
+  Tensor s = row_sum(x);
+  for (float v : s.span()) EXPECT_NEAR(v, 1.0f, 1e-5);
+}
+
+TEST(TensorTest, SoftmaxStableForLargeLogits) {
+  Tensor x = Tensor::from_values({1, 3}, {1000.0f, 1000.0f, 999.0f});
+  softmax_rows_(x);
+  EXPECT_NEAR(x.at({0, 0}), x.at({0, 1}), 1e-6);
+  EXPECT_GT(x.at({0, 0}), x.at({0, 2}));
+  for (float v : x.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::from_values({3}, {1, 2, 3});
+  Tensor b = Tensor::from_values({3}, {4, 5, 6});
+  EXPECT_EQ(add(a, b).at({1}), 7.0f);
+  EXPECT_EQ(sub(b, a).at({2}), 3.0f);
+  EXPECT_EQ(mul(a, b).at({0}), 4.0f);
+  Tensor c = a.clone();
+  axpy_(c, 2.0f, b);
+  EXPECT_EQ(c.at({0}), 9.0f);
+  scale_(c, 0.5f);
+  EXPECT_EQ(c.at({0}), 4.5f);
+}
+
+TEST(TensorTest, AddBias) {
+  Tensor x = Tensor::zeros({2, 3});
+  Tensor b = Tensor::from_values({3}, {1, 2, 3});
+  add_bias_(x, b);
+  EXPECT_EQ(x.at({1, 2}), 3.0f);
+}
+
+TEST(TensorTest, RowMaxRowSum) {
+  Tensor x = Tensor::from_values({2, 3}, {1, 5, 2, -1, -7, -2});
+  EXPECT_EQ(row_max(x).at({0}), 5.0f);
+  EXPECT_EQ(row_max(x).at({1}), -1.0f);
+  EXPECT_EQ(row_sum(x).at({0}), 8.0f);
+}
+
+TEST(TensorTest, AllcloseAndDiff) {
+  Tensor a = Tensor::full({4}, 1.0f);
+  Tensor b = Tensor::full({4}, 1.0f + 1e-7f);
+  EXPECT_TRUE(allclose(a, b));
+  b.at({2}) = 2.0f;
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_NEAR(max_abs_diff(a, b), 1.0, 1e-6);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a({2, 2});
+  Tensor b({2, 3});
+  EXPECT_THROW(add(a, b), FpdtError);
+  EXPECT_THROW(matmul(a, Tensor({5, 2})), FpdtError);
+}
+
+// Property sweep: matmul_nt/matmul_tn agree with matmul across shapes.
+class MatmulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, ConsistentForms) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = matmul(a, b);
+  Tensor c_nt = matmul_nt(a, transpose_last2(b));
+  Tensor c_tn = matmul_tn(transpose_last2(a), b);
+  EXPECT_LT(max_abs_diff(c, c_nt), 1e-4);
+  EXPECT_LT(max_abs_diff(c, c_tn), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 8, 3},
+                                           std::tuple{7, 1, 5}, std::tuple{5, 16, 5},
+                                           std::tuple{16, 32, 8}, std::tuple{33, 17, 9}));
+
+TEST(UnitsTest, TokenCountRoundTrip) {
+  EXPECT_EQ(parse_token_count("64K"), 65536);
+  EXPECT_EQ(parse_token_count("2M"), 2097152);
+  EXPECT_EQ(parse_token_count("4096"), 4096);
+  EXPECT_EQ(format_token_count(65536), "64K");
+  EXPECT_EQ(format_token_count(2097152), "2M");
+  EXPECT_EQ(format_token_count(1000), "1000");
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(64LL * kGiB), "64.0G");
+  EXPECT_EQ(format_bytes(512), "512B");
+}
+
+TEST(RngTest, DeterministicAndSplit) {
+  Rng a(42), b(42);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = a.split(1);
+  Rng d = a.split(2);
+  EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -1,0 +1,41 @@
+// Shared helpers for the test suite: finite-difference gradient checking and
+// random tensor construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::testing {
+
+// Central finite difference of `loss` wrt `param`, compared against
+// `analytic` on `probes` randomly chosen coordinates. `loss` must be a pure
+// function of the current contents of *param.
+inline void expect_grad_matches(Tensor& param, const Tensor& analytic,
+                                const std::function<double()>& loss, int probes, Rng& rng,
+                                double eps = 1e-3, double tol = 2e-2) {
+  ASSERT_EQ(param.numel(), analytic.numel());
+  for (int p = 0; p < probes; ++p) {
+    const std::int64_t i =
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(param.numel())));
+    const float saved = param.data()[i];
+    param.data()[i] = saved + static_cast<float>(eps);
+    const double up = loss();
+    param.data()[i] = saved - static_cast<float>(eps);
+    const double down = loss();
+    param.data()[i] = saved;
+    const double fd = (up - down) / (2.0 * eps);
+    const double an = static_cast<double>(analytic.data()[i]);
+    const double scale = std::max({std::abs(fd), std::abs(an), 1e-4});
+    EXPECT_NEAR(fd, an, tol * scale) << "coordinate " << i;
+  }
+}
+
+inline Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, double stddev = 1.0) {
+  return Tensor::randn(std::move(shape), rng, 0.0, stddev);
+}
+
+}  // namespace fpdt::testing

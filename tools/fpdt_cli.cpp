@@ -1,0 +1,164 @@
+// fpdt — command-line front end to the capacity/memory/timing models.
+//
+//   fpdt plan <model> <gpus> [hbm_gib]          strategy comparison + pick
+//   fpdt maxlen <model> <strategy> <gpus>       max trainable context
+//   fpdt memory <model> <strategy> <gpus> <seq> per-GPU memory breakdown
+//   fpdt simulate <model> <gpus> <seq> [chunk]  step time / MFU / engine busy
+//   fpdt trace <model> <gpus> <chunk> <out.json> chrome://tracing pipeline dump
+//
+// Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
+// Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+#include "sim/timeline.h"
+
+namespace {
+
+using namespace fpdt;
+using perfmodel::Strategy;
+
+Strategy strategy_by_name(const std::string& name) {
+  if (name == "tp") return Strategy::megatron_tp(false, false);
+  if (name == "tp-ac") return Strategy::megatron_tp(true, false);
+  if (name == "tp-ac-oc") return Strategy::megatron_tp(true, true);
+  if (name == "megatron-sp") return Strategy::megatron_sp();
+  if (name == "ulysses") return Strategy::ulysses(3, true, true);
+  if (name == "mst") return Strategy::mst();
+  if (name == "fpdt-chunk") return Strategy::fpdt_chunking_only();
+  if (name == "fpdt") return Strategy::fpdt();
+  throw FpdtError("unknown strategy: " + name +
+                  " (try tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt)");
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  fpdt plan <model> <gpus> [hbm_gib=80]\n"
+               "  fpdt maxlen <model> <strategy> <gpus> [hbm_gib=80]\n"
+               "  fpdt memory <model> <strategy> <gpus> <seq>\n"
+               "  fpdt simulate <model> <gpus> <seq> [chunk=64K]\n"
+               "  fpdt trace <model> <gpus> <chunk> <out.json>\n";
+  return 2;
+}
+
+sim::HardwareSpec hardware(int hbm_gib) {
+  return hbm_gib <= 40 ? sim::a100_40g_node() : sim::a100_80g_node();
+}
+
+int cmd_plan(const std::string& model, int gpus, int hbm_gib) {
+  const nn::ModelConfig cfg = nn::model_by_name(model);
+  const sim::HardwareSpec hw = hardware(hbm_gib);
+  TextTable t({"strategy", "max_ctx", "hbm", "mfu"});
+  for (const char* name :
+       {"tp-ac-oc", "megatron-sp", "ulysses", "mst", "fpdt-chunk", "fpdt"}) {
+    const Strategy st = strategy_by_name(name);
+    const std::int64_t max_len = perfmodel::max_sequence(cfg, st, gpus, hw);
+    if (max_len == 0) {
+      t.add_row({name, "OOM", "-", "-"});
+      continue;
+    }
+    const perfmodel::Evaluation ev = perfmodel::evaluate(cfg, st, gpus, max_len, hw);
+    t.add_row({name, format_token_count(max_len), format_bytes(ev.memory.device_total()),
+               cell_pct(ev.mfu)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_maxlen(const std::string& model, const std::string& strat, int gpus, int hbm_gib) {
+  const std::int64_t len = perfmodel::max_sequence(
+      nn::model_by_name(model), strategy_by_name(strat), gpus, hardware(hbm_gib));
+  std::cout << (len == 0 ? "OOM" : format_token_count(len)) << "\n";
+  return len == 0 ? 1 : 0;
+}
+
+int cmd_memory(const std::string& model, const std::string& strat, int gpus,
+               const std::string& seq) {
+  const nn::ModelConfig cfg = nn::model_by_name(model);
+  const perfmodel::MemoryBreakdown mb = perfmodel::estimate_memory(
+      cfg, strategy_by_name(strat), gpus, parse_token_count(seq));
+  TextTable t({"component", "per-gpu bytes"});
+  t.add_row({"params", format_bytes(mb.params)});
+  t.add_row({"grads", format_bytes(mb.grads)});
+  t.add_row({"optimizer", format_bytes(mb.optimizer)});
+  t.add_row({"zero3 gather", format_bytes(mb.gathered_params)});
+  t.add_row({"stored activations", format_bytes(mb.stored_activations)});
+  t.add_row({"working set", format_bytes(mb.working_set)});
+  t.add_row({"logits spike", format_bytes(mb.logits_spike)});
+  t.add_row({"TOTAL (device)", format_bytes(mb.device_total())});
+  t.add_row({"host (offloaded)", format_bytes(mb.host_bytes)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const std::string& model, int gpus, const std::string& seq,
+                 const std::string& chunk) {
+  const nn::ModelConfig cfg = nn::model_by_name(model);
+  const std::int64_t s_global = parse_token_count(seq);
+  Strategy st = strategy_by_name("fpdt");
+  st.fpdt_chunk_tokens = parse_token_count(chunk);
+  const perfmodel::Evaluation ev =
+      perfmodel::evaluate(cfg, st, gpus, s_global, sim::a100_80g_node());
+  std::cout << "model " << cfg.name << ", " << gpus << " GPUs, seq "
+            << format_token_count(s_global) << ", chunk " << format_token_count(st.fpdt_chunk_tokens)
+            << (ev.recompute_fallback ? " (recompute fallback: host-bound)" : "") << "\n"
+            << "fits: " << (ev.fits ? "yes" : "NO (would OOM)") << "\n"
+            << "step time: " << format_seconds(ev.step_s) << "   MFU: " << cell_pct(ev.mfu)
+            << "\n"
+            << "per-layer busy  compute " << format_seconds(ev.layer.compute_busy_s) << "  h2d "
+            << format_seconds(ev.layer.h2d_busy_s) << "  d2h "
+            << format_seconds(ev.layer.d2h_busy_s) << "  comm "
+            << format_seconds(ev.layer.comm_busy_s) << "\n";
+  return 0;
+}
+
+int cmd_trace(const std::string& model, int gpus, const std::string& chunk,
+              const std::string& out_path) {
+  const nn::ModelConfig cfg = nn::model_by_name(model);
+  const std::int64_t c = parse_token_count(chunk);
+  const sim::CostModel cm(sim::a100_80g_node(), gpus);
+  // 4 chunks of the requested size make a readable pipeline.
+  sim::PipelineSim ps =
+      sim::build_fpdt_forward_sim(cfg, cm, 4 * c / gpus, 4, true, true);
+  std::cerr << ps.trace(32);  // text preview
+  std::ofstream out(out_path);
+  out << ps.chrome_trace_json();
+  FPDT_CHECK(out.good()) << " cannot write " << out_path;
+  std::cout << "wrote " << out_path << " (open in chrome://tracing or Perfetto)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "plan" && argc >= 4) {
+      return cmd_plan(argv[2], std::atoi(argv[3]), argc > 4 ? std::atoi(argv[4]) : 80);
+    }
+    if (cmd == "maxlen" && argc >= 5) {
+      return cmd_maxlen(argv[2], argv[3], std::atoi(argv[4]),
+                        argc > 5 ? std::atoi(argv[5]) : 80);
+    }
+    if (cmd == "memory" && argc >= 6) {
+      return cmd_memory(argv[2], argv[3], std::atoi(argv[4]), argv[5]);
+    }
+    if (cmd == "simulate" && argc >= 5) {
+      return cmd_simulate(argv[2], std::atoi(argv[3]), argv[4], argc > 5 ? argv[5] : "64K");
+    }
+    if (cmd == "trace" && argc >= 6) {
+      return cmd_trace(argv[2], std::atoi(argv[3]), argv[4], argv[5]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
