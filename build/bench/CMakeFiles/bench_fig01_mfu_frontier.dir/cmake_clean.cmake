@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_mfu_frontier.dir/bench_fig01_mfu_frontier.cpp.o"
+  "CMakeFiles/bench_fig01_mfu_frontier.dir/bench_fig01_mfu_frontier.cpp.o.d"
+  "bench_fig01_mfu_frontier"
+  "bench_fig01_mfu_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_mfu_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_mfu_frontier.
+# This may be replaced when dependencies are built.

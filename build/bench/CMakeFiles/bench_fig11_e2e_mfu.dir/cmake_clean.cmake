@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_e2e_mfu.dir/bench_fig11_e2e_mfu.cpp.o"
+  "CMakeFiles/bench_fig11_e2e_mfu.dir/bench_fig11_e2e_mfu.cpp.o.d"
+  "bench_fig11_e2e_mfu"
+  "bench_fig11_e2e_mfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_e2e_mfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_chunk_tradeoff.dir/bench_fig12_chunk_tradeoff.cpp.o"
+  "CMakeFiles/bench_fig12_chunk_tradeoff.dir/bench_fig12_chunk_tradeoff.cpp.o.d"
+  "bench_fig12_chunk_tradeoff"
+  "bench_fig12_chunk_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_chunk_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mem_timeline.dir/bench_fig13_mem_timeline.cpp.o"
+  "CMakeFiles/bench_fig13_mem_timeline.dir/bench_fig13_mem_timeline.cpp.o.d"
+  "bench_fig13_mem_timeline"
+  "bench_fig13_mem_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mem_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

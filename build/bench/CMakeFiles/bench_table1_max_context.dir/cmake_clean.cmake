@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_max_context.dir/bench_table1_max_context.cpp.o"
+  "CMakeFiles/bench_table1_max_context.dir/bench_table1_max_context.cpp.o.d"
+  "bench_table1_max_context"
+  "bench_table1_max_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_max_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

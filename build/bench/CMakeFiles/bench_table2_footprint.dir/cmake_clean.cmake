@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_footprint.dir/bench_table2_footprint.cpp.o"
+  "CMakeFiles/bench_table2_footprint.dir/bench_table2_footprint.cpp.o.d"
+  "bench_table2_footprint"
+  "bench_table2_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

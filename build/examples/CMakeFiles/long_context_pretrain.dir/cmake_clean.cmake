@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_pretrain.dir/long_context_pretrain.cpp.o"
+  "CMakeFiles/long_context_pretrain.dir/long_context_pretrain.cpp.o.d"
+  "long_context_pretrain"
+  "long_context_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

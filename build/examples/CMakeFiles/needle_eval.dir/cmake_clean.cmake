@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needle_eval.dir/needle_eval.cpp.o"
+  "CMakeFiles/needle_eval.dir/needle_eval.cpp.o.d"
+  "needle_eval"
+  "needle_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needle_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

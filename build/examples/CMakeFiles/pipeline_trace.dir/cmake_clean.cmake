@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_trace.dir/pipeline_trace.cpp.o"
+  "CMakeFiles/pipeline_trace.dir/pipeline_trace.cpp.o.d"
+  "pipeline_trace"
+  "pipeline_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_planner.dir/strategy_planner.cpp.o"
+  "CMakeFiles/strategy_planner.dir/strategy_planner.cpp.o.d"
+  "strategy_planner"
+  "strategy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_generate.dir/train_and_generate.cpp.o"
+  "CMakeFiles/train_and_generate.dir/train_and_generate.cpp.o.d"
+  "train_and_generate"
+  "train_and_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_comm.dir/process_group.cpp.o"
+  "CMakeFiles/fpdt_comm.dir/process_group.cpp.o.d"
+  "libfpdt_comm.a"
+  "libfpdt_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

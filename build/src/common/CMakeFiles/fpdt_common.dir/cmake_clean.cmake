@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_common.dir/logging.cpp.o"
+  "CMakeFiles/fpdt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fpdt_common.dir/table.cpp.o"
+  "CMakeFiles/fpdt_common.dir/table.cpp.o.d"
+  "CMakeFiles/fpdt_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fpdt_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/fpdt_common.dir/units.cpp.o"
+  "CMakeFiles/fpdt_common.dir/units.cpp.o.d"
+  "libfpdt_common.a"
+  "libfpdt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

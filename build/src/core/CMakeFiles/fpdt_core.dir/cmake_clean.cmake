@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_core.dir/chunk_schedule.cpp.o"
+  "CMakeFiles/fpdt_core.dir/chunk_schedule.cpp.o.d"
+  "CMakeFiles/fpdt_core.dir/chunk_store.cpp.o"
+  "CMakeFiles/fpdt_core.dir/chunk_store.cpp.o.d"
+  "CMakeFiles/fpdt_core.dir/fpdt_block.cpp.o"
+  "CMakeFiles/fpdt_core.dir/fpdt_block.cpp.o.d"
+  "CMakeFiles/fpdt_core.dir/fpdt_trainer.cpp.o"
+  "CMakeFiles/fpdt_core.dir/fpdt_trainer.cpp.o.d"
+  "libfpdt_core.a"
+  "libfpdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpdt_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/loader.cpp" "src/data/CMakeFiles/fpdt_data.dir/loader.cpp.o" "gcc" "src/data/CMakeFiles/fpdt_data.dir/loader.cpp.o.d"
+  "/root/repo/src/data/needle.cpp" "src/data/CMakeFiles/fpdt_data.dir/needle.cpp.o" "gcc" "src/data/CMakeFiles/fpdt_data.dir/needle.cpp.o.d"
+  "/root/repo/src/data/rank_ordinal.cpp" "src/data/CMakeFiles/fpdt_data.dir/rank_ordinal.cpp.o" "gcc" "src/data/CMakeFiles/fpdt_data.dir/rank_ordinal.cpp.o.d"
+  "/root/repo/src/data/synthetic_corpus.cpp" "src/data/CMakeFiles/fpdt_data.dir/synthetic_corpus.cpp.o" "gcc" "src/data/CMakeFiles/fpdt_data.dir/synthetic_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_data.dir/loader.cpp.o"
+  "CMakeFiles/fpdt_data.dir/loader.cpp.o.d"
+  "CMakeFiles/fpdt_data.dir/needle.cpp.o"
+  "CMakeFiles/fpdt_data.dir/needle.cpp.o.d"
+  "CMakeFiles/fpdt_data.dir/rank_ordinal.cpp.o"
+  "CMakeFiles/fpdt_data.dir/rank_ordinal.cpp.o.d"
+  "CMakeFiles/fpdt_data.dir/synthetic_corpus.cpp.o"
+  "CMakeFiles/fpdt_data.dir/synthetic_corpus.cpp.o.d"
+  "libfpdt_data.a"
+  "libfpdt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/checkpoint_io.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/checkpoint_io.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/checkpoint_io.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/ffn.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/ffn.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/ffn.cpp.o.d"
+  "/root/repo/src/nn/generate.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/generate.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/generate.cpp.o.d"
+  "/root/repo/src/nn/inference.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/inference.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/inference.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/lm_head.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/lm_head.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/lm_head.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_config.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/model_config.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/model_config.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/rope.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/rope.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/rope.cpp.o.d"
+  "/root/repo/src/nn/training.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/training.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/training.cpp.o.d"
+  "/root/repo/src/nn/transformer_block.cpp" "src/nn/CMakeFiles/fpdt_nn.dir/transformer_block.cpp.o" "gcc" "src/nn/CMakeFiles/fpdt_nn.dir/transformer_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

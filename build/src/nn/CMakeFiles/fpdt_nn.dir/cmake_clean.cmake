@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_nn.dir/adam.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/attention.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/checkpoint_io.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/checkpoint_io.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/embedding.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/ffn.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/ffn.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/generate.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/generate.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/inference.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/inference.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/linear.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/lm_head.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/lm_head.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/model.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/model.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/model_config.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/model_config.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/norm.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/rope.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/rope.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/training.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/training.cpp.o.d"
+  "CMakeFiles/fpdt_nn.dir/transformer_block.cpp.o"
+  "CMakeFiles/fpdt_nn.dir/transformer_block.cpp.o.d"
+  "libfpdt_nn.a"
+  "libfpdt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_parallel.dir/baseline_trainer.cpp.o"
+  "CMakeFiles/fpdt_parallel.dir/baseline_trainer.cpp.o.d"
+  "CMakeFiles/fpdt_parallel.dir/megatron_sp.cpp.o"
+  "CMakeFiles/fpdt_parallel.dir/megatron_sp.cpp.o.d"
+  "CMakeFiles/fpdt_parallel.dir/ring_attention.cpp.o"
+  "CMakeFiles/fpdt_parallel.dir/ring_attention.cpp.o.d"
+  "libfpdt_parallel.a"
+  "libfpdt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

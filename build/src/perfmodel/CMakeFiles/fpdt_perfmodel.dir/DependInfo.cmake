@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/evaluate.cpp" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/evaluate.cpp.o" "gcc" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/evaluate.cpp.o.d"
+  "/root/repo/src/perfmodel/memory_model.cpp" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/memory_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/memory_model.cpp.o.d"
+  "/root/repo/src/perfmodel/strategy.cpp" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/strategy.cpp.o" "gcc" "src/perfmodel/CMakeFiles/fpdt_perfmodel.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fpdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fpdt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

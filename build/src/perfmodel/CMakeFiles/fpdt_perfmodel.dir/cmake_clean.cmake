@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_perfmodel.dir/evaluate.cpp.o"
+  "CMakeFiles/fpdt_perfmodel.dir/evaluate.cpp.o.d"
+  "CMakeFiles/fpdt_perfmodel.dir/memory_model.cpp.o"
+  "CMakeFiles/fpdt_perfmodel.dir/memory_model.cpp.o.d"
+  "CMakeFiles/fpdt_perfmodel.dir/strategy.cpp.o"
+  "CMakeFiles/fpdt_perfmodel.dir/strategy.cpp.o.d"
+  "libfpdt_perfmodel.a"
+  "libfpdt_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

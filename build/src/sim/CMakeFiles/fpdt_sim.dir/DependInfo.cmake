@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/fpdt_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/fpdt_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/fpdt_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/fpdt_sim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/fpdt_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/fpdt_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fpdt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/fpdt_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/fpdt_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/fpdt_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/fpdt_sim.dir/timeline.cpp.o"
+  "CMakeFiles/fpdt_sim.dir/timeline.cpp.o.d"
+  "libfpdt_sim.a"
+  "libfpdt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fpdt_tensor.dir/tensor.cpp.o.d"
+  "libfpdt_tensor.a"
+  "libfpdt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

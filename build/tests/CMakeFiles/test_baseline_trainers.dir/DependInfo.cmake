@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_trainers.cpp" "tests/CMakeFiles/test_baseline_trainers.dir/test_baseline_trainers.cpp.o" "gcc" "tests/CMakeFiles/test_baseline_trainers.dir/test_baseline_trainers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/fpdt_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fpdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fpdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fpdt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fpdt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

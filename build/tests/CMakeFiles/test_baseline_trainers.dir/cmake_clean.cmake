@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_trainers.dir/test_baseline_trainers.cpp.o"
+  "CMakeFiles/test_baseline_trainers.dir/test_baseline_trainers.cpp.o.d"
+  "test_baseline_trainers"
+  "test_baseline_trainers.pdb"
+  "test_baseline_trainers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_trainers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

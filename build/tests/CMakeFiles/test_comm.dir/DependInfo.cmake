@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/fpdt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

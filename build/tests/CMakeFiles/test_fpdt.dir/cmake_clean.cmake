@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpdt.dir/test_fpdt.cpp.o"
+  "CMakeFiles/test_fpdt.dir/test_fpdt.cpp.o.d"
+  "test_fpdt"
+  "test_fpdt.pdb"
+  "test_fpdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

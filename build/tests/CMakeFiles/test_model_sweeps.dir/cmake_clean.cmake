@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_sweeps.dir/test_model_sweeps.cpp.o"
+  "CMakeFiles/test_model_sweeps.dir/test_model_sweeps.cpp.o.d"
+  "test_model_sweeps"
+  "test_model_sweeps.pdb"
+  "test_model_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

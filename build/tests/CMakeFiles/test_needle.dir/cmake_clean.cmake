@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_needle.dir/test_needle.cpp.o"
+  "CMakeFiles/test_needle.dir/test_needle.cpp.o.d"
+  "test_needle"
+  "test_needle.pdb"
+  "test_needle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_needle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

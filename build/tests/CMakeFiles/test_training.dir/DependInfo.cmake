@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_training.cpp" "tests/CMakeFiles/test_training.dir/test_training.cpp.o" "gcc" "tests/CMakeFiles/test_training.dir/test_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fpdt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fpdt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fpdt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

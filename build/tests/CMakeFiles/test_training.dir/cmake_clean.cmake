@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training.dir/test_training.cpp.o"
+  "CMakeFiles/test_training.dir/test_training.cpp.o.d"
+  "test_training"
+  "test_training.pdb"
+  "test_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

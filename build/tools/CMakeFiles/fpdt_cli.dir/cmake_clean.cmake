@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpdt_cli.dir/fpdt_cli.cpp.o"
+  "CMakeFiles/fpdt_cli.dir/fpdt_cli.cpp.o.d"
+  "fpdt"
+  "fpdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpdt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
