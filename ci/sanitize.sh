@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer CI lane: builds the tree under TSan and/or ASan and runs the
+# concurrency- and allocator-sensitive test suites.
+#
+#   ci/sanitize.sh            # both sanitizers
+#   ci/sanitize.sh thread     # just TSan
+#   ci/sanitize.sh address    # just ASan (+UBSan)
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/) so the
+# lanes cache independently and never pollute the default build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_lane() {
+  local san="$1"
+  local dir
+  if [[ "$san" == "thread" ]]; then dir=build-tsan; else dir=build-asan; fi
+  echo "=== sanitizer lane: $san ($dir) ==="
+  cmake -B "$dir" -S . -DFPDT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j
+  # The suites that exercise shared state across the emulated ranks: the
+  # stream/prefetch engine, the thread pool, and the chunked executors.
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt'
+}
+
+lanes=("$@")
+[[ ${#lanes[@]} -eq 0 ]] && lanes=(thread address)
+for san in "${lanes[@]}"; do
+  run_lane "$san"
+done

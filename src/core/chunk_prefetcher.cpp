@@ -1,0 +1,156 @@
+#include "core/chunk_prefetcher.h"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fpdt::core {
+
+using runtime::Buffer;
+using runtime::Device;
+using runtime::Event;
+using runtime::StagingCharge;
+
+ChunkPrefetcher::ChunkPrefetcher(ChunkStore& store, bool use_streams,
+                                 std::int64_t max_in_flight)
+    : store_(&store),
+      // A resident (non-offloading) store migrates nothing; there is no
+      // transfer to overlap, so streams mode degrades to sync.
+      use_streams_(use_streams && store.offload()),
+      max_in_flight_(max_in_flight) {}
+
+ChunkPrefetcher::~ChunkPrefetcher() {
+  if (std::uncaught_exceptions() > 0) {
+    // Unwinding (typically an OOM mid-pipeline): executing deferred work
+    // now could throw again. Drop it — closure destruction releases the
+    // captured staging charges and tensors.
+    Device& dev = store_->device();
+    dev.h2d_stream().discard_pending();
+    dev.d2h_stream().discard_pending();
+    return;
+  }
+  synchronize();
+}
+
+void ChunkPrefetcher::synchronize() {
+  Device& dev = store_->device();
+  dev.h2d_stream().synchronize();
+  dev.d2h_stream().synchronize();
+}
+
+void ChunkPrefetcher::prefetch(const std::string& key, bool take,
+                               std::vector<Event> waits) {
+  issue_fetch(key, take, std::move(waits), /*count_against_cap=*/true);
+}
+
+void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
+                                  std::vector<Event> waits, bool count_against_cap) {
+  FPDT_CHECK(!fetches_.contains(key)) << " chunk " << key << " already in flight";
+  if (count_against_cap) {
+    FPDT_CHECK_LT(in_flight(), max_in_flight_)
+        << " prefetch window exceeded issuing " << key;
+  }
+
+  if (!use_streams_) {
+    // Sync mode: migrate inline at this very program point, so pool charges
+    // and transfer counters hit exactly where they do without streams.
+    InFetch f;
+    f.slot = std::make_shared<Buffer>(take ? store_->take(key) : store_->fetch_copy(key));
+    fetches_.emplace(key, std::move(f));
+    return;
+  }
+
+  Device& dev = store_->device();
+
+  // Size/dtype of the incoming chunk: from the store, or — if its offload
+  // has not retired yet — from the pending-put record. Either way a chained
+  // fetch must wait on the offload (write-then-read across streams).
+  std::int64_t bytes = 0;
+  runtime::Dtype dtype = runtime::Dtype::kBF16;
+  if (auto it = pending_puts_.find(key); it != pending_puts_.end()) {
+    bytes = it->second.bytes;
+    dtype = it->second.dtype;
+  } else {
+    const Buffer& stored = store_->peek_buffer(key);
+    bytes = stored.bytes();
+    dtype = stored.dtype();
+  }
+  if (Event off = store_->offload_event(key); off.valid()) waits.push_back(off);
+
+  // Issue-time accounting: transfer counters and the destination staging
+  // reserve (the honest OOM point) — exactly where the sync path charges.
+  dev.transfers().h2d_bytes += bytes;
+  dev.transfers().h2d_count += 1;
+  auto staging = std::make_shared<StagingCharge>(&dev.hbm(), bytes);
+
+  auto slot = std::make_shared<Buffer>();
+  ChunkStore* store = store_;
+  Device* devp = &dev;
+  Event ready = dev.h2d_stream().enqueue(
+      "fetch." + key, dev.rates().h2d_time(bytes), std::move(waits),
+      [store, devp, slot, staging, key, take, dtype]() {
+        // Retire: the reserve converts into the real data charge (release
+        // first — a dip, never a transient double charge).
+        staging->release();
+        Tensor t = take ? store->extract(key).detach()
+                        : store->peek_buffer(key).tensor().clone();
+        *slot = devp->alloc(std::move(t), dtype);
+      });
+  fetches_.emplace(key, InFetch{ready, std::move(slot)});
+}
+
+ChunkPrefetcher::Fetched ChunkPrefetcher::acquire(const std::string& key, bool take) {
+  auto it = fetches_.find(key);
+  if (it == fetches_.end()) {
+    // Not prefetched: fetch on the spot, still through the H2D stream so
+    // the transfer shows up (as exposed time) in the span ledger.
+    issue_fetch(key, take, {}, /*count_against_cap=*/false);
+    it = fetches_.find(key);
+  }
+  Fetched f;
+  f.ready = it->second.ready;
+  if (f.ready.valid()) f.ready.wait();
+  f.buffer = std::move(*it->second.slot);
+  fetches_.erase(it);
+  FPDT_CHECK(f.buffer.defined()) << " fetch of " << key << " produced no buffer";
+  return f;
+}
+
+Event ChunkPrefetcher::put_async(const std::string& key, Buffer buffer,
+                                 std::vector<Event> waits) {
+  if (!use_streams_) {
+    store_->put(key, std::move(buffer));
+    return Event();
+  }
+  FPDT_CHECK(!store_->contains(key) && !pending_puts_.contains(key))
+      << " duplicate chunk key " << key;
+
+  Device& dev = store_->device();
+  const std::int64_t bytes = buffer.bytes();
+  const runtime::Dtype dtype = buffer.dtype();
+
+  // Issue-time accounting mirrors offload_to_host: the device charge drops
+  // now (the chunk is leaving HBM), the D2H counters tick, and the host
+  // pool stages the incoming bytes until the transfer retires.
+  auto data = std::make_shared<Tensor>(buffer.detach());
+  dev.transfers().d2h_bytes += bytes;
+  dev.transfers().d2h_count += 1;
+  auto staging = std::make_shared<StagingCharge>(&store_->host().pool(), bytes);
+
+  pending_puts_[key] = PendingPut{bytes, dtype};
+  ChunkStore* store = store_;
+  ChunkPrefetcher* self = this;
+  Event done = dev.d2h_stream().enqueue(
+      "offload." + key, dev.rates().d2h_time(bytes), std::move(waits),
+      [store, self, data, staging, key, dtype]() {
+        staging->release();
+        store->adopt(key, store->host().alloc(std::move(*data), dtype));
+        self->pending_puts_.erase(key);
+      });
+  store_->set_offload_event(key, done);
+  return done;
+}
+
+}  // namespace fpdt::core

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "runtime/device.h"
+#include "runtime/stream.h"
 
 namespace fpdt::core {
 
@@ -22,8 +24,30 @@ class ChunkStore {
 
   ChunkStore(const ChunkStore&) = delete;
   ChunkStore& operator=(const ChunkStore&) = delete;
-  ChunkStore(ChunkStore&&) = default;
-  ChunkStore& operator=(ChunkStore&&) = default;
+  // Moves null the source's pointers: a defaulted move would leave the
+  // moved-from store with live device_/host_ and a usable API, silently
+  // double-charging pools. Every accessor checks against use-after-move.
+  ChunkStore(ChunkStore&& other) noexcept
+      : device_(std::exchange(other.device_, nullptr)),
+        host_(std::exchange(other.host_, nullptr)),
+        offload_(other.offload_),
+        chunks_(std::move(other.chunks_)),
+        offload_events_(std::move(other.offload_events_)) {
+    other.chunks_.clear();
+    other.offload_events_.clear();
+  }
+  ChunkStore& operator=(ChunkStore&& other) noexcept {
+    if (this != &other) {
+      device_ = std::exchange(other.device_, nullptr);
+      host_ = std::exchange(other.host_, nullptr);
+      offload_ = other.offload_;
+      chunks_ = std::move(other.chunks_);
+      offload_events_ = std::move(other.offload_events_);
+      other.chunks_.clear();
+      other.offload_events_.clear();
+    }
+    return *this;
+  }
 
   // Stores a device buffer under `key` (offloads if configured).
   void put(const std::string& key, runtime::Buffer buffer);
@@ -41,14 +65,50 @@ class ChunkStore {
 
   bool contains(const std::string& key) const { return chunks_.contains(key); }
   void drop(const std::string& key);
-  void clear() { chunks_.clear(); }
+  void clear() {
+    chunks_.clear();
+    offload_events_.clear();
+  }
   std::size_t size() const { return chunks_.size(); }
 
+  bool offload() const { return offload_; }
+  runtime::Device& device() const;
+  runtime::Host& host() const;
+
+  // Logical bytes of the stored chunk (whichever pool holds the charge).
+  std::int64_t stored_bytes(const std::string& key) const;
+
+  // ---- Async paths (core::ChunkPrefetcher) ----------------------------------
+  // Inserts a chunk whose migration the caller already performed (the
+  // prefetcher retires transfers on its streams, then adopts the result).
+  void adopt(const std::string& key, runtime::Buffer buffer);
+
+  // Removes and returns the stored buffer *without* any migration or
+  // transfer counting — the prefetcher performs those itself at the point
+  // its stream task retires.
+  runtime::Buffer extract(const std::string& key);
+
+  // Stored buffer (charge + dtype visible), no migration.
+  const runtime::Buffer& peek_buffer(const std::string& key) const;
+
+  // Completion event of an asynchronous offload of `key`. A later prefetch
+  // of the same key must wait on it (write-then-read on the host copy).
+  void set_offload_event(const std::string& key, runtime::Event event) {
+    offload_events_[key] = event;
+  }
+  runtime::Event offload_event(const std::string& key) const {
+    auto it = offload_events_.find(key);
+    return it != offload_events_.end() ? it->second : runtime::Event();
+  }
+
  private:
+  void check_live() const;
+
   runtime::Device* device_;
   runtime::Host* host_;
   bool offload_;
   std::unordered_map<std::string, runtime::Buffer> chunks_;
+  std::unordered_map<std::string, runtime::Event> offload_events_;
 };
 
 // Key helpers: chunk keys are "<kind>.<layer>.<chunk>".

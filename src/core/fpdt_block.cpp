@@ -1,7 +1,13 @@
 #include "core/fpdt_block.h"
 
+#include <array>
+#include <deque>
+#include <string>
+#include <utility>
+
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "core/chunk_prefetcher.h"
 #include "nn/attention.h"
 
 namespace fpdt::core {
@@ -14,6 +20,10 @@ using nn::OnlineAttnState;
 using runtime::Allocation;
 using runtime::Buffer;
 using runtime::Device;
+using runtime::Event;
+
+// Activations are accounted in the paper's training dtype.
+constexpr std::int64_t kActBytes = runtime::dtype_size(runtime::Dtype::kBF16);
 
 // Collects tensor handles (shared storage, no copy) from per-rank buffers
 // for a collective call.
@@ -22,6 +32,36 @@ std::vector<Tensor> tensors_of(const std::vector<Buffer>& buffers) {
   out.reserve(buffers.size());
   for (const Buffer& b : buffers) out.push_back(b.tensor());
   return out;
+}
+
+// Timing-only span on the device's compute stream (streams mode). Compute
+// runs eagerly on the calling thread either way; the span gives transfers
+// something to hide behind in the virtual timeline, and its event carries
+// the double-buffer window dependency.
+Event compute_span(bool streams, Device& dev, std::string label, double duration_s,
+                   std::vector<Event> waits = {}) {
+  if (!streams) return Event();
+  return dev.compute_stream().enqueue(std::move(label), duration_s, std::move(waits));
+}
+
+// FLOPs of one attention chunk pair (QKᵀ + PV), from the q̂ shape
+// [c_global, h_local, dh] and the number of key rows.
+double attn_pair_flops(const Tensor& q, std::int64_t k_rows) {
+  return 4.0 * static_cast<double>(q.dim(0)) * static_cast<double>(k_rows) *
+         static_cast<double>(q.dim(1)) * static_cast<double>(q.dim(2));
+}
+
+double ffn_fwd_flops(const nn::FeedForward& ffn, std::int64_t c_local, std::int64_t d) {
+  const double mats = ffn.arch() == nn::Arch::kLlama ? 3.0 : 2.0;
+  return 2.0 * static_cast<double>(c_local) * static_cast<double>(d) *
+         static_cast<double>(ffn.hidden()) * mats;
+}
+
+std::string span_name(const char* kind, std::int64_t i) {
+  return std::string(kind) + "." + std::to_string(i);
+}
+std::string span_name(const char* kind, std::int64_t i, std::int64_t j) {
+  return std::string(kind) + "." + std::to_string(i) + "." + std::to_string(j);
 }
 
 }  // namespace
@@ -86,6 +126,16 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
     kv_stores = &transient;
   }
 
+  // One prefetcher per rank, driving that rank's H2D/D2H streams. Declared
+  // after the stores: its destructor drains in-flight migrations while the
+  // stores are still alive.
+  std::deque<ChunkPrefetcher> prefetchers;
+  for (int r = 0; r < P; ++r) {
+    prefetchers.emplace_back((*kv_stores)[static_cast<std::size_t>(r)],
+                             env_->cfg().stream_prefetch);
+  }
+  const bool streams = prefetchers.front().use_streams();
+
   std::vector<Tensor> z_local;
   z_local.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) z_local.push_back(Tensor::zeros(x_local[0].shape()));
@@ -94,6 +144,7 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
     // ---- QKV projection on each rank's local chunk (Fig. 4). -------------
     std::vector<Buffer> qhat(static_cast<std::size_t>(P)), khat(static_cast<std::size_t>(P)),
         vhat(static_cast<std::size_t>(P));
+    std::int64_t qkv_numel = 0;  // per-rank q+k+v elements (symmetric)
     {
       std::vector<Buffer> q_loc(static_cast<std::size_t>(P)), k_loc(static_cast<std::size_t>(P)),
           v_loc(static_cast<std::size_t>(P));
@@ -102,12 +153,16 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
         dev.hbm().set_phase_label("attn.qkv_proj");
         Tensor x_i = x_local[static_cast<std::size_t>(r)].slice0(i * g.c_local,
                                                                  (i + 1) * g.c_local);
-        Allocation x_charge(&dev.hbm(), x_i.numel() * 2);  // fetched hidden chunk
+        Allocation x_charge(&dev.hbm(), x_i.numel() * kActBytes);  // fetched hidden chunk
         NormStats st1;
         Tensor xn = block_->norm1().forward(x_i, st1);
-        Allocation xn_charge(&dev.hbm(), xn.numel() * 2);
+        Allocation xn_charge(&dev.hbm(), xn.numel() * kActBytes);
         nn::AttentionLayer::Qkv qkv =
             block_->attention().project_qkv(xn, local_pos0(r, i, g.c_local));
+        qkv_numel = qkv.q.numel() + qkv.k.numel() + qkv.v.numel();
+        compute_span(streams, dev, span_name("proj", i),
+                     dev.rates().gemm_time(2.0 * static_cast<double>(g.d_model) *
+                                           static_cast<double>(qkv_numel)));
         q_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.q));
         k_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.k));
         v_loc[static_cast<std::size_t>(r)] = dev.alloc(std::move(qkv.v));
@@ -121,6 +176,10 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
       for (int r = 0; r < P; ++r) {
         Device& dev = env_->device(r);
         dev.hbm().set_phase_label("attn.all2all_recv");
+        // The collective blocks the compute queue (the runtime models no
+        // separate comm stream).
+        compute_span(streams, dev, span_name("a2a", i),
+                     dev.rates().a2a_time(qkv_numel * kActBytes, P));
         qhat[static_cast<std::size_t>(r)] = dev.alloc(std::move(qh[static_cast<std::size_t>(r)]));
         khat[static_cast<std::size_t>(r)] = dev.alloc(std::move(kh[static_cast<std::size_t>(r)]));
         vhat[static_cast<std::size_t>(r)] = dev.alloc(std::move(vh[static_cast<std::size_t>(r)]));
@@ -131,52 +190,76 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
     // Rank-local work between collectives: forked across threads (per-rank
     // buffers are disjoint; the shared host pool is thread-safe).
     std::vector<Buffer> ohat(static_cast<std::size_t>(P)), lse(static_cast<std::size_t>(P));
+    std::vector<Event> attn_done(static_cast<std::size_t>(P));
     parallel_for_ranks(P, [&](int r) {
       Device& dev = env_->device(r);
       dev.hbm().set_phase_label("attn.online");
-      ChunkStore& store = (*kv_stores)[static_cast<std::size_t>(r)];
+      ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
       const Tensor& q = qhat[static_cast<std::size_t>(r)].tensor();
       OnlineAttnState state = OnlineAttnState::create(q.dim(0), q.dim(1), q.dim(2));
-      Allocation state_charge(&dev.hbm(),
-                              (state.acc.numel() + state.m.numel() + state.l.numel()) * 2);
-      // Earlier KV chunks are fetched from the store one (strict) or two
-      // (double-buffer) at a time.
-      Buffer k_cur, v_cur, k_next, v_next;
+      Allocation state_charge(
+          &dev.hbm(), (state.acc.numel() + state.m.numel() + state.l.numel()) * kActBytes);
+      // Earlier KV chunks migrate through the prefetcher: the pair for j+1
+      // is issued on the H2D stream before chunk j computes (double_buffer),
+      // or after it (strict), so one or two pairs are in HBM at a time —
+      // exactly the inline path's residency, with the in-flight pair sitting
+      // in the pool's staging counter instead of a second data charge.
+      Buffer k_cur, v_cur;
+      std::vector<Event> attn_evs;
       for (std::int64_t j = 0; j < i; ++j) {
         if (j == 0) {
-          k_cur = store.fetch_copy(chunk_key("khat", layer_, 0));
-          v_cur = store.fetch_copy(chunk_key("vhat", layer_, 0));
+          pf.prefetch(chunk_key("khat", layer_, 0));
+          pf.prefetch(chunk_key("vhat", layer_, 0));
         }
+        ChunkPrefetcher::Fetched kf = pf.acquire(chunk_key("khat", layer_, j));
+        ChunkPrefetcher::Fetched vf = pf.acquire(chunk_key("vhat", layer_, j));
+        k_cur = std::move(kf.buffer);
+        v_cur = std::move(vf.buffer);
         if (env_->cfg().double_buffer && j + 1 < i) {
-          // Prefetch of chunk j+1 overlaps the compute on chunk j.
-          k_next = store.fetch_copy(chunk_key("khat", layer_, j + 1));
-          v_next = store.fetch_copy(chunk_key("vhat", layer_, j + 1));
+          // Prefetch of chunk j+1 overlaps the compute on chunk j. Window
+          // dependency (mirrors sim/timeline.cpp): its target buffer frees
+          // when the attention step on chunk j-1 retires.
+          std::vector<Event> window;
+          if (j >= 1) window.push_back(attn_evs[static_cast<std::size_t>(j - 1)]);
+          pf.prefetch(chunk_key("khat", layer_, j + 1), /*take=*/false, window);
+          pf.prefetch(chunk_key("vhat", layer_, j + 1), /*take=*/false, window);
         }
+        Event ev = compute_span(
+            streams, dev, span_name("attn", i, j),
+            dev.rates().attn_time(attn_pair_flops(q, g.c_global)), {kf.ready, vf.ready});
         nn::online_attn_step(state, q, k_cur.tensor(), v_cur.tensor(), /*causal=*/true,
                              i * g.c_global, j * g.c_global);
-        if (env_->cfg().double_buffer && j + 1 < i) {
-          k_cur = std::move(k_next);
-          v_cur = std::move(v_next);
-        } else if (j + 1 < i) {
-          k_cur = store.fetch_copy(chunk_key("khat", layer_, j + 1));
-          v_cur = store.fetch_copy(chunk_key("vhat", layer_, j + 1));
+        attn_evs.push_back(ev);
+        if (!env_->cfg().double_buffer && j + 1 < i) {
+          // Strict mode: the next pair is only fetched once chunk j is done.
+          pf.prefetch(chunk_key("khat", layer_, j + 1), /*take=*/false, {ev});
+          pf.prefetch(chunk_key("vhat", layer_, j + 1), /*take=*/false, {ev});
         }
       }
-      // Diagonal chunk: k̂ᵢ/v̂ᵢ are already on device from the All2All.
+      // Diagonal chunk: k̂ᵢ/v̂ᵢ are already on device from the All2All; the
+      // causal mask halves its work.
+      Event diag = compute_span(streams, dev, span_name("attn", i, i),
+                                dev.rates().attn_time(0.5 * attn_pair_flops(q, g.c_global)));
       nn::online_attn_step(state, q, khat[static_cast<std::size_t>(r)].tensor(),
                            vhat[static_cast<std::size_t>(r)].tensor(), /*causal=*/true,
                            i * g.c_global, i * g.c_global);
       AttentionOutput out = nn::online_attn_finalize(state);
       ohat[static_cast<std::size_t>(r)] = dev.alloc(std::move(out.out));
       lse[static_cast<std::size_t>(r)] = dev.alloc(std::move(out.lse));
+      attn_done[static_cast<std::size_t>(r)] = diag;
 
       // Cache k̂ᵢ/v̂ᵢ (and, for backward, q̂ᵢ + lse). "We offload q̂ᵢ, k̂ᵢ, v̂ᵢ
-      // to the host memory once they are done for forward computation."
-      store.put(chunk_key("khat", layer_, i), std::move(khat[static_cast<std::size_t>(r)]));
-      store.put(chunk_key("vhat", layer_, i), std::move(vhat[static_cast<std::size_t>(r)]));
+      // to the host memory once they are done for forward computation." The
+      // offloads retire on the D2H stream once the diagonal step is done.
+      pf.put_async(chunk_key("khat", layer_, i),
+                   std::move(khat[static_cast<std::size_t>(r)]), {diag});
+      pf.put_async(chunk_key("vhat", layer_, i),
+                   std::move(vhat[static_cast<std::size_t>(r)]), {diag});
       if (caching) {
-        store.put(chunk_key("qhat", layer_, i), std::move(qhat[static_cast<std::size_t>(r)]));
-        store.put(chunk_key("lse", layer_, i), std::move(lse[static_cast<std::size_t>(r)]));
+        pf.put_async(chunk_key("qhat", layer_, i),
+                     std::move(qhat[static_cast<std::size_t>(r)]), {diag});
+        pf.put_async(chunk_key("lse", layer_, i),
+                     std::move(lse[static_cast<std::size_t>(r)]), {diag});
       }
     });
 
@@ -184,9 +267,15 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
     std::vector<Tensor> o_loc = env_->pg().all_to_all_seq_to_heads(tensors_of(ohat));
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
-      ChunkStore& store = (*kv_stores)[static_cast<std::size_t>(r)];
+      ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
+      const std::int64_t o_numel = ohat[static_cast<std::size_t>(r)].tensor().numel();
+      Event a2a_back =
+          compute_span(streams, dev, span_name("a2a_back", i),
+                       dev.rates().a2a_time(o_numel * kActBytes, P),
+                       {attn_done[static_cast<std::size_t>(r)]});
       if (caching) {
-        store.put(chunk_key("ohat", layer_, i), std::move(ohat[static_cast<std::size_t>(r)]));
+        pf.put_async(chunk_key("ohat", layer_, i),
+                     std::move(ohat[static_cast<std::size_t>(r)]), {a2a_back});
       } else {
         ohat[static_cast<std::size_t>(r)].release();
       }
@@ -200,14 +289,19 @@ std::vector<Tensor> FpdtBlockExecutor::run_forward(const std::vector<Tensor>& x_
       dev.hbm().set_phase_label("ffn");
       NormStats st2;
       Tensor yn = block_->norm2().forward(y_buf.tensor(), st2);
-      Allocation yn_charge(&dev.hbm(), yn.numel() * 2);
+      Allocation yn_charge(&dev.hbm(), yn.numel() * kActBytes);
       Tensor f =
           block_->ffn().forward(yn, env_->cfg().ffn_chunk_multiplier, &dev.hbm());
+      Event post = compute_span(
+          streams, dev, span_name("post", i),
+          dev.rates().gemm_time(2.0 * static_cast<double>(g.d_model) *
+                                static_cast<double>(o_numel)) +
+              dev.rates().gemm_time(ffn_fwd_flops(block_->ffn(), g.c_local, g.d_model)));
       z_local[static_cast<std::size_t>(r)]
           .slice0(i * g.c_local, (i + 1) * g.c_local)
           .copy_from(add(y_buf.tensor(), f));
       if (caching) {
-        store.put(chunk_key("y", layer_, i), std::move(y_buf));
+        pf.put_async(chunk_key("y", layer_, i), std::move(y_buf), {post});
       }
     }
   }
@@ -239,6 +333,18 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
   const Geometry g = geometry(x_local);
   const int P = env_->world();
 
+  // One prefetcher per rank for both phases. With cfg.double_buffer the
+  // backward prefetches the next chunk's consumables one iteration ahead
+  // (Fig. 7 double-buffers the backward too) at the cost of one extra
+  // resident chunk set; without it every fetch is issued at its point of
+  // use (exposed transfer time in the report, inline-identical residency).
+  std::deque<ChunkPrefetcher> prefetchers;
+  for (int r = 0; r < P; ++r) {
+    prefetchers.emplace_back(stores[static_cast<std::size_t>(r)], env_->cfg().stream_prefetch);
+  }
+  const bool streams = prefetchers.front().use_streams();
+  const bool ahead = env_->cfg().double_buffer;
+
   std::vector<Tensor> dx_local;
   dx_local.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) dx_local.push_back(Tensor::zeros(x_local[0].shape()));
@@ -246,20 +352,39 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
   // ---- Phase A: FFN / norm2 / Wo backward per chunk ("We first calculate
   // the gradients in FFN, then the attention", Fig. 13). Produces the
   // attention-output gradients dôᵢ and softmax row statistics Dᵢ.
+  std::vector<Event> phase_a_done(static_cast<std::size_t>(P));
   for (std::int64_t i = 0; i < g.u; ++i) {
     std::vector<Buffer> dy_tot(static_cast<std::size_t>(P));
     std::vector<Buffer> ohat_i(static_cast<std::size_t>(P));
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
-      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
       dev.hbm().set_phase_label("bwd.ffn");
       Tensor dz_i =
           dz_local[static_cast<std::size_t>(r)].slice0(i * g.c_local, (i + 1) * g.c_local);
-      Allocation dz_charge(&dev.hbm(), dz_i.numel() * 2);
-      Buffer y_buf = store.take(chunk_key("y", layer_, i));
+      Allocation dz_charge(&dev.hbm(), dz_i.numel() * kActBytes);
+      if (ahead && i == 0) {
+        pf.prefetch(chunk_key("y", layer_, 0), /*take=*/true);
+        pf.prefetch(chunk_key("ohat", layer_, 0), /*take=*/true);
+      }
+      ChunkPrefetcher::Fetched yf = pf.acquire(chunk_key("y", layer_, i), /*take=*/true);
+      ChunkPrefetcher::Fetched of = pf.acquire(chunk_key("ohat", layer_, i), /*take=*/true);
+      Buffer y_buf = std::move(yf.buffer);
+      ohat_i[static_cast<std::size_t>(r)] = std::move(of.buffer);
+      if (ahead && i + 1 < g.u) {
+        // Next chunk's y/ô fetch overlaps this chunk's FFN backward.
+        pf.prefetch(chunk_key("y", layer_, i + 1), /*take=*/true,
+                    {phase_a_done[static_cast<std::size_t>(r)]});
+        pf.prefetch(chunk_key("ohat", layer_, i + 1), /*take=*/true,
+                    {phase_a_done[static_cast<std::size_t>(r)]});
+      }
+      compute_span(streams, dev, span_name("bwd.ffn", i),
+                   dev.rates().gemm_time(2.0 * ffn_fwd_flops(block_->ffn(), g.c_local,
+                                                             g.d_model)),
+                   {yf.ready, of.ready});
       NormStats st2;
       Tensor yn = block_->norm2().forward(y_buf.tensor(), st2);
-      Allocation yn_charge(&dev.hbm(), yn.numel() * 2);
+      Allocation yn_charge(&dev.hbm(), yn.numel() * kActBytes);
       Tensor dyn =
           block_->ffn().backward(dz_i, yn, env_->cfg().ffn_chunk_multiplier, &dev.hbm());
       Tensor dy = add(dz_i, block_->norm2().backward(dyn, y_buf.tensor(), st2));
@@ -268,7 +393,6 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
           dx_local[static_cast<std::size_t>(r)].slice0(i * g.c_local, (i + 1) * g.c_local);
       add_(dx_view, dy);
       dy_tot[static_cast<std::size_t>(r)] = dev.alloc(std::move(dy));
-      ohat_i[static_cast<std::size_t>(r)] = store.take(chunk_key("ohat", layer_, i));
     }
     // Recover the rank-local attention output to backprop Wo, then return
     // its gradient to the global (head-sharded) layout for phase B.
@@ -277,6 +401,12 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
       dev.hbm().set_phase_label("bwd.out_proj");
+      const std::int64_t o_numel = ohat_i[static_cast<std::size_t>(r)].tensor().numel();
+      compute_span(streams, dev, span_name("bwd.a2a", i),
+                   dev.rates().a2a_time(o_numel * kActBytes, P));
+      compute_span(streams, dev, span_name("bwd.out_proj", i),
+                   dev.rates().gemm_time(4.0 * static_cast<double>(g.d_model) *
+                                         static_cast<double>(o_numel)));
       dao[static_cast<std::size_t>(r)] = dev.alloc(block_->attention().backward_out(
           dy_tot[static_cast<std::size_t>(r)].tensor(), o_loc[static_cast<std::size_t>(r)]));
       dy_tot[static_cast<std::size_t>(r)].release();
@@ -284,28 +414,48 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
     std::vector<Tensor> dohat = env_->pg().all_to_all_heads_to_seq(tensors_of(dao));
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
-      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
+      const std::int64_t o_numel = ohat_i[static_cast<std::size_t>(r)].tensor().numel();
+      Event back = compute_span(streams, dev, span_name("bwd.a2a_back", i),
+                                dev.rates().a2a_time(o_numel * kActBytes, P));
       Tensor D = nn::online_attn_backward_D(ohat_i[static_cast<std::size_t>(r)].tensor(),
                                             dohat[static_cast<std::size_t>(r)]);
       ohat_i[static_cast<std::size_t>(r)].release();
-      store.put(chunk_key("dohat", layer_, i),
-                dev.alloc(std::move(dohat[static_cast<std::size_t>(r)])));
-      store.put(chunk_key("D", layer_, i), dev.alloc(std::move(D)));
+      pf.put_async(chunk_key("dohat", layer_, i),
+                   dev.alloc(std::move(dohat[static_cast<std::size_t>(r)])), {back});
+      pf.put_async(chunk_key("D", layer_, i), dev.alloc(std::move(D)), {back});
+      phase_a_done[static_cast<std::size_t>(r)] = back;
     }
   }
 
   // ---- Phase B: the nested double-buffered attention backward (Fig. 7).
   // Outer loop over KV chunks j, inner over query chunks i >= j.
+  std::vector<Event> step_ev(static_cast<std::size_t>(P));  // last inner attn step
   for (std::int64_t j = 0; j < g.u; ++j) {
     std::vector<Buffer> k_j(static_cast<std::size_t>(P)), v_j(static_cast<std::size_t>(P));
     std::vector<Buffer> dk_j(static_cast<std::size_t>(P)), dv_j(static_cast<std::size_t>(P));
     std::vector<Buffer> dq_final(static_cast<std::size_t>(P));
+    std::vector<std::array<Event, 2>> kv_ready(static_cast<std::size_t>(P));
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
-      ChunkStore& store = stores[static_cast<std::size_t>(r)];
+      ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
       dev.hbm().set_phase_label("bwd.attn");
-      k_j[static_cast<std::size_t>(r)] = store.take(chunk_key("khat", layer_, j));
-      v_j[static_cast<std::size_t>(r)] = store.take(chunk_key("vhat", layer_, j));
+      if (ahead && j == 0) {
+        pf.prefetch(chunk_key("khat", layer_, 0), /*take=*/true);
+        pf.prefetch(chunk_key("vhat", layer_, 0), /*take=*/true);
+      }
+      ChunkPrefetcher::Fetched kf = pf.acquire(chunk_key("khat", layer_, j), /*take=*/true);
+      ChunkPrefetcher::Fetched vf = pf.acquire(chunk_key("vhat", layer_, j), /*take=*/true);
+      k_j[static_cast<std::size_t>(r)] = std::move(kf.buffer);
+      v_j[static_cast<std::size_t>(r)] = std::move(vf.buffer);
+      kv_ready[static_cast<std::size_t>(r)] = {kf.ready, vf.ready};
+      if (ahead && j + 1 < g.u) {
+        // The next KV pair streams in while this outer iteration computes.
+        pf.prefetch(chunk_key("khat", layer_, j + 1), /*take=*/true,
+                    {step_ev[static_cast<std::size_t>(r)]});
+        pf.prefetch(chunk_key("vhat", layer_, j + 1), /*take=*/true,
+                    {step_ev[static_cast<std::size_t>(r)]});
+      }
       dk_j[static_cast<std::size_t>(r)] =
           dev.alloc(Tensor::zeros(k_j[static_cast<std::size_t>(r)].tensor().shape()));
       dv_j[static_cast<std::size_t>(r)] =
@@ -315,20 +465,30 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
       const bool last_use = (i == j);  // chunk i's q-side data retires at outer j == i
       parallel_for_ranks(P, [&](int r) {
         Device& dev = env_->device(r);
-        ChunkStore& store = stores[static_cast<std::size_t>(r)];
-        Buffer q_i = last_use ? store.take(chunk_key("qhat", layer_, i))
-                              : store.fetch_copy(chunk_key("qhat", layer_, i));
-        Buffer do_i = last_use ? store.take(chunk_key("dohat", layer_, i))
-                               : store.fetch_copy(chunk_key("dohat", layer_, i));
-        Buffer lse_i = last_use ? store.take(chunk_key("lse", layer_, i))
-                                : store.fetch_copy(chunk_key("lse", layer_, i));
-        Buffer D_i = last_use ? store.take(chunk_key("D", layer_, i))
-                              : store.fetch_copy(chunk_key("D", layer_, i));
+        ChunkPrefetcher& pf = prefetchers[static_cast<std::size_t>(r)];
+        ChunkPrefetcher::Fetched qf = pf.acquire(chunk_key("qhat", layer_, i), last_use);
+        ChunkPrefetcher::Fetched dof = pf.acquire(chunk_key("dohat", layer_, i), last_use);
+        ChunkPrefetcher::Fetched lsef = pf.acquire(chunk_key("lse", layer_, i), last_use);
+        ChunkPrefetcher::Fetched Df = pf.acquire(chunk_key("D", layer_, i), last_use);
+        Buffer q_i = std::move(qf.buffer);
+        Buffer do_i = std::move(dof.buffer);
+        Buffer lse_i = std::move(lsef.buffer);
+        Buffer D_i = std::move(Df.buffer);
         // dq̂ᵢ accumulates across outer iterations; it lives in the store
         // (host memory when offloading) between visits.
         Buffer dq_i = (j == 0)
                           ? dev.alloc(Tensor::zeros(q_i.tensor().shape()))
-                          : store.take(chunk_key("dqhat", layer_, i));
+                          : pf.acquire(chunk_key("dqhat", layer_, i), /*take=*/true).buffer;
+        std::vector<Event> waits = {qf.ready, dof.ready, lsef.ready, Df.ready};
+        if (i == j) {
+          waits.push_back(kv_ready[static_cast<std::size_t>(r)][0]);
+          waits.push_back(kv_ready[static_cast<std::size_t>(r)][1]);
+        }
+        // ~2.5× the forward pair FLOPs (dQ, dK, dV plus the recomputed P).
+        Event ev = compute_span(
+            streams, dev, span_name("bwd.attn", i, j),
+            dev.rates().attn_time(2.5 * attn_pair_flops(q_i.tensor(), g.c_global)),
+            std::move(waits));
         nn::online_attn_backward_step(
             q_i.tensor(), k_j[static_cast<std::size_t>(r)].tensor(),
             v_j[static_cast<std::size_t>(r)].tensor(), do_i.tensor(), lse_i.tensor(),
@@ -339,8 +499,9 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
           // "For dq0, we get its final result after the first inner loop."
           dq_final[static_cast<std::size_t>(r)] = std::move(dq_i);
         } else {
-          store.put(chunk_key("dqhat", layer_, i), std::move(dq_i));
+          pf.put_async(chunk_key("dqhat", layer_, i), std::move(dq_i), {ev});
         }
+        step_ev[static_cast<std::size_t>(r)] = ev;
       });
     }
     // dk̂ⱼ/dv̂ⱼ are final after the outer iteration; All2All the finals back
@@ -351,6 +512,15 @@ std::vector<Tensor> FpdtBlockExecutor::backward_phases(const std::vector<Tensor>
     for (int r = 0; r < P; ++r) {
       Device& dev = env_->device(r);
       dev.hbm().set_phase_label("bwd.qkv_proj");
+      const std::int64_t dqkv_numel =
+          dq_final[static_cast<std::size_t>(r)].tensor().numel() +
+          dk_j[static_cast<std::size_t>(r)].tensor().numel() +
+          dv_j[static_cast<std::size_t>(r)].tensor().numel();
+      compute_span(streams, dev, span_name("bwd.a2a_qkv", j),
+                   dev.rates().a2a_time(dqkv_numel * kActBytes, P));
+      compute_span(streams, dev, span_name("bwd.qkv_proj", j),
+                   dev.rates().gemm_time(4.0 * static_cast<double>(g.d_model) *
+                                         static_cast<double>(dqkv_numel)));
       dq_final[static_cast<std::size_t>(r)].release();
       dk_j[static_cast<std::size_t>(r)].release();
       dv_j[static_cast<std::size_t>(r)].release();

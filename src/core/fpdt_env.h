@@ -41,6 +41,26 @@ class FpdtEnv {
     for (const auto& d : devices_) d->hbm().reset_peak();
   }
 
+  // ---- Stream timeline helpers (cfg.stream_prefetch) ----
+
+  void set_stream_rates(const runtime::StreamRates& rates) {
+    for (const auto& d : devices_) d->set_rates(rates);
+  }
+
+  // Transfer-timeline report of one rank (they are symmetric; rank 0 is
+  // what the CLI prints). Synchronizes that device's streams.
+  runtime::TimelineReport timeline_report(int rank = 0) {
+    return device(rank).timeline_report();
+  }
+
+  void reset_stream_timelines() {
+    for (const auto& d : devices_) d->reset_stream_timelines();
+  }
+
+  void synchronize_streams() {
+    for (const auto& d : devices_) d->synchronize_streams();
+  }
+
  private:
   comm::ProcessGroup pg_;
   std::vector<std::unique_ptr<runtime::Device>> devices_;

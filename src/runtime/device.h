@@ -9,6 +9,7 @@
 #include <string>
 
 #include "runtime/memory_pool.h"
+#include "runtime/stream.h"
 #include "tensor/tensor.h"
 
 namespace fpdt::runtime {
@@ -57,11 +58,16 @@ struct TransferStats {
   std::int64_t d2h_count = 0;
 };
 
-// One emulated GPU: an HBM arena plus transfer counters.
+// One emulated GPU: an HBM arena, transfer counters, and the paper's three
+// per-GPU streams (§4.1): compute, host-to-device, device-to-host.
 class Device {
  public:
   Device(int rank, std::int64_t hbm_capacity_bytes)
-      : rank_(rank), hbm_("hbm[rank " + std::to_string(rank) + "]", hbm_capacity_bytes) {}
+      : rank_(rank),
+        hbm_("hbm[rank " + std::to_string(rank) + "]", hbm_capacity_bytes),
+        compute_("compute[rank " + std::to_string(rank) + "]"),
+        h2d_("h2d[rank " + std::to_string(rank) + "]"),
+        d2h_("d2h[rank " + std::to_string(rank) + "]") {}
 
   int rank() const { return rank_; }
   MemoryPool& hbm() { return hbm_; }
@@ -69,12 +75,44 @@ class Device {
   TransferStats& transfers() { return transfers_; }
   const TransferStats& transfers() const { return transfers_; }
 
+  Stream& compute_stream() { return compute_; }
+  Stream& h2d_stream() { return h2d_; }
+  Stream& d2h_stream() { return d2h_; }
+  StreamRates& rates() { return rates_; }
+  const StreamRates& rates() const { return rates_; }
+  void set_rates(const StreamRates& rates) { rates_ = rates; }
+
+  // Drains all three streams (executing deferred side effects).
+  void synchronize_streams() {
+    compute_.synchronize();
+    h2d_.synchronize();
+    d2h_.synchronize();
+  }
+
+  // Per-device transfer-timeline report; synchronizes first so the span
+  // ledger is complete.
+  TimelineReport timeline_report() {
+    synchronize_streams();
+    return make_timeline_report(compute_, h2d_, d2h_);
+  }
+
+  void reset_stream_timelines() {
+    synchronize_streams();
+    compute_.reset_timeline();
+    h2d_.reset_timeline();
+    d2h_.reset_timeline();
+  }
+
   Buffer alloc(Tensor t, Dtype dtype = Dtype::kBF16) { return Buffer(&hbm_, std::move(t), dtype); }
 
  private:
   int rank_;
   MemoryPool hbm_;
   TransferStats transfers_;
+  Stream compute_;
+  Stream h2d_;
+  Stream d2h_;
+  StreamRates rates_;
 };
 
 // Node-shared host memory (the offload target). Unlimited by default, or

@@ -56,7 +56,7 @@ class MemoryPool {
 
   void reset_peak() {
     std::lock_guard<std::mutex> lock(mutex_);
-    peak_ = used_;
+    peak_ = used_ + staging_;
   }
 
   void start_timeline() {
@@ -69,7 +69,13 @@ class MemoryPool {
     std::lock_guard<std::mutex> lock(mutex_);
     recording_ = false;
   }
-  const std::vector<MemorySample>& timeline() const { return timeline_; }
+  // Returns a snapshot by value: recording may overlap parallel_for_ranks
+  // workers charging this pool, and handing out a reference to the live
+  // vector would race with record_locked() growing it.
+  std::vector<MemorySample> timeline() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timeline_;
+  }
 
   // Label attached to subsequent samples; set by executors around each op.
   void set_phase_label(std::string label) {
@@ -82,13 +88,14 @@ class MemoryPool {
   void charge(std::int64_t bytes) {
     FPDT_CHECK_GE(bytes, 0) << " negative charge on " << name_;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (capacity_ >= 0 && used_ + bytes > capacity_) {
+    if (capacity_ >= 0 && used_ + staging_ + bytes > capacity_) {
       throw OutOfMemoryError(name_ + ": OOM allocating " + std::to_string(bytes) +
-                             " bytes (used " + std::to_string(used_) + " / capacity " +
+                             " bytes (used " + std::to_string(used_) + " + staged " +
+                             std::to_string(staging_) + " / capacity " +
                              std::to_string(capacity_) + ")");
     }
     used_ += bytes;
-    peak_ = std::max(peak_, used_);
+    peak_ = std::max(peak_, used_ + staging_);
     record_locked();
   }
 
@@ -99,15 +106,48 @@ class MemoryPool {
     record_locked();
   }
 
+  // ---- Staging charges: bytes reserved for in-flight stream transfers. ----
+  // A prefetch/offload reserves its destination bytes when the transfer is
+  // *issued* (where the real cudaMallocAsync would fail), and the reserve
+  // converts into a regular data charge when the transfer retires on its
+  // stream. Staging counts against capacity and peak — OOM semantics stay
+  // honest while a transfer is in flight — but is reported separately.
+  std::int64_t staging() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return staging_;
+  }
+
+  void charge_staging(std::int64_t bytes) {
+    FPDT_CHECK_GE(bytes, 0) << " negative staging charge on " << name_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ >= 0 && used_ + staging_ + bytes > capacity_) {
+      throw OutOfMemoryError(name_ + ": OOM staging " + std::to_string(bytes) +
+                             " in-flight bytes (used " + std::to_string(used_) + " + staged " +
+                             std::to_string(staging_) + " / capacity " +
+                             std::to_string(capacity_) + ")");
+    }
+    staging_ += bytes;
+    peak_ = std::max(peak_, used_ + staging_);
+    record_locked();
+  }
+
+  void discharge_staging(std::int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FPDT_CHECK_LE(bytes, staging_) << " staging discharge underflow on " << name_;
+    staging_ -= bytes;
+    record_locked();
+  }
+
  private:
   void record_locked() {
-    if (recording_) timeline_.push_back({tick_++, used_, phase_label_});
+    if (recording_) timeline_.push_back({tick_++, used_ + staging_, phase_label_});
   }
 
   std::string name_;
   std::int64_t capacity_;
   mutable std::mutex mutex_;
   std::int64_t used_ = 0;
+  std::int64_t staging_ = 0;
   std::int64_t peak_ = 0;
   bool recording_ = false;
   std::int64_t tick_ = 0;
@@ -143,6 +183,39 @@ class Allocation {
 
   std::int64_t bytes() const { return bytes_; }
   bool active() const { return pool_ != nullptr; }
+
+ private:
+  MemoryPool* pool_ = nullptr;
+  std::int64_t bytes_ = 0;
+};
+
+// RAII staging token for an in-flight transfer: reserves destination bytes
+// at issue time, releases them when the transfer retires (and the real data
+// charge takes over) or when an abandoned transfer's closure is destroyed.
+class StagingCharge {
+ public:
+  StagingCharge() = default;
+  StagingCharge(MemoryPool* pool, std::int64_t bytes) : pool_(pool), bytes_(bytes) {
+    if (pool_ != nullptr) pool_->charge_staging(bytes_);
+  }
+  StagingCharge(StagingCharge&& other) noexcept { *this = std::move(other); }
+  StagingCharge& operator=(StagingCharge&& other) noexcept {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    return *this;
+  }
+  StagingCharge(const StagingCharge&) = delete;
+  StagingCharge& operator=(const StagingCharge&) = delete;
+  ~StagingCharge() { release(); }
+
+  void release() {
+    if (pool_ != nullptr) {
+      pool_->discharge_staging(bytes_);
+      pool_ = nullptr;
+      bytes_ = 0;
+    }
+  }
 
  private:
   MemoryPool* pool_ = nullptr;

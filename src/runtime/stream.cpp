@@ -1,0 +1,130 @@
+#include "runtime/stream.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace fpdt::runtime {
+
+// ---- Event ------------------------------------------------------------------
+
+void Event::wait() const {
+  if (stream_ == nullptr) return;
+  stream_->drain_through(seq_);
+}
+
+double Event::ready_time() const {
+  if (stream_ == nullptr) return 0.0;
+  return stream_->finish_time_of(seq_);
+}
+
+// ---- Stream -----------------------------------------------------------------
+
+Event Stream::enqueue(std::string label, double duration_s, std::vector<Event> waits,
+                      std::function<void()> fn) {
+  FPDT_CHECK_GE(duration_s, 0.0) << " negative duration on stream " << name_;
+  const std::int64_t seq = executed() + static_cast<std::int64_t>(pending_.size());
+  pending_.push_back(Pending{std::move(label), duration_s, std::move(waits), std::move(fn)});
+  return Event(this, seq);
+}
+
+void Stream::synchronize() {
+  while (!pending_.empty()) execute_front();
+}
+
+void Stream::discard_pending() {
+  // Account the dropped tasks as executed so outstanding Events stay valid
+  // (they resolve to "already done" with the current tail time).
+  while (!pending_.empty()) {
+    spans_.push_back(StreamSpan{std::move(pending_.front().label), tail_, tail_});
+    pending_.pop_front();
+  }
+}
+
+void Stream::drain_through(std::int64_t seq) {
+  while (executed() <= seq && !pending_.empty()) execute_front();
+}
+
+void Stream::execute_front() {
+  Pending task = std::move(pending_.front());
+  pending_.pop_front();
+  // Resolve timing: FIFO tail plus every waited event's finish. Waiting
+  // drains the source stream first, so finish times are known. The wait
+  // graph is acyclic because an Event must exist (task enqueued) before it
+  // can be waited on.
+  double start = tail_;
+  for (const Event& e : task.waits) {
+    e.wait();
+    start = std::max(start, e.ready_time());
+  }
+  spans_.push_back(StreamSpan{std::move(task.label), start, start + task.duration});
+  tail_ = start + task.duration;
+  if (task.fn) task.fn();
+}
+
+double Stream::finish_time_of(std::int64_t seq) const {
+  if (seq < base_) return 0.0;  // recorded before a timeline reset
+  const std::int64_t idx = seq - base_;
+  FPDT_CHECK_LT(idx, static_cast<std::int64_t>(spans_.size()))
+      << " event queried before its task executed on stream " << name_;
+  return spans_[static_cast<std::size_t>(idx)].finish;
+}
+
+double Stream::busy_time() const {
+  double busy = 0.0;
+  for (const StreamSpan& s : spans_) busy += s.duration();
+  return busy;
+}
+
+void Stream::reset_timeline() {
+  FPDT_CHECK(pending_.empty()) << " reset_timeline on busy stream " << name_;
+  base_ += static_cast<std::int64_t>(spans_.size());
+  spans_.clear();
+  tail_ = 0.0;
+}
+
+// ---- Transfer-timeline report ----------------------------------------------
+
+double overlapped_time(const std::vector<StreamSpan>& xs, const std::vector<StreamSpan>& busy) {
+  double total = 0.0;
+  std::size_t b = 0;
+  for (const StreamSpan& x : xs) {
+    while (b < busy.size() && busy[b].finish <= x.start) ++b;
+    for (std::size_t k = b; k < busy.size() && busy[k].start < x.finish; ++k) {
+      total += std::max(0.0, std::min(x.finish, busy[k].finish) -
+                                 std::max(x.start, busy[k].start));
+    }
+  }
+  return total;
+}
+
+TimelineReport make_timeline_report(const Stream& compute, const Stream& h2d,
+                                    const Stream& d2h) {
+  FPDT_CHECK(compute.idle() && h2d.idle() && d2h.idle())
+      << " synchronize streams before building a timeline report";
+  TimelineReport r;
+  r.makespan_s = std::max({compute.tail_time(), h2d.tail_time(), d2h.tail_time()});
+  r.compute_busy_s = compute.busy_time();
+  r.h2d_busy_s = h2d.busy_time();
+  r.d2h_busy_s = d2h.busy_time();
+  r.hidden_transfer_s = overlapped_time(h2d.spans(), compute.spans()) +
+                        overlapped_time(d2h.spans(), compute.spans());
+  r.exposed_transfer_s = r.transfer_busy_s() - r.hidden_transfer_s;
+  return r;
+}
+
+std::string TimelineReport::to_string() const {
+  std::ostringstream os;
+  os << "stream timeline (virtual): makespan " << format_seconds(makespan_s) << "\n"
+     << "  busy  compute " << format_seconds(compute_busy_s) << "  h2d "
+     << format_seconds(h2d_busy_s) << "  d2h " << format_seconds(d2h_busy_s) << "\n"
+     << "  transfer hidden behind compute " << format_seconds(hidden_transfer_s) << " / "
+     << format_seconds(transfer_busy_s()) << "  (overlap ratio "
+     << (transfer_busy_s() > 0.0 ? overlap_ratio() : 0.0) << ", exposed "
+     << format_seconds(exposed_transfer_s) << ")\n";
+  return os.str();
+}
+
+}  // namespace fpdt::runtime

@@ -1,0 +1,102 @@
+// Bridge between the simulator's cost model and the runtime's stream
+// engine, closing the loop between prediction and measurement:
+//
+//   stream_rates(cm)       derives a runtime::StreamRates from a CostModel
+//                          so the executed pipeline's virtual-time spans use
+//                          exactly the simulator's constants;
+//   sim_timeline_report(s) condenses a simulated FPDT pipeline into the
+//                          same TimelineReport the runtime produces, so the
+//                          bench can compare measured vs. predicted overlap
+//                          on one scale.
+//
+// The mapping is exact for a single-node group (world <= gpus_per_node):
+// beyond that the simulator routes All2All traffic over IB while the
+// runtime's single comm rate cannot. The runtime also has no separate comm
+// queue — collectives block its compute stream — so sim compute and comm
+// spans are merged into one busy list here before computing overlap.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "runtime/stream.h"
+#include "sim/cost_model.h"
+#include "sim/pipeline_sim.h"
+
+namespace fpdt::sim {
+
+inline runtime::StreamRates stream_rates(const CostModel& cm) {
+  const HardwareSpec& hw = cm.hw();
+  runtime::StreamRates r;
+  r.gemm_flops_per_s = hw.peak_flops * hw.matmul_efficiency;
+  r.attn_flops_per_s = hw.peak_flops * hw.attn_efficiency;
+  r.kernel_overhead_s = hw.kernel_overhead_s;
+  // Mirrors CostModel::fetch_time(kPerGpu): per-socket lane sharing plus
+  // the contended-lane latency penalty.
+  const int gpus_on_link = std::min(cm.world(), hw.gpus_per_node);
+  const double share = gpus_on_link > 1 ? hw.pcie_share() : 1.0;
+  r.h2d_bytes_per_s = hw.pcie_bw * share;
+  r.d2h_bytes_per_s = hw.pcie_bw * share;
+  r.transfer_latency_s = (gpus_on_link > 1 ? 3.0 : 1.0) * hw.pcie_latency_s;
+  // Single-node All2All (CostModel::all2all_time's intra-node branch).
+  r.comm_bytes_per_s = hw.nvlink_bw;
+  r.comm_latency_s = hw.nvlink_latency_s;
+  return r;
+}
+
+// Sorts by start and coalesces overlapping/adjacent spans into a disjoint
+// busy list (sim compute and comm resources run concurrently; the overlap
+// computation needs disjoint intervals).
+inline std::vector<runtime::StreamSpan> merge_spans(std::vector<runtime::StreamSpan> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const runtime::StreamSpan& a, const runtime::StreamSpan& b) {
+              return a.start < b.start;
+            });
+  std::vector<runtime::StreamSpan> merged;
+  for (runtime::StreamSpan& s : spans) {
+    if (!merged.empty() && s.start <= merged.back().finish) {
+      merged.back().finish = std::max(merged.back().finish, s.finish);
+    } else {
+      merged.push_back(std::move(s));
+    }
+  }
+  return merged;
+}
+
+// Condenses a *ran* PipelineSim (e.g. build_fpdt_forward_sim) into the
+// runtime's TimelineReport shape. Resources named "compute" and "comm" form
+// the busy list transfers can hide behind; "h2d"/"d2h" are the transfers.
+inline runtime::TimelineReport sim_timeline_report(const PipelineSim& ps) {
+  std::vector<runtime::StreamSpan> busy, h2d, d2h;
+  double makespan = 0.0;
+  for (std::size_t t = 0; t < ps.task_count(); ++t) {
+    const SimTask& task = ps.task(static_cast<int>(t));
+    makespan = std::max(makespan, task.finish);
+    runtime::StreamSpan span{task.name, task.start, task.finish};
+    const std::string& res = ps.resource_name(task.resource);
+    if (res == "h2d") {
+      h2d.push_back(std::move(span));
+    } else if (res == "d2h") {
+      d2h.push_back(std::move(span));
+    } else {  // compute + comm both block the runtime's compute queue
+      busy.push_back(std::move(span));
+    }
+  }
+  auto sum = [](const std::vector<runtime::StreamSpan>& xs) {
+    double s = 0.0;
+    for (const runtime::StreamSpan& x : xs) s += x.duration();
+    return s;
+  };
+  const std::vector<runtime::StreamSpan> merged = merge_spans(busy);
+  runtime::TimelineReport r;
+  r.makespan_s = makespan;
+  r.compute_busy_s = sum(merged);
+  r.h2d_busy_s = sum(h2d);
+  r.d2h_busy_s = sum(d2h);
+  r.hidden_transfer_s =
+      runtime::overlapped_time(h2d, merged) + runtime::overlapped_time(d2h, merged);
+  r.exposed_transfer_s = r.transfer_busy_s() - r.hidden_transfer_s;
+  return r;
+}
+
+}  // namespace fpdt::sim

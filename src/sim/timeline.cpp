@@ -223,15 +223,14 @@ LayerTiming fpdt_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
 
 PipelineSim build_fpdt_forward_sim(const nn::ModelConfig& cfg, const CostModel& cm,
                                    std::int64_t s_local, std::int64_t u, bool offload,
-                                   bool double_buffer) {
+                                   bool double_buffer, bool caching) {
   const LayerShapes sh = shapes_of(cfg, cm.world(), s_local, u);
   PipelineSim ps;
   const int comp = ps.add_resource("compute");
   const int h2d = ps.add_resource("h2d");
   const int d2h = ps.add_resource("d2h");
   const int comm = ps.add_resource("comm");
-  build_fpdt_forward(ps, comp, h2d, d2h, comm, sh, cm, offload, double_buffer,
-                     /*caching=*/true);
+  build_fpdt_forward(ps, comp, h2d, d2h, comm, sh, cm, offload, double_buffer, caching);
   ps.run();
   return ps;
 }

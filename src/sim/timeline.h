@@ -48,9 +48,11 @@ LayerTiming ring_layer_timing(const nn::ModelConfig& cfg, const CostModel& cm,
 
 // The simulated FPDT forward chunk pipeline as a ready-to-run PipelineSim
 // (already run()); callers can pull the text trace or chrome://tracing JSON.
+// `caching` adds the backward-cache offload traffic (q̂/ô/lse on top of
+// k̂/v̂) — matches cfg.cache_forward_outputs of the executed system.
 PipelineSim build_fpdt_forward_sim(const nn::ModelConfig& cfg, const CostModel& cm,
                                    std::int64_t s_local, std::int64_t u, bool offload,
-                                   bool double_buffer);
+                                   bool double_buffer, bool caching = true);
 
 // Human-readable task trace of the simulated FPDT forward chunk pipeline
 // (for debugging and the pipeline_trace example).

@@ -1,0 +1,311 @@
+// The emulated stream engine (runtime/stream.h) and the double-buffered
+// chunk prefetcher built on it (core/chunk_prefetcher.h): FIFO ordering,
+// cross-stream event dependencies, the in-flight window invariant, staging
+// OOM semantics, and the headline guarantee — the streamed path is
+// bit-identical and byte-identical to the synchronous one, it only adds a
+// timeline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/chunk_prefetcher.h"
+#include "core/fpdt_trainer.h"
+#include "data/rank_ordinal.h"
+#include "data/synthetic_corpus.h"
+#include "nn/model.h"
+#include "tests/test_util.h"
+
+namespace fpdt {
+namespace {
+
+using core::ChunkPrefetcher;
+using core::ChunkStore;
+using core::FpdtConfig;
+using core::FpdtEnv;
+using runtime::Event;
+using runtime::Stream;
+
+// ---- Stream / Event ---------------------------------------------------------
+
+TEST(StreamTest, FifoOrderAndVirtualClock) {
+  Stream s("s");
+  std::vector<int> ran;
+  s.enqueue("a", 1.0, {}, [&] { ran.push_back(0); });
+  s.enqueue("b", 2.0, {}, [&] { ran.push_back(1); });
+  s.enqueue("c", 0.5, {}, [&] { ran.push_back(2); });
+  EXPECT_TRUE(ran.empty());  // deferred until drained
+  s.synchronize();
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(s.spans().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.spans()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.spans()[1].start, 1.0);   // back-to-back FIFO
+  EXPECT_DOUBLE_EQ(s.spans()[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(s.tail_time(), 3.5);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 3.5);
+}
+
+TEST(StreamTest, EventOrdersWorkAcrossStreams) {
+  Stream producer("p"), consumer("c");
+  bool produced = false, consumed_after_produce = false;
+  const Event ev = producer.enqueue("produce", 2.0, {}, [&] { produced = true; });
+  consumer.enqueue("consume", 1.0, {ev}, [&] { consumed_after_produce = produced; });
+  consumer.synchronize();  // draining the waiter drains the producer first
+  EXPECT_TRUE(produced);
+  EXPECT_TRUE(consumed_after_produce);
+  // The consumer's virtual start is pushed to the producer's finish.
+  EXPECT_DOUBLE_EQ(consumer.spans()[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(ev.ready_time(), 2.0);
+}
+
+TEST(StreamTest, WaitDrainsExactlyThroughTheMarkedTask) {
+  Stream s("s");
+  int ran = 0;
+  const Event first = s.enqueue("one", 1.0, {}, [&] { ran = 1; });
+  s.enqueue("two", 1.0, {}, [&] { ran = 2; });
+  first.wait();
+  EXPECT_EQ(ran, 1);  // the later task stays pending
+  EXPECT_FALSE(s.idle());
+  s.synchronize();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(StreamTest, OverlappedTimeComputesIntervalIntersection) {
+  // transfer [0,4), compute [1,2) u [3,6) -> 2.0 overlapped.
+  std::vector<runtime::StreamSpan> xfer{{"t", 0.0, 4.0}};
+  std::vector<runtime::StreamSpan> busy{{"a", 1.0, 2.0}, {"b", 3.0, 6.0}};
+  EXPECT_DOUBLE_EQ(runtime::overlapped_time(xfer, busy), 2.0);
+}
+
+// ---- ChunkPrefetcher --------------------------------------------------------
+
+struct PrefetchRig {
+  explicit PrefetchRig(std::int64_t hbm_capacity = -1)
+      : env(1, make_cfg(), hbm_capacity), store(env.device(0), env.host(), /*offload=*/true) {}
+  static FpdtConfig make_cfg() {
+    FpdtConfig cfg;
+    cfg.offload = true;
+    return cfg;
+  }
+  Tensor chunk(std::uint64_t seed, std::int64_t n = 16) {
+    Rng rng(seed);
+    return Tensor::randn({n}, rng);
+  }
+  FpdtEnv env;
+  ChunkStore store;
+};
+
+TEST(ChunkPrefetcherTest, InFlightWindowIsCapped) {
+  PrefetchRig rig;
+  for (const char* key : {"k.0", "k.1", "k.2"}) {
+    rig.store.put(key, rig.env.device(0).alloc(rig.chunk(1)));
+  }
+  ChunkPrefetcher pf(rig.store, /*use_streams=*/true, /*max_in_flight=*/2);
+  pf.prefetch("k.0");
+  pf.prefetch("k.1");
+  EXPECT_EQ(pf.in_flight(), 2);
+  EXPECT_THROW(pf.prefetch("k.2"), FpdtError);  // window exceeded
+  (void)pf.acquire("k.0");
+  EXPECT_EQ(pf.in_flight(), 1);
+  pf.prefetch("k.2");  // freed slot can be reused
+}
+
+TEST(ChunkPrefetcherTest, PrefetchStagesBytesUntilRetire) {
+  PrefetchRig rig;
+  rig.store.put("k.0", rig.env.device(0).alloc(rig.chunk(2)));
+  const std::int64_t bytes = rig.store.stored_bytes("k.0");
+  ChunkPrefetcher pf(rig.store, /*use_streams=*/true);
+  pf.prefetch("k.0");
+  // In flight: destination bytes reserved in the staging counter, no data
+  // charge yet (the closure has not retired).
+  EXPECT_EQ(rig.env.device(0).hbm().staging(), bytes);
+  EXPECT_EQ(rig.env.device(0).hbm().used(), 0);
+  const auto fetched = pf.acquire("k.0");
+  EXPECT_EQ(rig.env.device(0).hbm().staging(), 0);
+  EXPECT_EQ(rig.env.device(0).hbm().used(), bytes);
+  EXPECT_EQ(fetched.buffer.bytes(), bytes);
+}
+
+TEST(ChunkPrefetcherTest, OomRaisedAtIssueWithStagingCharge) {
+  // Capacity fits exactly one staged chunk: the second prefetch must OOM at
+  // *issue* time (where cudaMallocAsync would fail), not at acquire.
+  PrefetchRig probe;
+  probe.store.put("k.0", probe.env.device(0).alloc(probe.chunk(3)));
+  const std::int64_t bytes = probe.store.stored_bytes("k.0");
+
+  PrefetchRig rig(bytes);
+  rig.store.put("k.0", rig.env.device(0).alloc(rig.chunk(3)));
+  rig.store.put("k.1", rig.env.device(0).alloc(rig.chunk(4)));
+  ChunkPrefetcher pf(rig.store, /*use_streams=*/true);
+  pf.prefetch("k.0");
+  try {
+    pf.prefetch("k.1");
+    FAIL() << "second prefetch must OOM";
+  } catch (const OutOfMemoryError& e) {
+    // The message reports the staged in-flight bytes, not a data charge.
+    EXPECT_NE(std::string(e.what()).find("staging"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("staged " + std::to_string(bytes)),
+              std::string::npos);
+  }
+  const auto fetched = pf.acquire("k.0");  // the first transfer still retires cleanly
+  EXPECT_EQ(rig.env.device(0).hbm().used(), bytes);
+  EXPECT_EQ(rig.env.device(0).hbm().staging(), 0);
+}
+
+TEST(ChunkPrefetcherTest, StreamedAndSyncPathsAccountIdentically) {
+  auto run = [](bool use_streams, runtime::TransferStats* stats, std::int64_t* peak) {
+    PrefetchRig rig;
+    ChunkPrefetcher pf(rig.store, use_streams);
+    // offload two chunks, re-fetch one with take and one as a copy.
+    Event e0 = pf.put_async("k.0", rig.env.device(0).alloc(rig.chunk(5)));
+    Event e1 = pf.put_async("k.1", rig.env.device(0).alloc(rig.chunk(6)));
+    (void)e0;
+    (void)e1;
+    pf.prefetch("k.0", /*take=*/true);
+    Tensor got = pf.acquire("k.0", /*take=*/true).buffer.tensor().clone();
+    (void)pf.acquire("k.1");  // never prefetched: on-the-spot fallback
+    pf.synchronize();
+    EXPECT_LT(max_abs_diff(got, PrefetchRig{}.chunk(5)), 1e-12);
+    EXPECT_TRUE(rig.store.contains("k.1"));   // copy semantics keep the host chunk
+    EXPECT_FALSE(rig.store.contains("k.0"));  // take semantics consume it
+    *stats = rig.env.device(0).transfers();
+    *peak = rig.env.device(0).hbm().peak();
+  };
+  runtime::TransferStats streamed{}, sync{};
+  std::int64_t streamed_peak = 0, sync_peak = 0;
+  run(true, &streamed, &streamed_peak);
+  run(false, &sync, &sync_peak);
+  EXPECT_EQ(streamed.h2d_bytes, sync.h2d_bytes);
+  EXPECT_EQ(streamed.d2h_bytes, sync.d2h_bytes);
+  EXPECT_EQ(streamed.h2d_count, sync.h2d_count);
+  EXPECT_EQ(streamed.d2h_count, sync.d2h_count);
+  EXPECT_EQ(streamed_peak, sync_peak);
+}
+
+// ---- Executor / trainer equivalence ----------------------------------------
+
+nn::ModelConfig small_cfg() { return nn::tiny_gpt(32, 2, 4, 48); }
+
+TEST(StreamedExecutorTest, ForwardBackwardBitIdenticalToSyncPath) {
+  const int world = 2;
+  const std::int64_t s_global = world * 4 * 4;
+  Rng xrng(11);
+  Tensor x = Tensor::randn({s_global, 32}, xrng, 0.0, 0.5);
+  Tensor dz = Tensor::randn({s_global, 32}, xrng, 0.0, 0.5);
+
+  auto run = [&](bool streams, Tensor* z_out, Tensor* dx_out, runtime::TransferStats* tx,
+                 std::int64_t* peak) {
+    FpdtConfig fcfg;
+    fcfg.chunks_per_rank = 4;
+    fcfg.stream_prefetch = streams;
+    Rng wrng(12);
+    nn::TransformerBlock block("b", small_cfg(), wrng);
+    FpdtEnv env(world, fcfg);
+    core::FpdtBlockExecutor exec(block, 0, env);
+    data::RankOrdinalSharder sh(world, 4);
+    *z_out = sh.unshard_tensor(exec.forward(sh.shard_tensor(x)));
+    *dx_out = sh.unshard_tensor(exec.backward(sh.shard_tensor(dz), sh.shard_tensor(x)));
+    *tx = env.device(0).transfers();
+    *peak = env.max_hbm_peak();
+  };
+  Tensor z_s, dx_s, z_i, dx_i;
+  runtime::TransferStats tx_s{}, tx_i{};
+  std::int64_t peak_s = 0, peak_i = 0;
+  run(true, &z_s, &dx_s, &tx_s, &peak_s);
+  run(false, &z_i, &dx_i, &tx_i, &peak_i);
+  EXPECT_EQ(max_abs_diff(z_s, z_i), 0.0);    // bit-identical, not merely close
+  EXPECT_EQ(max_abs_diff(dx_s, dx_i), 0.0);
+  EXPECT_EQ(tx_s.h2d_bytes, tx_i.h2d_bytes);  // byte-exact traffic
+  EXPECT_EQ(tx_s.d2h_bytes, tx_i.d2h_bytes);
+  EXPECT_EQ(tx_s.h2d_count, tx_i.h2d_count);
+  EXPECT_EQ(tx_s.d2h_count, tx_i.d2h_count);
+  EXPECT_EQ(peak_s, peak_i);                  // byte-exact HBM peak
+}
+
+TEST(StreamedExecutorTest, SerialAndParallelWorkersBitIdentical) {
+  const int world = 4;
+  const std::int64_t s_global = world * 2 * 4;
+  Rng xrng(21);
+  Tensor x = Tensor::randn({s_global, 32}, xrng, 0.0, 0.5);
+  Tensor dz = Tensor::randn({s_global, 32}, xrng, 0.0, 0.5);
+
+  auto run = [&](int workers, Tensor* z_out, Tensor* dx_out) {
+    const int saved = parallel_workers();
+    set_parallel_workers(workers);
+    FpdtConfig fcfg;
+    fcfg.chunks_per_rank = 2;
+    Rng wrng(22);
+    nn::TransformerBlock block("b", small_cfg(), wrng);
+    FpdtEnv env(world, fcfg);
+    core::FpdtBlockExecutor exec(block, 0, env);
+    data::RankOrdinalSharder sh(world, 2);
+    *z_out = sh.unshard_tensor(exec.forward(sh.shard_tensor(x)));
+    *dx_out = sh.unshard_tensor(exec.backward(sh.shard_tensor(dz), sh.shard_tensor(x)));
+    set_parallel_workers(saved);
+  };
+  Tensor z1, dx1, zn, dxn;
+  run(1, &z1, &dx1);
+  run(8, &zn, &dxn);
+  EXPECT_EQ(max_abs_diff(z1, zn), 0.0);
+  EXPECT_EQ(max_abs_diff(dx1, dxn), 0.0);
+}
+
+TEST(StreamedTrainerTest, StepIdenticalToSyncAndOverlapPositive) {
+  nn::ModelConfig cfg = small_cfg();
+  nn::Model m_streams(cfg, 33), m_sync(cfg, 33);
+  FpdtConfig on, off;
+  on.chunks_per_rank = off.chunks_per_rank = 2;
+  on.stream_prefetch = true;
+  off.stream_prefetch = false;
+  core::FpdtTrainer t_on(m_streams, 2, on), t_off(m_sync, 2, off);
+
+  data::SyntheticCorpus corpus(cfg.vocab, 44);
+  const auto tokens = corpus.sample(17);
+  const double loss_on = t_on.train_step_grads(tokens);
+  const double loss_off = t_off.train_step_grads(tokens);
+  EXPECT_EQ(loss_on, loss_off);
+
+  std::vector<Tensor> grads;
+  m_sync.visit_params([&](nn::Param& p) { grads.push_back(p.grad); });
+  std::size_t i = 0;
+  m_streams.visit_params([&](nn::Param& p) {
+    EXPECT_EQ(max_abs_diff(grads[i], p.grad), 0.0) << p.name;
+    ++i;
+  });
+
+  // With offload on, some transfer time hides behind compute.
+  const runtime::TimelineReport report = t_on.env().timeline_report(0);
+  EXPECT_GT(report.transfer_busy_s(), 0.0);
+  EXPECT_GT(report.overlap_ratio(), 0.0);
+  // And the sync path recorded no stream spans at all.
+  EXPECT_EQ(t_off.env().timeline_report(0).transfer_busy_s(), 0.0);
+}
+
+// ---- Satellite regression coverage -----------------------------------------
+
+TEST(ChunkStoreTest, UseAfterMoveThrows) {
+  PrefetchRig rig;
+  rig.store.put("k.0", rig.env.device(0).alloc(rig.chunk(7)));
+  ChunkStore moved = std::move(rig.store);
+  EXPECT_TRUE(moved.contains("k.0"));
+  EXPECT_THROW(rig.store.put("k.1", rig.env.device(0).alloc(rig.chunk(8))), FpdtError);
+  EXPECT_THROW((void)rig.store.take("k.0"), FpdtError);
+  EXPECT_THROW((void)rig.store.device(), FpdtError);
+}
+
+TEST(MemoryPoolTest, TimelineReturnsSnapshotCopy) {
+  runtime::MemoryPool pool("p", -1);
+  pool.start_timeline();
+  pool.charge(16);
+  const auto snapshot = pool.timeline();
+  ASSERT_EQ(snapshot.size(), 1u);
+  pool.charge(16);  // must not mutate the snapshot taken above
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(pool.timeline().size(), 2u);
+  pool.discharge(32);
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -5,6 +5,7 @@
 //   fpdt memory <model> <strategy> <gpus> <seq> per-GPU memory breakdown
 //   fpdt simulate <model> <gpus> <seq> [chunk]  step time / MFU / engine busy
 //   fpdt trace <model> <gpus> <chunk> <out.json> chrome://tracing pipeline dump
+//   fpdt overlap [gpus] [chunks] [chunk_tokens]  measured stream-overlap report
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
@@ -15,8 +16,11 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
 #include "nn/model_config.h"
 #include "perfmodel/evaluate.h"
+#include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
 
 namespace {
@@ -43,7 +47,8 @@ int usage() {
                "  fpdt maxlen <model> <strategy> <gpus> [hbm_gib=80]\n"
                "  fpdt memory <model> <strategy> <gpus> <seq>\n"
                "  fpdt simulate <model> <gpus> <seq> [chunk=64K]\n"
-               "  fpdt trace <model> <gpus> <chunk> <out.json>\n";
+               "  fpdt trace <model> <gpus> <chunk> <out.json>\n"
+               "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64]\n";
   return 2;
 }
 
@@ -134,6 +139,47 @@ int cmd_trace(const std::string& model, int gpus, const std::string& chunk,
   return 0;
 }
 
+// Runs an *executed* FPDT training step (tiny GPT, emulated group) with the
+// stream engine on, stream rates taken from the A100 cost model, and prints
+// the measured transfer timeline next to the simulator's forward-pipeline
+// prediction for the same shapes — prediction and measurement on one scale.
+int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens) {
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 96);
+  const sim::CostModel cm(sim::a100_80g_node(), gpus);
+
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = chunks;
+  const std::int64_t s_global = static_cast<std::int64_t>(gpus) * chunks * chunk_tokens;
+
+  nn::Model model(cfg, 1234);
+  core::FpdtTrainer trainer(model, gpus, fcfg);
+  trainer.env().set_stream_rates(sim::stream_rates(cm));
+
+  data::SyntheticCorpus corpus(cfg.vocab, 7);
+  const double loss = trainer.train_step_grads(corpus.sample(s_global + 1));
+
+  const runtime::TimelineReport measured = trainer.env().timeline_report(0);
+  const runtime::TransferStats& tx = trainer.env().device(0).transfers();
+  std::cout << "executed FPDT step: " << cfg.name << ", " << gpus << " GPUs, seq "
+            << format_token_count(s_global) << " (" << chunks << " chunks x "
+            << format_token_count(chunk_tokens) << "/rank), loss " << loss << "\n"
+            << "rank-0 traffic: h2d " << format_bytes(tx.h2d_bytes) << " in " << tx.h2d_count
+            << " transfers, d2h " << format_bytes(tx.d2h_bytes) << " in " << tx.d2h_count
+            << " transfers, hbm peak " << format_bytes(trainer.env().max_hbm_peak()) << "\n"
+            << measured.to_string();
+
+  // Simulator prediction covers the forward chunk pipeline only (the
+  // measured report spans forward + backward), so compare ratios, not
+  // absolute times.
+  const runtime::TimelineReport predicted = sim::sim_timeline_report(
+      sim::build_fpdt_forward_sim(cfg, cm, s_global / gpus, chunks, fcfg.offload,
+                                  fcfg.double_buffer));
+  std::cout << "simulated forward pipeline (double_buffer="
+            << (fcfg.double_buffer ? "true" : "false") << "):\n"
+            << predicted.to_string();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +201,11 @@ int main(int argc, char** argv) {
     }
     if (cmd == "trace" && argc >= 6) {
       return cmd_trace(argv[2], std::atoi(argv[3]), argv[4], argv[5]);
+    }
+    if (cmd == "overlap") {
+      return cmd_overlap(argc > 2 ? std::atoi(argv[2]) : 2,
+                         argc > 3 ? std::atoll(argv[3]) : 4,
+                         argc > 4 ? std::atoll(argv[4]) : 64);
     }
     return usage();
   } catch (const std::exception& e) {
