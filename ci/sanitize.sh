@@ -19,9 +19,13 @@ run_lane() {
   cmake -B "$dir" -S . -DFPDT_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j
   # The suites that exercise shared state across the emulated ranks: the
-  # stream/prefetch engine, the thread pool, and the chunked executors.
+  # stream/prefetch engine, the thread pool, the chunked executors, and the
+  # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline'
+  # End-to-end profiler smoke under the sanitizer: traces a 2-step run and
+  # checks the emitted JSON documents and overlap invariants.
+  ci/profile_smoke.sh "$dir"
 }
 
 lanes=("$@")

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fpdt::comm {
 
@@ -40,6 +41,24 @@ void paste_head_block(const Tensor& src, Tensor& dst, std::int64_t h_begin) {
   }
 }
 
+// Emits one instant per participating rank (value = logical bytes that rank
+// moved in this collective) plus a running "comm bytes" counter, so every
+// rank's trace lane shows its collective traffic. Stamped at each rank's own
+// virtual clock. Collectives run once for the whole group, hence the loop.
+void trace_collective(const char* name, int world, std::int64_t bytes_per_rank,
+                      const CommStats& stats) {
+  if (!obs::tracing_enabled()) return;
+  const std::int64_t cumulative = (stats.all_to_all_bytes + stats.all_gather_bytes +
+                                   stats.reduce_scatter_bytes + stats.all_reduce_bytes +
+                                   stats.p2p_bytes) /
+                                  world;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  for (int r = 0; r < world; ++r) {
+    tracer.instant(obs::kCatComm, name, r, "comm", static_cast<double>(bytes_per_rank), true);
+    tracer.counter(obs::kCatComm, "comm bytes", r, static_cast<double>(cumulative));
+  }
+}
+
 }  // namespace
 
 std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
@@ -69,6 +88,7 @@ std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor
     out.push_back(std::move(gathered));
   }
   stats_.all_to_all_bytes += P * s_local * h_global * d * 2;  // logical BF16 bytes
+  trace_collective("a2a heads_to_seq", P, s_local * h_global * d * 2, stats_);
   return out;
 }
 
@@ -96,6 +116,7 @@ std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor
     out.push_back(std::move(scattered));
   }
   stats_.all_to_all_bytes += P * s_local * h_global * d * 2;
+  trace_collective("a2a seq_to_heads", P, s_local * h_global * d * 2, stats_);
   return out;
 }
 
@@ -108,6 +129,7 @@ std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) cons
   out.push_back(std::move(full));
   for (int r = 1; r < P; ++r) out.push_back(out[0].clone());
   stats_.all_gather_bytes += out[0].numel() * 2 * (P - 1);
+  trace_collective("all_gather", P, out[0].numel() * 2 * (P - 1) / P, stats_);
   return out;
 }
 
@@ -122,6 +144,7 @@ std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) c
   out.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) out.push_back(sum.slice0(r * shard, (r + 1) * shard).clone());
   stats_.reduce_scatter_bytes += sum.numel() * 2 * (P - 1) / P * P;
+  trace_collective("reduce_scatter", P, sum.numel() * 2 * (P - 1) / P, stats_);
   return out;
 }
 
@@ -134,6 +157,7 @@ std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) cons
   out.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) out.push_back(sum.clone());
   stats_.all_reduce_bytes += sum.numel() * 2 * 2 * (P - 1);
+  trace_collective("all_reduce", P, sum.numel() * 2 * 2 * (P - 1) / P, stats_);
   return out;
 }
 
@@ -145,6 +169,7 @@ std::vector<Tensor> ProcessGroup::ring_shift(std::span<const Tensor> local) cons
     out[static_cast<std::size_t>((r + 1) % P)] = local[static_cast<std::size_t>(r)].clone();
     stats_.p2p_bytes += local[static_cast<std::size_t>(r)].numel() * 2;
   }
+  trace_collective("ring_shift", P, local[0].numel() * 2, stats_);
   return out;
 }
 

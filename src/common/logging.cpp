@@ -1,11 +1,18 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace fpdt {
 namespace {
 
-LogLevel g_threshold = LogLevel::kWarn;
+// -1 = threshold not yet initialised from the environment.
+std::atomic<int> g_threshold{-1};
+std::mutex g_emit_mutex;
+thread_local int t_current_rank = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,25 +33,73 @@ const char* basename_of(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+bool parse_level(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  const std::string s(text);
+  if (s == "debug" || s == "DEBUG" || s == "0") *out = LogLevel::kDebug;
+  else if (s == "info" || s == "INFO" || s == "1") *out = LogLevel::kInfo;
+  else if (s == "warn" || s == "WARN" || s == "warning" || s == "2") *out = LogLevel::kWarn;
+  else if (s == "error" || s == "ERROR" || s == "3") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+int threshold_now() {
+  int v = g_threshold.load(std::memory_order_relaxed);
+  if (v < 0) {
+    init_logging_from_env();
+    v = g_threshold.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
+LogLevel log_threshold() { return static_cast<LogLevel>(threshold_now()); }
 
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void init_logging_from_env() {
+  LogLevel level = LogLevel::kWarn;
+  if (parse_level(std::getenv("FPDT_LOG_LEVEL"), &level)) {
+    g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+    return;
+  }
+  // Variable unset/unparsable: only fill in the default if the threshold was
+  // never initialised (explicit set_log_threshold() calls win).
+  int expected = -1;
+  g_threshold.compare_exchange_strong(expected, static_cast<int>(LogLevel::kWarn));
+}
+
+int current_rank() { return t_current_rank; }
+
+void set_current_rank(int rank) { t_current_rank = rank; }
+
+RankScope::RankScope(int rank) : prev_(t_current_rank) { t_current_rank = rank; }
+
+RankScope::~RankScope() { t_current_rank = prev_; }
 
 namespace detail {
 
 LogLine::LogLine(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_threshold) {
+    : enabled_(static_cast<int>(level) >= threshold_now()) {
   if (enabled_) {
-    stream_ << "[" << level_name(level) << " " << basename_of(file) << ":" << line << "] ";
+    stream_ << "[" << level_name(level);
+    if (t_current_rank >= 0) stream_ << " r" << t_current_rank;
+    stream_ << " " << basename_of(file) << ":" << line << "] ";
   }
 }
 
 LogLine::~LogLine() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    const std::string line = stream_.str();
+    // One locked write per line: lines from concurrent rank workers never
+    // interleave mid-line.
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -1,8 +1,18 @@
-// Minimal leveled logger. Not thread-safe beyond line atomicity; the SPMD
-// emulation is single-threaded by design (see comm/process_group.h).
+// Minimal leveled logger with per-rank context.
+//
+// Thread-safety: line emission is atomic — the fully formatted line is
+// written to stderr under a process-wide mutex, because the emulated ranks
+// fork across OS threads (common/thread_pool.h) and the sanitizer lanes run
+// them concurrently. The level threshold is an atomic; it is initialised
+// lazily from the FPDT_LOG_LEVEL environment variable (debug|info|warn|error
+// or 0..3) and can be overridden with set_log_threshold().
+//
+// Per-rank prefix: worker threads carry a thread-local emulated-rank id
+// (set by parallel_for_ranks, or explicitly via RankScope); when set, log
+// lines are prefixed "[INFO r3 file:line]". The same context feeds the
+// default rank of obs::TraceScope spans.
 #pragma once
 
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -10,9 +20,32 @@ namespace fpdt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global threshold; messages below it are discarded.
+// Global threshold; messages below it are discarded. The first query reads
+// FPDT_LOG_LEVEL (falling back to warn).
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+// Re-reads FPDT_LOG_LEVEL and applies it (no-op if the variable is unset or
+// unparsable). Called lazily on first use and by core::FpdtEnv at init.
+void init_logging_from_env();
+
+// ---- Per-rank context -------------------------------------------------------
+// Thread-local emulated-rank id; -1 = no rank context (driver code).
+int current_rank();
+void set_current_rank(int rank);
+
+// RAII rank context for a scope (used around per-rank forks).
+class RankScope {
+ public:
+  explicit RankScope(int rank);
+  ~RankScope();
+
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  int prev_;
+};
 
 namespace detail {
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace fpdt {
 
@@ -29,7 +30,10 @@ void set_parallel_workers(int workers) {
 
 void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
   if (n <= 1 || g_workers <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
+    for (int i = 0; i < n; ++i) {
+      RankScope rank_scope(i);
+      fn(i);
+    }
     return;
   }
   // Fork-join with a shared index counter; threads are cheap relative to
@@ -42,6 +46,9 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
       const int i = next.fetch_add(1);
       if (i >= n) return;
       try {
+        // The loop body *is* emulated rank i: tag the thread so log lines
+        // and trace scopes carry the rank without plumbing it through.
+        RankScope rank_scope(i);
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);

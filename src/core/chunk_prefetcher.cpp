@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fpdt::core {
 
@@ -12,6 +13,20 @@ using runtime::Buffer;
 using runtime::Device;
 using runtime::Event;
 using runtime::StagingCharge;
+
+namespace {
+
+// Chunk-lifecycle trace marker on the owning rank's "chunk" lane; value is
+// the chunk's logical byte size. Issue markers land at the rank's current
+// virtual clock; retire markers fire inside stream closures, which run
+// right after the stream span advanced the clock to the transfer's finish.
+void trace_chunk(const char* what, const std::string& key, int rank, std::int64_t bytes) {
+  if (!obs::tracing_enabled()) return;
+  obs::Tracer::instance().instant(obs::kCatChunk, std::string(what) + " " + key, rank, "chunk",
+                                  static_cast<double>(bytes), true);
+}
+
+}  // namespace
 
 ChunkPrefetcher::ChunkPrefetcher(ChunkStore& store, bool use_streams,
                                  std::int64_t max_in_flight)
@@ -58,6 +73,7 @@ void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
     // and transfer counters hit exactly where they do without streams.
     InFetch f;
     f.slot = std::make_shared<Buffer>(take ? store_->take(key) : store_->fetch_copy(key));
+    trace_chunk("fetch.sync", key, store_->device().rank(), f.slot->bytes());
     fetches_.emplace(key, std::move(f));
     return;
   }
@@ -83,6 +99,7 @@ void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
   // reserve (the honest OOM point) — exactly where the sync path charges.
   dev.transfers().h2d_bytes += bytes;
   dev.transfers().h2d_count += 1;
+  trace_chunk(count_against_cap ? "fetch.issue" : "fetch.demand", key, dev.rank(), bytes);
   auto staging = std::make_shared<StagingCharge>(&dev.hbm(), bytes);
 
   auto slot = std::make_shared<Buffer>();
@@ -90,13 +107,14 @@ void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
   Device* devp = &dev;
   Event ready = dev.h2d_stream().enqueue(
       "fetch." + key, dev.rates().h2d_time(bytes), std::move(waits),
-      [store, devp, slot, staging, key, take, dtype]() {
+      [store, devp, slot, staging, key, take, dtype, bytes]() {
         // Retire: the reserve converts into the real data charge (release
         // first — a dip, never a transient double charge).
         staging->release();
         Tensor t = take ? store->extract(key).detach()
                         : store->peek_buffer(key).tensor().clone();
         *slot = devp->alloc(std::move(t), dtype);
+        trace_chunk("fetch.retire", key, devp->rank(), bytes);
       });
   fetches_.emplace(key, InFetch{ready, std::move(slot)});
 }
@@ -121,6 +139,7 @@ ChunkPrefetcher::Fetched ChunkPrefetcher::acquire(const std::string& key, bool t
 Event ChunkPrefetcher::put_async(const std::string& key, Buffer buffer,
                                  std::vector<Event> waits) {
   if (!use_streams_) {
+    trace_chunk("offload.sync", key, store_->device().rank(), buffer.bytes());
     store_->put(key, std::move(buffer));
     return Event();
   }
@@ -137,17 +156,20 @@ Event ChunkPrefetcher::put_async(const std::string& key, Buffer buffer,
   auto data = std::make_shared<Tensor>(buffer.detach());
   dev.transfers().d2h_bytes += bytes;
   dev.transfers().d2h_count += 1;
+  trace_chunk("offload.issue", key, dev.rank(), bytes);
   auto staging = std::make_shared<StagingCharge>(&store_->host().pool(), bytes);
 
   pending_puts_[key] = PendingPut{bytes, dtype};
   ChunkStore* store = store_;
   ChunkPrefetcher* self = this;
+  const int rank = dev.rank();
   Event done = dev.d2h_stream().enqueue(
       "offload." + key, dev.rates().d2h_time(bytes), std::move(waits),
-      [store, self, data, staging, key, dtype]() {
+      [store, self, data, staging, key, dtype, bytes, rank]() {
         staging->release();
         store->adopt(key, store->host().alloc(std::move(*data), dtype));
         self->pending_puts_.erase(key);
+        trace_chunk("offload.retire", key, rank, bytes);
       });
   store_->set_offload_event(key, done);
   return done;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/logging.h"
 #include "core/fpdt_config.h"
 #include "runtime/device.h"
 
@@ -18,6 +19,7 @@ class FpdtEnv {
   FpdtEnv(int world, FpdtConfig cfg, std::int64_t hbm_capacity_bytes = -1,
           std::int64_t host_capacity_bytes = -1)
       : pg_(world), host_(host_capacity_bytes), cfg_(cfg) {
+    init_logging_from_env();  // honor FPDT_LOG_LEVEL for everything downstream
     devices_.reserve(static_cast<std::size_t>(world));
     for (int r = 0; r < world; ++r) {
       devices_.push_back(std::make_unique<runtime::Device>(r, hbm_capacity_bytes));

@@ -1,8 +1,24 @@
 #include "core/fpdt_trainer.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fpdt::core {
+
+namespace {
+
+// Models a non-block phase (embedding, loss head) as a span on the rank's
+// compute stream so traces and timeline reports cover the whole step, not
+// just the transformer blocks. Gated on tracing: without a tracer the span
+// ledger stays exactly as the seed produced it (timeline-shape tests).
+void trace_phase_span(FpdtEnv& env, int rank, const char* label, double flops) {
+  if (!obs::tracing_enabled() || !env.cfg().stream_prefetch) return;
+  runtime::Device& dev = env.device(rank);
+  dev.compute_stream().enqueue(label, dev.rates().gemm_time(flops));
+  dev.compute_stream().synchronize();
+}
+
+}  // namespace
 
 FpdtTrainer::FpdtTrainer(nn::Model& model, int world, FpdtConfig cfg,
                          std::int64_t hbm_capacity_bytes)
@@ -38,17 +54,24 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   // ---- Embedding per rank.
   std::vector<Tensor> h;
   h.reserve(static_cast<std::size_t>(P));
-  for (int r = 0; r < P; ++r) {
-    h.push_back(model_->embedding().forward(shards[static_cast<std::size_t>(r)].inputs));
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "embed");
+    for (int r = 0; r < P; ++r) {
+      h.push_back(model_->embedding().forward(shards[static_cast<std::size_t>(r)].inputs));
+      trace_phase_span(env_, r, "embed", 2.0 * static_cast<double>(h.back().numel()));
+    }
   }
 
   // ---- Blocks with activation checkpointing: keep each block's per-rank
   // input; everything else is recomputed chunk-wise in backward.
   std::vector<std::vector<Tensor>> block_inputs;
   block_inputs.reserve(executors_.size());
-  for (FpdtBlockExecutor& exec : executors_) {
-    block_inputs.push_back(h);
-    h = exec.forward(h);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.forward");
+    for (FpdtBlockExecutor& exec : executors_) {
+      block_inputs.push_back(h);
+      h = exec.forward(h);
+    }
   }
 
   // ---- Final norm + chunked loss head per rank. The loss is scaled by the
@@ -58,26 +81,41 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   if (lm_chunks <= 0) lm_chunks = model_->lm_head().suggested_chunks();
   double loss_sum = 0.0;
   std::vector<Tensor> dh(static_cast<std::size_t>(P));
-  for (int r = 0; r < P; ++r) {
-    nn::NormStats st;
-    Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
-    nn::LossResult res = model_->lm_head().forward_backward(
-        hn, shards[static_cast<std::size_t>(r)].labels, lm_chunks, s_global,
-        &env_.device(r).hbm());
-    loss_sum += res.loss_sum;
-    dh[static_cast<std::size_t>(r)] =
-        model_->final_norm().backward(res.dx, h[static_cast<std::size_t>(r)], st);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "loss_head");
+    const double vocab = static_cast<double>(model_->embedding().vocab());
+    for (int r = 0; r < P; ++r) {
+      nn::NormStats st;
+      Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
+      nn::LossResult res = model_->lm_head().forward_backward(
+          hn, shards[static_cast<std::size_t>(r)].labels, lm_chunks, s_global,
+          &env_.device(r).hbm());
+      loss_sum += res.loss_sum;
+      dh[static_cast<std::size_t>(r)] =
+          model_->final_norm().backward(res.dx, h[static_cast<std::size_t>(r)], st);
+      // 2sdv forward projection + 4sdv backward (dW and dx); numel = s*d.
+      trace_phase_span(env_, r, "loss",
+                       6.0 * vocab * static_cast<double>(hn.numel()));
+    }
   }
 
   // ---- Backward through blocks in reverse.
-  for (std::size_t l = executors_.size(); l-- > 0;) {
-    dh = executors_[l].backward(dh, block_inputs[l]);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.backward");
+    for (std::size_t l = executors_.size(); l-- > 0;) {
+      dh = executors_[l].backward(dh, block_inputs[l]);
+    }
   }
 
   // ---- Embedding backward per rank.
-  for (int r = 0; r < P; ++r) {
-    model_->embedding().backward(dh[static_cast<std::size_t>(r)],
-                                 shards[static_cast<std::size_t>(r)].inputs);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "embed.backward");
+    for (int r = 0; r < P; ++r) {
+      model_->embedding().backward(dh[static_cast<std::size_t>(r)],
+                                   shards[static_cast<std::size_t>(r)].inputs);
+      trace_phase_span(env_, r, "bwd.embed",
+                       2.0 * static_cast<double>(dh[static_cast<std::size_t>(r)].numel()));
+    }
   }
   return loss_sum / static_cast<double>(s_global);
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fpdt::nn {
 
@@ -10,6 +11,7 @@ Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_deca
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
 
 void Adam::step(const std::function<void(const ParamVisitor&)>& walk) {
+  FPDT_TRACE_SCOPE(obs::kCatPhase, "optimizer");
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));

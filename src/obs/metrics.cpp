@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace fpdt::obs {
+
+void Histogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  int bucket = 0;
+  if (x >= 1.0) {
+    bucket = std::min(kBuckets - 1, 1 + static_cast<int>(std::floor(std::log2(x))));
+  }
+  ++buckets_[bucket];
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<std::int64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::int64_t>(buckets_, buckets_ + kBuckets);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.type = "counter";
+    e.value = static_cast<double>(c->value());
+    out.push_back(std::move(e));
+  }
+  for (const auto& [key, g] : gauges_) {
+    Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.type = "gauge";
+    e.value = g->value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [key, h] : histograms_) {
+    Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.type = "histogram";
+    e.value = h->sum();
+    e.count = h->count();
+    e.min = h->min();
+    e.max = h->max();
+    e.mean = h->mean();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  return out;
+}
+
+// JSON has no NaN/Inf literals; degenerate values render as 0.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Entry& e : snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"labels\":\"" << json_escape(e.labels)
+       << "\",\"type\":\"" << e.type << "\"";
+    if (e.type == "histogram") {
+      os << ",\"count\":" << e.count << ",\"sum\":" << finite(e.value) << ",\"min\":"
+         << finite(e.min) << ",\"max\":" << finite(e.max) << ",\"mean\":" << finite(e.mean);
+    } else {
+      os << ",\"value\":" << finite(e.value);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void MetricsRegistry::print_table(std::ostream& os) const {
+  TextTable t({"metric", "labels", "type", "value", "count", "mean"});
+  for (const Entry& e : snapshot()) {
+    t.add_row({e.name, e.labels.empty() ? "-" : e.labels, e.type, cell_f2(e.value),
+               e.type == "histogram" ? std::to_string(e.count) : "-",
+               e.type == "histogram" ? cell_f2(e.mean) : "-"});
+  }
+  t.print(os);
+}
+
+}  // namespace fpdt::obs

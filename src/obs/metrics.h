@@ -1,0 +1,114 @@
+// Typed metrics registry — counters, gauges and histograms with labels.
+//
+// The registry is the numeric companion of the tracer (obs/trace.h): where
+// the tracer answers "when did it happen", the registry answers "how much,
+// in total". Instruments are created on first use and keyed by
+// (name, labels); labels are a canonical "k=v,k=v" string (e.g. "rank=0").
+// References returned by counter()/gauge()/histogram() stay valid for the
+// registry's lifetime, so hot paths can cache them.
+//
+// Thread-safety: instrument lookup is mutex-guarded; updates on an acquired
+// instrument are atomic (counters/gauges) or mutex-guarded (histograms), so
+// the emulated ranks can record from thread-pool workers.
+//
+// Renderers: json() for machine consumption (fpdt profile's metrics.json),
+// print_table() for humans (reuses common/table.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fpdt::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Summary histogram: count/sum/min/max plus power-of-two magnitude buckets
+// (bucket k counts observations in [2^(k-1), 2^k), with bucket 0 catching
+// everything below 1). Enough to see latency distributions without a full
+// HDR structure.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double x);
+
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;
+  double mean() const;
+  std::vector<std::int64_t> buckets() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::int64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& labels = "");
+
+  // Drops every instrument (references from before reset() dangle; only use
+  // between measurement windows).
+  void reset();
+
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::string type;  // "counter" | "gauge" | "histogram"
+    double value = 0.0;       // counter/gauge value, histogram sum
+    std::int64_t count = 0;   // histogram only
+    double min = 0.0, max = 0.0, mean = 0.0;  // histogram only
+  };
+  std::vector<Entry> snapshot() const;
+
+  // {"metrics":[{"name":...,"labels":...,"type":...,...}, ...]}
+  std::string json() const;
+  void print_table(std::ostream& os) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fpdt::obs

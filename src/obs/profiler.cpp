@@ -1,0 +1,230 @@
+#include "obs/profiler.h"
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "nn/adam.h"
+#include "nn/model.h"
+#include "nn/model_config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/baseline_trainer.h"
+#include "sim/runtime_bridge.h"
+
+namespace fpdt::obs {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// JSON has no NaN/Inf literals; degenerate values render as 0.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+std::string phase_of(const std::string& label) {
+  // Transfer spans keep their stream-of-origin identity.
+  if (starts_with(label, "fetch.")) return "fetch";
+  if (starts_with(label, "offload.")) return "offload";
+  // Backward recompute spans classify with their forward counterparts.
+  const std::string base = starts_with(label, "bwd.") ? label.substr(4) : label;
+  if (starts_with(base, "proj") || starts_with(base, "qkv")) return "qkv";
+  if (starts_with(base, "a2a")) return "all2all";
+  if (starts_with(base, "attn")) return "attention";
+  if (starts_with(base, "post") || starts_with(base, "ffn") || starts_with(base, "out_proj")) {
+    return "ffn";
+  }
+  if (starts_with(base, "embed")) return "embed";
+  if (starts_with(base, "loss")) return "loss";
+  if (starts_with(base, "optimizer")) return "optimizer";
+  return "other";
+}
+
+std::string StepStats::json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"step\":" << step << ",\"tokens\":" << tokens << ",\"loss\":" << finite(loss)
+     << ",\"virtual_step_s\":" << finite(virtual_step_s)
+     << ",\"tokens_per_s\":" << finite(tokens_per_s)
+     << ",\"compute_busy_s\":" << finite(compute_busy_s)
+     << ",\"h2d_busy_s\":" << finite(h2d_busy_s) << ",\"d2h_busy_s\":" << finite(d2h_busy_s)
+     << ",\"hidden_transfer_s\":" << finite(hidden_transfer_s)
+     << ",\"exposed_transfer_s\":" << finite(exposed_transfer_s)
+     << ",\"overlap_ratio\":" << finite(overlap_ratio) << ",\"h2d_bytes\":" << h2d_bytes
+     << ",\"d2h_bytes\":" << d2h_bytes << ",\"all2all_bytes\":" << all2all_bytes
+     << ",\"hbm_peak_bytes\":" << hbm_peak_bytes << ",\"phase_s\":{";
+  bool first = true;
+  for (const auto& [phase, seconds] : phase_s) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << phase << "\":" << finite(seconds);
+  }
+  os << "}}";
+  return os.str();
+}
+
+StepProfiler::StepProfiler(core::FpdtEnv& env) : env_(&env) {}
+
+void StepProfiler::begin_step() {
+  env_->reset_stream_timelines();  // synchronizes first
+  env_->reset_peaks();
+  h2d_base_ = env_->device(0).transfers().h2d_bytes;
+  d2h_base_ = env_->device(0).transfers().d2h_bytes;
+  a2a_base_ = env_->pg().stats().all_to_all_bytes;
+}
+
+StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
+  last_report_ = env_->timeline_report(0);  // synchronizes all of rank 0
+  env_->synchronize_streams();              // ...and every other rank
+
+  StepStats st;
+  st.step = step;
+  st.tokens = tokens;
+  st.loss = loss;
+  st.virtual_step_s = last_report_.makespan_s;
+  st.tokens_per_s =
+      st.virtual_step_s > 0.0 ? static_cast<double>(tokens) / st.virtual_step_s : 0.0;
+  st.compute_busy_s = last_report_.compute_busy_s;
+  st.h2d_busy_s = last_report_.h2d_busy_s;
+  st.d2h_busy_s = last_report_.d2h_busy_s;
+  st.hidden_transfer_s = last_report_.hidden_transfer_s;
+  st.exposed_transfer_s = last_report_.exposed_transfer_s;
+  st.overlap_ratio = last_report_.overlap_ratio();
+  st.h2d_bytes = env_->device(0).transfers().h2d_bytes - h2d_base_;
+  st.d2h_bytes = env_->device(0).transfers().d2h_bytes - d2h_base_;
+  st.all2all_bytes = env_->pg().stats().all_to_all_bytes - a2a_base_;
+  st.hbm_peak_bytes = env_->max_hbm_peak();
+  for (const runtime::StreamSpan& s : env_->device(0).compute_stream().spans()) {
+    st.phase_s[phase_of(s.label)] += s.duration();
+  }
+  for (const runtime::StreamSpan& s : env_->device(0).h2d_stream().spans()) {
+    st.phase_s[phase_of(s.label)] += s.duration();
+  }
+  for (const runtime::StreamSpan& s : env_->device(0).d2h_stream().spans()) {
+    st.phase_s[phase_of(s.label)] += s.duration();
+  }
+
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("steps").add(1);
+  reg.counter("tokens").add(tokens);
+  reg.histogram("step.virtual_s").observe(st.virtual_step_s);
+  reg.histogram("step.tokens_per_s").observe(st.tokens_per_s);
+  reg.counter("transfer.h2d_bytes", "rank=0").add(st.h2d_bytes);
+  reg.counter("transfer.d2h_bytes", "rank=0").add(st.d2h_bytes);
+  reg.counter("comm.all2all_bytes").add(st.all2all_bytes);
+  reg.gauge("hbm.peak_bytes").set(static_cast<double>(st.hbm_peak_bytes));
+  reg.gauge("overlap.ratio", "rank=0").set(st.overlap_ratio);
+  reg.gauge("transfer.hidden_s", "rank=0").set(st.hidden_transfer_s);
+  reg.gauge("transfer.exposed_s", "rank=0").set(st.exposed_transfer_s);
+  for (const auto& [phase, seconds] : st.phase_s) {
+    reg.histogram("phase.seconds", "phase=" + phase).observe(seconds);
+  }
+  return st;
+}
+
+// ---- fpdt profile ----------------------------------------------------------
+
+std::string ProfileResult::json(const ProfileOptions& opt) const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"strategy\":\"" << opt.strategy << "\",\"world\":" << opt.world
+     << ",\"steps\":" << opt.steps << ",\"chunks\":" << opt.chunks
+     << ",\"chunk_tokens\":" << opt.chunk_tokens << ",\"tokens_per_step\":" << tokens_per_step
+     << ",\"final_loss\":" << finite(final_loss) << ",\"step_stats\":[";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) os << ",";
+    os << steps[i].json();
+  }
+  os << "],\"registry\":" << MetricsRegistry::global().json() << "}";
+  return os.str();
+}
+
+ProfileResult run_profile(const ProfileOptions& opt) {
+  FPDT_CHECK_GE(opt.steps, 1) << " profile needs at least one step";
+  FPDT_CHECK_GE(opt.world, 1) << " profile world size";
+
+  Tracer& tracer = Tracer::instance();
+  if (opt.trace) {
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+  MetricsRegistry::global().reset();
+
+  const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 96);
+  nn::Model model(cfg, opt.seed);
+  const sim::CostModel cm(sim::a100_80g_node(), opt.world);
+  const std::int64_t s_global = static_cast<std::int64_t>(opt.world) * opt.chunks *
+                                opt.chunk_tokens;
+
+  // Either trainer exposes the same FpdtEnv surface; keep both behind
+  // pointers and a uniform step closure.
+  std::unique_ptr<core::FpdtTrainer> fpdt;
+  std::unique_ptr<parallel::BaselineTrainer> baseline;
+  core::FpdtEnv* env = nullptr;
+  if (opt.strategy == "fpdt") {
+    core::FpdtConfig fcfg;
+    fcfg.chunks_per_rank = opt.chunks;
+    fpdt = std::make_unique<core::FpdtTrainer>(model, opt.world, fcfg);
+    env = &fpdt->env();
+  } else {
+    parallel::BaselineKind kind;
+    if (opt.strategy == "ulysses") {
+      kind = parallel::BaselineKind::kUlysses;
+    } else if (opt.strategy == "megatron-sp") {
+      kind = parallel::BaselineKind::kMegatronSp;
+    } else if (opt.strategy == "ring") {
+      kind = parallel::BaselineKind::kRing;
+    } else {
+      if (opt.trace) tracer.set_enabled(false);
+      throw FpdtError("unknown profile strategy: " + opt.strategy +
+                      " (try fpdt, ulysses, megatron-sp, ring)");
+    }
+    baseline = std::make_unique<parallel::BaselineTrainer>(model, opt.world, kind);
+    env = &baseline->env();
+  }
+  env->set_stream_rates(sim::stream_rates(cm));
+
+  std::int64_t n_params = 0;
+  model.visit_params([&](nn::Param& p) { n_params += p.value.numel(); });
+
+  nn::Adam adam(1e-3);
+  data::SyntheticCorpus corpus(cfg.vocab, 7);
+  StepProfiler profiler(*env);
+
+  ProfileResult result;
+  result.tokens_per_step = s_global;
+  for (int step = 0; step < opt.steps; ++step) {
+    const std::vector<std::int32_t> tokens = corpus.sample(s_global + 1);
+    profiler.begin_step();
+    const double loss = fpdt ? fpdt->train_step_grads(tokens)
+                             : baseline->train_step_grads(tokens);
+    adam.step([&](const nn::ParamVisitor& v) { model.visit_params(v); });
+    // Model the optimizer sweep (~10 flops/param) as a compute-stream span
+    // per rank so it shows in the step's timeline and phase breakdown.
+    for (int r = 0; r < env->world(); ++r) {
+      runtime::Device& dev = env->device(r);
+      dev.compute_stream().enqueue("optimizer",
+                                   dev.rates().gemm_time(10.0 * static_cast<double>(n_params)));
+    }
+    result.steps.push_back(profiler.end_step(step, s_global, loss));
+    result.final_loss = loss;
+  }
+
+  if (opt.trace && !opt.trace_path.empty()) tracer.write_chrome_trace(opt.trace_path);
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path);
+    out << result.json(opt) << "\n";
+    FPDT_CHECK(out.good()) << " cannot write metrics to " << opt.metrics_path;
+  }
+  if (opt.trace) tracer.set_enabled(false);
+  return result;
+}
+
+}  // namespace fpdt::obs

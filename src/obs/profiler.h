@@ -1,0 +1,104 @@
+// Step profiler — turns one executed training step into StepStats: the
+// numbers the paper reports (tokens/s, per-phase latency, hidden vs exposed
+// transfer time, HBM peak) measured on the emulated runtime's virtual
+// clock, plus the glue that drives `fpdt profile`.
+//
+// Layering: obs/trace.h and obs/metrics.h depend only on common/ so every
+// layer can be instrumented; this header is the opposite end — it *reads*
+// the runtime (core::FpdtEnv, the trainers) and therefore lives in its own
+// library (fpdt_profile) above fpdt_core and fpdt_parallel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fpdt_env.h"
+#include "runtime/stream.h"
+
+namespace fpdt::obs {
+
+// Coarse phase for a compute-stream span label (core/fpdt_block.cpp's
+// vocabulary): "proj.3" / "bwd.qkv_proj.1" -> "qkv", "a2a_back.2" ->
+// "all2all", "attn.1.0" -> "attention", "post.0" / "bwd.ffn.2" -> "ffn",
+// "fetch.k3" -> "fetch", "offload.v1" -> "offload", plus the trainer-level
+// "embed" / "loss" / "optimizer" spans. Unknown labels -> "other".
+std::string phase_of(const std::string& label);
+
+// One training step's worth of measurements, all on the virtual clock.
+struct StepStats {
+  int step = 0;
+  std::int64_t tokens = 0;
+  double loss = 0.0;
+  double virtual_step_s = 0.0;  // rank-0 stream makespan
+  double tokens_per_s = 0.0;    // tokens / virtual_step_s (0 when degenerate)
+  double compute_busy_s = 0.0;
+  double h2d_busy_s = 0.0;
+  double d2h_busy_s = 0.0;
+  double hidden_transfer_s = 0.0;
+  double exposed_transfer_s = 0.0;
+  double overlap_ratio = 0.0;
+  std::int64_t h2d_bytes = 0;       // rank-0 traffic during the step
+  std::int64_t d2h_bytes = 0;
+  std::int64_t all2all_bytes = 0;   // whole-group All2All traffic
+  std::int64_t hbm_peak_bytes = 0;  // max over ranks
+  std::map<std::string, double> phase_s;  // phase -> rank-0 compute seconds
+
+  std::string json() const;
+};
+
+// Brackets one training step: begin_step() opens a fresh measurement window
+// (stream timelines, HBM peaks, transfer/comm baselines); end_step()
+// synchronizes, builds the rank-0 TimelineReport, classifies compute spans
+// into phases and folds everything into StepStats and the global
+// MetricsRegistry. The overlap_ratio in StepStats *is*
+// TimelineReport::overlap_ratio() — one source of truth.
+class StepProfiler {
+ public:
+  explicit StepProfiler(core::FpdtEnv& env);
+
+  void begin_step();
+  StepStats end_step(int step, std::int64_t tokens, double loss);
+
+  const runtime::TimelineReport& last_report() const { return last_report_; }
+
+ private:
+  core::FpdtEnv* env_;
+  std::int64_t h2d_base_ = 0;
+  std::int64_t d2h_base_ = 0;
+  std::int64_t a2a_base_ = 0;
+  runtime::TimelineReport last_report_;
+};
+
+// ---- fpdt profile ----------------------------------------------------------
+
+struct ProfileOptions {
+  std::string strategy = "fpdt";  // fpdt | ulysses | megatron-sp | ring
+  int steps = 2;
+  int world = 2;
+  std::int64_t chunks = 4;        // FPDT chunks per rank
+  std::int64_t chunk_tokens = 64;
+  std::uint64_t seed = 1234;
+  bool trace = true;
+  std::string trace_path = "trace.json";
+  std::string metrics_path = "metrics.json";
+};
+
+struct ProfileResult {
+  std::vector<StepStats> steps;
+  double final_loss = 0.0;
+  std::int64_t tokens_per_step = 0;
+
+  // Full profile document: options echo, per-step stats, metrics registry
+  // snapshot (what metrics.json holds).
+  std::string json(const ProfileOptions& opt) const;
+};
+
+// Runs `opt.steps` training steps of a tiny model under the chosen strategy
+// with tracing on, writes opt.trace_path (Chrome trace JSON) and
+// opt.metrics_path, and returns the per-step stats. The tracer is restored
+// to disabled afterwards. Empty paths skip the corresponding file.
+ProfileResult run_profile(const ProfileOptions& opt);
+
+}  // namespace fpdt::obs

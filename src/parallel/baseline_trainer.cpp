@@ -1,6 +1,7 @@
 #include "parallel/baseline_trainer.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace fpdt::parallel {
 
@@ -67,40 +68,55 @@ double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens
   }
 
   std::vector<Tensor> h(static_cast<std::size_t>(P));
-  for (int r = 0; r < P; ++r) {
-    h[static_cast<std::size_t>(r)] =
-        model_->embedding().forward(inputs[static_cast<std::size_t>(r)]);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "embed");
+    for (int r = 0; r < P; ++r) {
+      h[static_cast<std::size_t>(r)] =
+          model_->embedding().forward(inputs[static_cast<std::size_t>(r)]);
+    }
   }
 
   // Activation checkpointing across blocks, as everywhere in the paper.
   std::vector<std::vector<Tensor>> block_inputs;
   block_inputs.reserve(executors_.size());
-  for (std::size_t l = 0; l < executors_.size(); ++l) {
-    block_inputs.push_back(h);
-    h = exec_forward(l, h);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.forward");
+    for (std::size_t l = 0; l < executors_.size(); ++l) {
+      block_inputs.push_back(h);
+      h = exec_forward(l, h);
+    }
   }
 
   double loss_sum = 0.0;
   std::vector<Tensor> dh(static_cast<std::size_t>(P));
-  for (int r = 0; r < P; ++r) {
-    nn::NormStats st;
-    Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
-    // Monolithic loss head: these baselines do not chunk the logits — the
-    // §5.4 spike the memory model charges them for.
-    nn::LossResult res = model_->lm_head().forward_backward(
-        hn, labels[static_cast<std::size_t>(r)], /*chunks=*/1, s_global,
-        &env_.device(r).hbm());
-    loss_sum += res.loss_sum;
-    dh[static_cast<std::size_t>(r)] =
-        model_->final_norm().backward(res.dx, h[static_cast<std::size_t>(r)], st);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "loss_head");
+    for (int r = 0; r < P; ++r) {
+      nn::NormStats st;
+      Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
+      // Monolithic loss head: these baselines do not chunk the logits — the
+      // §5.4 spike the memory model charges them for.
+      nn::LossResult res = model_->lm_head().forward_backward(
+          hn, labels[static_cast<std::size_t>(r)], /*chunks=*/1, s_global,
+          &env_.device(r).hbm());
+      loss_sum += res.loss_sum;
+      dh[static_cast<std::size_t>(r)] =
+          model_->final_norm().backward(res.dx, h[static_cast<std::size_t>(r)], st);
+    }
   }
 
-  for (std::size_t l = executors_.size(); l-- > 0;) {
-    dh = exec_backward(l, dh, block_inputs[l]);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.backward");
+    for (std::size_t l = executors_.size(); l-- > 0;) {
+      dh = exec_backward(l, dh, block_inputs[l]);
+    }
   }
-  for (int r = 0; r < P; ++r) {
-    model_->embedding().backward(dh[static_cast<std::size_t>(r)],
-                                 inputs[static_cast<std::size_t>(r)]);
+  {
+    FPDT_TRACE_SCOPE(obs::kCatPhase, "embed.backward");
+    for (int r = 0; r < P; ++r) {
+      model_->embedding().backward(dh[static_cast<std::size_t>(r)],
+                                   inputs[static_cast<std::size_t>(r)]);
+    }
   }
   return loss_sum / static_cast<double>(s_global);
 }

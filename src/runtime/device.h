@@ -67,7 +67,12 @@ class Device {
         hbm_("hbm[rank " + std::to_string(rank) + "]", hbm_capacity_bytes),
         compute_("compute[rank " + std::to_string(rank) + "]"),
         h2d_("h2d[rank " + std::to_string(rank) + "]"),
-        d2h_("d2h[rank " + std::to_string(rank) + "]") {}
+        d2h_("d2h[rank " + std::to_string(rank) + "]") {
+    hbm_.set_trace_identity(rank, "hbm bytes");
+    compute_.set_trace_identity(rank, "compute");
+    h2d_.set_trace_identity(rank, "h2d");
+    d2h_.set_trace_identity(rank, "d2h");
+  }
 
   int rank() const { return rank_; }
   MemoryPool& hbm() { return hbm_; }
@@ -119,7 +124,9 @@ class Device {
 // bounded to model the paper's 1 TB nodes.
 class Host {
  public:
-  explicit Host(std::int64_t capacity_bytes = -1) : pool_("host", capacity_bytes) {}
+  explicit Host(std::int64_t capacity_bytes = -1) : pool_("host", capacity_bytes) {
+    pool_.set_trace_identity(obs::kNodeRank, "host bytes");
+  }
 
   MemoryPool& pool() { return pool_; }
 

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "obs/trace.h"
 
 namespace fpdt::runtime {
 
@@ -83,6 +85,16 @@ class MemoryPool {
     phase_label_ = std::move(label);
   }
 
+  // Identity used for trace counter events (obs/trace.h): the owning rank
+  // (obs::kNodeRank for node-shared pools) and a short counter name ("hbm",
+  // "host"). Assigned by runtime::Device/Host; bare pools fall back to the
+  // full pool name on the node process.
+  void set_trace_identity(int rank, std::string counter_name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_rank_ = rank;
+    trace_name_ = std::move(counter_name);
+  }
+
   // Thread-safe: the host pool is shared by all emulated ranks, whose
   // attention loops fork across threads (common/thread_pool.h).
   void charge(std::int64_t bytes) {
@@ -141,6 +153,14 @@ class MemoryPool {
  private:
   void record_locked() {
     if (recording_) timeline_.push_back({tick_++, used_ + staging_, phase_label_});
+    if (obs::tracing_enabled()) {
+      // Node-shared pools (rank kNodeRank) have no clock of their own; stamp
+      // their samples at the acting rank's virtual clock.
+      const int clock_rank = trace_rank_ >= 0 ? trace_rank_ : std::max(current_rank(), 0);
+      obs::Tracer::instance().counter(obs::kCatMemory, trace_name_.empty() ? name_ : trace_name_,
+                                      trace_rank_, static_cast<double>(used_ + staging_),
+                                      clock_rank);
+    }
   }
 
   std::string name_;
@@ -153,6 +173,8 @@ class MemoryPool {
   std::int64_t tick_ = 0;
   std::string phase_label_;
   std::vector<MemorySample> timeline_;
+  int trace_rank_ = obs::kNodeRank;
+  std::string trace_name_;
 };
 
 // RAII accounting token. Move-only; discharges its pool on destruction.

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace fpdt::runtime {
 
@@ -61,6 +62,14 @@ void Stream::execute_front() {
   }
   spans_.push_back(StreamSpan{std::move(task.label), start, start + task.duration});
   tail_ = start + task.duration;
+  if (obs::tracing_enabled()) {
+    // Emit the resolved span (and advance the rank's virtual clock) before
+    // the side effect runs, so events the closure emits — chunk retirement,
+    // pool samples — are stamped at this task's finish time.
+    obs::Tracer::instance().complete(obs::kCatStream, spans_.back().label, trace_rank_,
+                                     trace_track_.empty() ? name_ : trace_track_,
+                                     trace_offset_ + start, task.duration);
+  }
   if (task.fn) task.fn();
 }
 
@@ -82,6 +91,7 @@ void Stream::reset_timeline() {
   FPDT_CHECK(pending_.empty()) << " reset_timeline on busy stream " << name_;
   base_ += static_cast<std::int64_t>(spans_.size());
   spans_.clear();
+  trace_offset_ += tail_;
   tail_ = 0.0;
 }
 
@@ -109,9 +119,13 @@ TimelineReport make_timeline_report(const Stream& compute, const Stream& h2d,
   r.compute_busy_s = compute.busy_time();
   r.h2d_busy_s = h2d.busy_time();
   r.d2h_busy_s = d2h.busy_time();
-  r.hidden_transfer_s = overlapped_time(h2d.spans(), compute.spans()) +
-                        overlapped_time(d2h.spans(), compute.spans());
-  r.exposed_transfer_s = r.transfer_busy_s() - r.hidden_transfer_s;
+  // Clamp against floating-point drift and degenerate ledgers (empty or
+  // all-zero-duration spans): hidden can never exceed the transfer busy
+  // time, and exposed can never go negative.
+  r.hidden_transfer_s = std::min(overlapped_time(h2d.spans(), compute.spans()) +
+                                     overlapped_time(d2h.spans(), compute.spans()),
+                                 r.transfer_busy_s());
+  r.exposed_transfer_s = std::max(0.0, r.transfer_busy_s() - r.hidden_transfer_s);
   return r;
 }
 
@@ -121,8 +135,8 @@ std::string TimelineReport::to_string() const {
      << "  busy  compute " << format_seconds(compute_busy_s) << "  h2d "
      << format_seconds(h2d_busy_s) << "  d2h " << format_seconds(d2h_busy_s) << "\n"
      << "  transfer hidden behind compute " << format_seconds(hidden_transfer_s) << " / "
-     << format_seconds(transfer_busy_s()) << "  (overlap ratio "
-     << (transfer_busy_s() > 0.0 ? overlap_ratio() : 0.0) << ", exposed "
+     << format_seconds(transfer_busy_s()) << "  (overlap ratio " << overlap_ratio()
+     << ", exposed "
      << format_seconds(exposed_transfer_s) << ")\n";
   return os.str();
 }

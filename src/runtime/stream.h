@@ -28,6 +28,7 @@
 // time — the same discipline real per-GPU streams enjoy.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -139,8 +140,24 @@ class Stream {
 
   // Clears the span ledger and rewinds the virtual clock to 0 so a fresh
   // measurement window can start. Requires an idle stream. Events recorded
-  // before the reset degrade to "long done" (ready_time 0).
+  // before the reset degrade to "long done" (ready_time 0). The tracer
+  // offset keeps accumulating, so trace timestamps stay monotonic across
+  // measurement windows.
   void reset_timeline();
+
+  // Identity used for trace events (obs/trace.h): the owning rank and the
+  // lane name within that rank's trace process. Streams default to rank 0
+  // with the stream name as lane; runtime::Device assigns the real rank and
+  // the short "compute"/"h2d"/"d2h" lanes.
+  void set_trace_identity(int rank, std::string track) {
+    trace_rank_ = rank;
+    trace_track_ = std::move(track);
+  }
+  int trace_rank() const { return trace_rank_; }
+
+  // Virtual-time offset added to trace timestamps: the total virtual time
+  // retired before the last reset_timeline().
+  double trace_offset() const { return trace_offset_; }
 
  private:
   friend class Event;
@@ -162,6 +179,9 @@ class Stream {
   std::vector<StreamSpan> spans_;
   std::int64_t base_ = 0;  // seq of the first entry in spans_ (advanced by resets)
   double tail_ = 0.0;
+  int trace_rank_ = 0;
+  std::string trace_track_;
+  double trace_offset_ = 0.0;
 };
 
 // ---- Transfer-timeline report ----------------------------------------------
@@ -183,10 +203,13 @@ struct TimelineReport {
   double exposed_transfer_s = 0.0;  // transfer time the GPU would starve on
 
   double transfer_busy_s() const { return h2d_busy_s + d2h_busy_s; }
-  // Fraction of transfer time hidden behind compute; 0 when there were no
-  // transfers at all.
+  // Fraction of transfer time hidden behind compute, clamped to [0, 1].
+  // Well-defined (0, never NaN) for empty ledgers and zero-duration spans,
+  // where there is no transfer time at all.
   double overlap_ratio() const {
-    return transfer_busy_s() > 0.0 ? hidden_transfer_s / transfer_busy_s() : 0.0;
+    const double transfer = transfer_busy_s();
+    if (transfer <= 0.0) return 0.0;
+    return std::clamp(hidden_transfer_s / transfer, 0.0, 1.0);
   }
   std::string to_string() const;
 };

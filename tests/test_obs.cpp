@@ -1,0 +1,387 @@
+// The observability layer (src/obs): tracer semantics (gating, ring buffer,
+// scope nesting on the virtual clock), Chrome-trace JSON well-formedness,
+// metrics aggregation, and the profiler's headline guarantee — profiling an
+// FPDT step changes nothing about its results while producing a trace that
+// covers every built-in category on every rank.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "nn/model.h"
+#include "nn/model_config.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "runtime/stream.h"
+
+namespace fpdt {
+namespace {
+
+// RAII tracer window: clears the global tracer, enables it, and guarantees
+// it is disabled again when the test block ends (other suites in this
+// binary must not observe a leaked enable).
+struct TracerWindow {
+  TracerWindow() {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  ~TracerWindow() { obs::Tracer::instance().set_enabled(false); }
+};
+
+// ---- Hand-rolled JSON syntax checker ---------------------------------------
+// No JSON library in the image; a recursive-descent validator is enough to
+// assert the exporters can never emit a document Perfetto would reject.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool eat(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) return false;
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (eat('.')) {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, AcceptsValidRejectsBroken) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e4,"x\n",true,null],"b":{}})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a" 1})").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":\"\n\"}").valid());  // raw newline in string
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerEmitsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+
+  // Every built-in hook: stream spans, pool samples, a TraceScope.
+  runtime::Stream s("s");
+  s.set_trace_identity(0, "compute");
+  s.enqueue("work", 1.0);
+  s.synchronize();
+  runtime::MemoryPool pool("p", -1);
+  pool.charge(64);
+  pool.discharge(64);
+  { FPDT_TRACE_SCOPE(obs::kCatPhase, "nothing"); }
+
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, ScopeNestingAndClockMonotonicity) {
+  TracerWindow window;
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  {
+    obs::TraceScope outer(obs::kCatPhase, "outer", 0);
+    tracer.complete(obs::kCatStream, "a", 0, "compute", 0.0, 1.0);
+    {
+      obs::TraceScope inner(obs::kCatPhase, "inner", 0);
+      tracer.complete(obs::kCatStream, "b", 0, "compute", 1.0, 2.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(tracer.clock(0), 3.0);  // advanced to the last span's finish
+
+  obs::TraceEvent outer_ev, inner_ev;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.name == "outer") outer_ev = ev;
+    if (ev.name == "inner") inner_ev = ev;
+  }
+  ASSERT_EQ(outer_ev.kind, obs::TraceEvent::Kind::kComplete);
+  ASSERT_EQ(inner_ev.kind, obs::TraceEvent::Kind::kComplete);
+  // Inner interval nests inside outer on the virtual clock.
+  EXPECT_GE(inner_ev.ts_s, outer_ev.ts_s);
+  EXPECT_LE(inner_ev.ts_s + inner_ev.dur_s, outer_ev.ts_s + outer_ev.dur_s);
+  EXPECT_DOUBLE_EQ(outer_ev.ts_s, 0.0);
+  EXPECT_DOUBLE_EQ(outer_ev.dur_s, 3.0);
+  EXPECT_DOUBLE_EQ(inner_ev.ts_s, 1.0);
+  EXPECT_DOUBLE_EQ(inner_ev.dur_s, 2.0);
+}
+
+TEST(TracerTest, RingBufferDropsOldest) {
+  TracerWindow window;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::size_t saved_capacity = tracer.capacity();
+  tracer.set_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.instant(obs::kCatPhase, "e" + std::to_string(i), 0, "cpu");
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const std::vector<obs::TraceEvent> evs = tracer.events();
+  EXPECT_EQ(evs.front().name, "e2");  // e0, e1 fell off the front
+  EXPECT_EQ(evs.back().name, "e5");
+  tracer.set_capacity(saved_capacity);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  TracerWindow window;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  // Names with every character class the escaper must handle.
+  tracer.complete(obs::kCatStream, "quote\"back\\slash", 0, "compute", 0.0, 1.0);
+  tracer.instant(obs::kCatChunk, "newline\nand\ttab\x01", 1, "chunk", 42.0, true);
+  tracer.counter(obs::kCatMemory, "hbm bytes", obs::kNodeRank, 1e9);
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeHistogramAggregation) {
+  obs::MetricsRegistry reg;
+  reg.counter("req", "rank=0").add(3);
+  reg.counter("req", "rank=0").add(2);  // same instrument: labels key
+  reg.counter("req", "rank=1").add(7);
+  reg.gauge("temp").set(1.5);
+  reg.gauge("temp").set(2.5);  // last write wins
+  obs::Histogram& h = reg.histogram("lat");
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(3.5);
+
+  EXPECT_EQ(reg.counter("req", "rank=0").value(), 5);
+  EXPECT_EQ(reg.counter("req", "rank=1").value(), 7);
+  EXPECT_DOUBLE_EQ(reg.gauge("temp").value(), 2.5);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 3.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  const std::vector<std::int64_t> buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1);  // 0.5 < 1
+  EXPECT_EQ(buckets[2], 2);  // 2.0 and 3.5 in [2, 4)
+
+  EXPECT_EQ(reg.snapshot().size(), 4u);
+  EXPECT_TRUE(JsonChecker(reg.json()).valid()) << reg.json();
+}
+
+TEST(MetricsTest, EmptyHistogramIsZeroNotNan) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("empty");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(JsonChecker(reg.json()).valid());
+}
+
+// ---- phase_of ---------------------------------------------------------------
+
+TEST(PhaseOfTest, ClassifiesBlockSpanVocabulary) {
+  EXPECT_EQ(obs::phase_of("proj.3"), "qkv");
+  EXPECT_EQ(obs::phase_of("bwd.qkv_proj.1"), "qkv");
+  EXPECT_EQ(obs::phase_of("a2a.0"), "all2all");
+  EXPECT_EQ(obs::phase_of("a2a_back.2"), "all2all");
+  EXPECT_EQ(obs::phase_of("bwd.a2a_qkv.1"), "all2all");
+  EXPECT_EQ(obs::phase_of("attn.1.0"), "attention");
+  EXPECT_EQ(obs::phase_of("bwd.attn.0.3"), "attention");
+  EXPECT_EQ(obs::phase_of("post.0"), "ffn");
+  EXPECT_EQ(obs::phase_of("bwd.ffn.2"), "ffn");
+  EXPECT_EQ(obs::phase_of("bwd.out_proj.0"), "ffn");
+  EXPECT_EQ(obs::phase_of("fetch.k.0.1"), "fetch");
+  EXPECT_EQ(obs::phase_of("offload.v.0.1"), "offload");
+  EXPECT_EQ(obs::phase_of("embed"), "embed");
+  EXPECT_EQ(obs::phase_of("bwd.embed"), "embed");
+  EXPECT_EQ(obs::phase_of("loss"), "loss");
+  EXPECT_EQ(obs::phase_of("optimizer"), "optimizer");
+  EXPECT_EQ(obs::phase_of("mystery"), "other");
+}
+
+// ---- Profiled step: bit-identical and complete ------------------------------
+
+TEST(ProfilerTest, ProfiledFpdtStepBitIdenticalToUnprofiled) {
+  const nn::ModelConfig cfg = nn::tiny_gpt(32, 1, 4, 64);
+  const int world = 2;
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 2;
+  data::SyntheticCorpus corpus(cfg.vocab, 11);
+  const std::vector<std::int32_t> tokens = corpus.sample(2 * world * fcfg.chunks_per_rank * 8 + 1);
+
+  // Reference: same seed, tracer off.
+  obs::Tracer::instance().set_enabled(false);
+  nn::Model plain_model(cfg, 42);
+  core::FpdtTrainer plain(plain_model, world, fcfg);
+  const double plain_loss = plain.train_step_grads(tokens);
+
+  // Profiled: tracer on for the whole step.
+  double traced_loss = 0.0;
+  nn::Model traced_model(cfg, 42);
+  {
+    TracerWindow window;
+    core::FpdtTrainer traced(traced_model, world, fcfg);
+    traced_loss = traced.train_step_grads(tokens);
+    traced.env().synchronize_streams();
+  }
+
+  EXPECT_EQ(plain_loss, traced_loss);  // bit-identical, not just close
+  std::vector<const nn::Param*> plain_params, traced_params;
+  plain_model.visit_params([&](nn::Param& p) { plain_params.push_back(&p); });
+  traced_model.visit_params([&](nn::Param& p) { traced_params.push_back(&p); });
+  ASSERT_EQ(plain_params.size(), traced_params.size());
+  for (std::size_t i = 0; i < plain_params.size(); ++i) {
+    const Tensor& a = plain_params[i]->grad;
+    const Tensor& b = traced_params[i]->grad;
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::int64_t k = 0; k < a.numel(); ++k) {
+      ASSERT_EQ(a.data()[k], b.data()[k]) << plain_params[i]->name << "[" << k << "]";
+    }
+  }
+
+  // The step's trace covers every built-in category on both ranks.
+  std::set<std::string> cats;
+  std::set<int> ranks;
+  for (const obs::TraceEvent& ev : obs::Tracer::instance().events()) {
+    cats.insert(ev.category);
+    if (ev.rank >= 0) ranks.insert(ev.rank);
+  }
+  EXPECT_TRUE(cats.count(obs::kCatStream));
+  EXPECT_TRUE(cats.count(obs::kCatChunk));
+  EXPECT_TRUE(cats.count(obs::kCatComm));
+  EXPECT_TRUE(cats.count(obs::kCatMemory));
+  EXPECT_GE(ranks.size(), 2u);
+  EXPECT_TRUE(JsonChecker(obs::Tracer::instance().chrome_trace_json()).valid());
+}
+
+TEST(ProfilerTest, RunProfileReportsOverlapFromTimelineReport) {
+  obs::ProfileOptions opt;
+  opt.steps = 1;
+  opt.world = 2;
+  opt.chunks = 2;
+  opt.chunk_tokens = 16;
+  opt.trace_path.clear();    // no files from unit tests
+  opt.metrics_path.clear();
+  const obs::ProfileResult res = obs::run_profile(opt);
+  ASSERT_EQ(res.steps.size(), 1u);
+  const obs::StepStats& st = res.steps[0];
+  // One source of truth: StepStats' ratio is the TimelineReport's.
+  const double transfer = st.h2d_busy_s + st.d2h_busy_s;
+  ASSERT_GT(transfer, 0.0);
+  EXPECT_DOUBLE_EQ(st.overlap_ratio, st.hidden_transfer_s / transfer);
+  EXPECT_DOUBLE_EQ(st.exposed_transfer_s, transfer - st.hidden_transfer_s);
+  // ...and the registry gauge agrees with it.
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::global().gauge("overlap.ratio", "rank=0").value(),
+                   st.overlap_ratio);
+  EXPECT_GT(st.tokens_per_s, 0.0);
+  EXPECT_GT(st.hbm_peak_bytes, 0);
+  EXPECT_GT(st.all2all_bytes, 0);
+  EXPECT_FALSE(obs::tracing_enabled());  // run_profile restores the flag
+  EXPECT_TRUE(JsonChecker(res.json(opt)).valid());
+}
+
+}  // namespace
+}  // namespace fpdt

@@ -6,6 +6,7 @@
 // timeline.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -293,6 +294,50 @@ TEST(ChunkStoreTest, UseAfterMoveThrows) {
   EXPECT_THROW(rig.store.put("k.1", rig.env.device(0).alloc(rig.chunk(8))), FpdtError);
   EXPECT_THROW((void)rig.store.take("k.0"), FpdtError);
   EXPECT_THROW((void)rig.store.device(), FpdtError);
+}
+
+// ---- TimelineReport edge cases ---------------------------------------------
+
+TEST(TimelineReportTest, EmptyLedgersProduceAllZeroFiniteReport) {
+  Stream compute("c"), h2d("h"), d2h("d");
+  const runtime::TimelineReport r = runtime::make_timeline_report(compute, h2d, d2h);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.compute_busy_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.transfer_busy_s(), 0.0);
+  EXPECT_DOUBLE_EQ(r.hidden_transfer_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.exposed_transfer_s, 0.0);
+  // The regression: 0/0 must not surface as NaN.
+  EXPECT_DOUBLE_EQ(r.overlap_ratio(), 0.0);
+  EXPECT_TRUE(std::isfinite(r.overlap_ratio()));
+}
+
+TEST(TimelineReportTest, ZeroDurationSpansGiveZeroOverlapRatioNotNan) {
+  Stream compute("c"), h2d("h"), d2h("d");
+  compute.enqueue("noop", 0.0);
+  h2d.enqueue("fetch.z", 0.0);
+  d2h.enqueue("offload.z", 0.0);
+  compute.synchronize();
+  h2d.synchronize();
+  d2h.synchronize();
+  const runtime::TimelineReport r = runtime::make_timeline_report(compute, h2d, d2h);
+  EXPECT_DOUBLE_EQ(r.transfer_busy_s(), 0.0);
+  EXPECT_DOUBLE_EQ(r.overlap_ratio(), 0.0);
+  EXPECT_TRUE(std::isfinite(r.overlap_ratio()));
+  EXPECT_GE(r.exposed_transfer_s, 0.0);
+}
+
+TEST(TimelineReportTest, HiddenClampedToTransferBusyAndRatioToOne) {
+  // Compute busy over the transfer's whole life: hidden == transfer busy,
+  // ratio exactly 1 (never above despite FP drift), exposed exactly 0.
+  Stream compute("c"), h2d("h"), d2h("d");
+  compute.enqueue("work", 10.0);
+  h2d.enqueue("fetch.k", 2.0);
+  compute.synchronize();
+  h2d.synchronize();
+  const runtime::TimelineReport r = runtime::make_timeline_report(compute, h2d, d2h);
+  EXPECT_DOUBLE_EQ(r.hidden_transfer_s, 2.0);
+  EXPECT_DOUBLE_EQ(r.exposed_transfer_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.overlap_ratio(), 1.0);
 }
 
 TEST(MemoryPoolTest, TimelineReturnsSnapshotCopy) {

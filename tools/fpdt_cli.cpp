@@ -5,7 +5,10 @@
 //   fpdt memory <model> <strategy> <gpus> <seq> per-GPU memory breakdown
 //   fpdt simulate <model> <gpus> <seq> [chunk]  step time / MFU / engine busy
 //   fpdt trace <model> <gpus> <chunk> <out.json> chrome://tracing pipeline dump
-//   fpdt overlap [gpus] [chunks] [chunk_tokens]  measured stream-overlap report
+//   fpdt overlap [gpus] [chunks] [chunk_tokens] [--trace out.json]
+//                                               measured stream-overlap report
+//   fpdt profile [--steps N] [--gpus G] [--strategy S] [--trace t.json]
+//                [--metrics m.json]             executed-step profiler
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
@@ -19,6 +22,9 @@
 #include "core/fpdt_trainer.h"
 #include "data/synthetic_corpus.h"
 #include "nn/model_config.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "perfmodel/evaluate.h"
 #include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
@@ -48,7 +54,10 @@ int usage() {
                "  fpdt memory <model> <strategy> <gpus> <seq>\n"
                "  fpdt simulate <model> <gpus> <seq> [chunk=64K]\n"
                "  fpdt trace <model> <gpus> <chunk> <out.json>\n"
-               "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64]\n";
+               "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64] [--trace out.json]\n"
+               "  fpdt profile [--steps 2] [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
+               "               [--strategy fpdt|ulysses|megatron-sp|ring]\n"
+               "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n";
   return 2;
 }
 
@@ -143,7 +152,8 @@ int cmd_trace(const std::string& model, int gpus, const std::string& chunk,
 // stream engine on, stream rates taken from the A100 cost model, and prints
 // the measured transfer timeline next to the simulator's forward-pipeline
 // prediction for the same shapes — prediction and measurement on one scale.
-int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens) {
+int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens,
+                const std::string& trace_path) {
   const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 96);
   const sim::CostModel cm(sim::a100_80g_node(), gpus);
 
@@ -155,10 +165,20 @@ int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens) {
   core::FpdtTrainer trainer(model, gpus, fcfg);
   trainer.env().set_stream_rates(sim::stream_rates(cm));
 
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(true);
+  }
   data::SyntheticCorpus corpus(cfg.vocab, 7);
   const double loss = trainer.train_step_grads(corpus.sample(s_global + 1));
 
   const runtime::TimelineReport measured = trainer.env().timeline_report(0);
+  if (!trace_path.empty()) {
+    trainer.env().synchronize_streams();
+    obs::Tracer::instance().write_chrome_trace(trace_path);
+    obs::Tracer::instance().set_enabled(false);
+    std::cout << "wrote trace to " << trace_path << "\n";
+  }
   const runtime::TransferStats& tx = trainer.env().device(0).transfers();
   std::cout << "executed FPDT step: " << cfg.name << ", " << gpus << " GPUs, seq "
             << format_token_count(s_global) << " (" << chunks << " chunks x "
@@ -177,6 +197,45 @@ int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens) {
   std::cout << "simulated forward pipeline (double_buffer="
             << (fcfg.double_buffer ? "true" : "false") << "):\n"
             << predicted.to_string();
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv, int base) {
+  obs::ProfileOptions opt;
+  for (int i = base; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
+      return argv[++i];
+    };
+    if (a == "--steps") opt.steps = std::atoi(next("--steps"));
+    else if (a == "--gpus") opt.world = std::atoi(next("--gpus"));
+    else if (a == "--chunks") opt.chunks = std::atoll(next("--chunks"));
+    else if (a == "--chunk-tokens") opt.chunk_tokens = std::atoll(next("--chunk-tokens"));
+    else if (a == "--strategy") opt.strategy = next("--strategy");
+    else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (a == "--trace") opt.trace_path = next("--trace");
+    else if (a == "--metrics") opt.metrics_path = next("--metrics");
+    else if (a == "--no-trace") opt.trace = false;
+    else throw FpdtError("unknown profile flag: " + a);
+  }
+
+  const obs::ProfileResult res = obs::run_profile(opt);
+
+  std::cout << "profiled " << opt.steps << " " << opt.strategy << " steps, " << opt.world
+            << " GPUs, " << format_token_count(res.tokens_per_step) << " tokens/step\n";
+  TextTable t({"step", "loss", "virtual", "tok/s", "overlap", "exposed", "hbm peak"});
+  for (const obs::StepStats& s : res.steps) {
+    t.add_row({std::to_string(s.step), cell_f2(s.loss), format_seconds(s.virtual_step_s),
+               cell_f2(s.tokens_per_s), cell_pct(s.overlap_ratio),
+               format_seconds(s.exposed_transfer_s), format_bytes(s.hbm_peak_bytes)});
+  }
+  t.print(std::cout);
+  obs::MetricsRegistry::global().print_table(std::cout);
+  if (opt.trace && !opt.trace_path.empty()) {
+    std::cout << "wrote trace to " << opt.trace_path << " (open in Perfetto / chrome://tracing)\n";
+  }
+  if (!opt.metrics_path.empty()) std::cout << "wrote metrics to " << opt.metrics_path << "\n";
   return 0;
 }
 
@@ -203,10 +262,25 @@ int main(int argc, char** argv) {
       return cmd_trace(argv[2], std::atoi(argv[3]), argv[4], argv[5]);
     }
     if (cmd == "overlap") {
-      return cmd_overlap(argc > 2 ? std::atoi(argv[2]) : 2,
-                         argc > 3 ? std::atoll(argv[3]) : 4,
-                         argc > 4 ? std::atoll(argv[4]) : 64);
+      int gpus = 2;
+      std::int64_t chunks = 4, chunk_tokens = 64;
+      std::string trace_path;
+      int pos = 0;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--trace") {
+          FPDT_CHECK_LT(i + 1, argc) << " missing value for --trace";
+          trace_path = argv[++i];
+          continue;
+        }
+        if (pos == 0) gpus = std::atoi(argv[i]);
+        else if (pos == 1) chunks = std::atoll(argv[i]);
+        else if (pos == 2) chunk_tokens = std::atoll(argv[i]);
+        ++pos;
+      }
+      return cmd_overlap(gpus, chunks, chunk_tokens, trace_path);
     }
+    if (cmd == "profile") return cmd_profile(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
