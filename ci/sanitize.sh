@@ -22,10 +22,14 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient'
   # End-to-end profiler smoke under the sanitizer: traces a 2-step run and
   # checks the emitted JSON documents and overlap invariants.
   ci/profile_smoke.sh "$dir"
+  # Fault-injection smoke under the sanitizer: survives a seeded chaos run
+  # with all faults recovered and the final loss bitwise-clean. Races in the
+  # injector's locked draw paths or the retry ladders show up here.
+  ci/chaos_smoke.sh "$dir"
 }
 
 lanes=("$@")

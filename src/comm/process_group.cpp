@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "obs/trace.h"
 
 namespace fpdt::comm {
@@ -59,9 +61,27 @@ void trace_collective(const char* name, int world, std::int64_t bytes_per_rank,
   }
 }
 
+// Fault-injection point at the entry of every collective. The draw happens
+// before any tensor math, and the math runs exactly once after the draws
+// pass, so a recovered collective fault is invisible to results and byte
+// stats. Collectives run once per group on the driver thread, hence rank -1
+// (matches any rule rank pin). Exhausted retries are a hard failure — a real
+// NCCL abort — surfaced as FpdtError for step-level recovery.
+void survive_faults(const char* what) {
+  if (!fault::faults_enabled()) return;
+  const bool ok = fault::retry_transient(
+      fault::BackoffPolicy{}, /*rank=*/-1, std::string("retry.") + what, [&] {
+        fault::FaultInjector::instance().maybe_throw(fault::Site::kCollective, -1, what);
+      });
+  if (!ok) {
+    throw FpdtError(std::string("collective ") + what + " failed after retries (injected)");
+  }
+}
+
 }  // namespace
 
 std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
+  survive_faults("a2a_heads_to_seq");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_to_all input count";
   const std::int64_t s_local = local[0].dim(0);
@@ -93,6 +113,7 @@ std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor
 }
 
 std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor> global) const {
+  survive_faults("a2a_seq_to_heads");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(global.size()), P) << " all_to_all input count";
   const std::int64_t s_global = global[0].dim(0);
@@ -121,6 +142,7 @@ std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor
 }
 
 std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) const {
+  survive_faults("all_gather");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_gather input count";
   Tensor full = concat0(local);
@@ -134,6 +156,7 @@ std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) cons
 }
 
 std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) const {
+  survive_faults("reduce_scatter");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(full.size()), P) << " reduce_scatter input count";
   Tensor sum = full[0].clone();
@@ -149,6 +172,7 @@ std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) c
 }
 
 std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) const {
+  survive_faults("all_reduce");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_reduce input count";
   Tensor sum = local[0].clone();
@@ -162,6 +186,7 @@ std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) cons
 }
 
 std::vector<Tensor> ProcessGroup::ring_shift(std::span<const Tensor> local) const {
+  survive_faults("ring_shift");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " ring_shift input count";
   std::vector<Tensor> out(static_cast<std::size_t>(P));

@@ -26,6 +26,15 @@ class OutOfMemoryError : public FpdtError {
   explicit OutOfMemoryError(const std::string& what) : FpdtError(what) {}
 };
 
+// A failure that is expected to succeed on retry: a dropped H2D/D2H
+// transfer, a flapped collective. Raised only by the fault-injection layer
+// (src/fault/) and caught by the retry/degradation machinery; anything that
+// escapes a retry loop is promoted to a plain FpdtError.
+class TransientError : public FpdtError {
+ public:
+  explicit TransientError(const std::string& what) : FpdtError(what) {}
+};
+
 namespace detail {
 
 class CheckMessageBuilder {

@@ -53,6 +53,11 @@ class Rng {
     return Rng(state_ ^ (0xD1B54A32D192ED03ULL * (stream_id + 1)));
   }
 
+  // Raw counter state, for checkpointing: restoring it resumes the stream
+  // bit-exactly (splitmix64's whole state is the counter).
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

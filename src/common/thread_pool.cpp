@@ -39,10 +39,15 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
   // Fork-join with a shared index counter; threads are cheap relative to
   // the tensor math inside each rank's body.
   std::atomic<int> next{0};
+  std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto worker = [&] {
     for (;;) {
+      // Fail fast: once any rank threw, stop claiming new indices so the
+      // join (and the rethrow) is not delayed by unstarted bodies — a rank
+      // failure aborts the collective step anyway.
+      if (cancelled.load(std::memory_order_acquire)) return;
       const int i = next.fetch_add(1);
       if (i >= n) return;
       try {
@@ -51,6 +56,7 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
         RankScope rank_scope(i);
         fn(i);
       } catch (...) {
+        cancelled.store(true, std::memory_order_release);
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

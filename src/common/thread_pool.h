@@ -14,8 +14,10 @@
 namespace fpdt {
 
 // Runs fn(0..n-1), possibly concurrently; returns after all complete.
-// Exceptions from workers are rethrown on the caller (first one wins).
-// n <= 1 or a single-core machine degrades to a plain loop.
+// Exceptions from workers are rethrown on the caller (first one wins), and
+// cancel the loop: indices not yet claimed when the first body threw are
+// never started (in-flight bodies still finish). n <= 1 or a single-core
+// machine degrades to a plain loop (which stops at the throwing index).
 void parallel_for_ranks(int n, const std::function<void(int)>& fn);
 
 // Process-wide worker count used by parallel_for_ranks (defaults to the

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "obs/trace.h"
 
 namespace fpdt::core {
@@ -60,6 +63,30 @@ void ChunkPrefetcher::prefetch(const std::string& key, bool take,
   issue_fetch(key, take, std::move(waits), /*count_against_cap=*/true);
 }
 
+void ChunkPrefetcher::survive_transfer_faults(bool is_fetch, const std::string& key) {
+  // Fault-injection point: the draw happens *before* the real migration is
+  // issued, and the migration runs exactly once after the draws pass — so
+  // transient transfer faults are invisible to byte counters and math; only
+  // the retry backoff (charged to the transfer stream by the injector's
+  // sink) shows up in the timeline.
+  const fault::Site site = is_fetch ? fault::Site::kH2D : fault::Site::kD2H;
+  const int rank = store_->device().rank();
+  const std::string label = std::string(is_fetch ? "retry.fetch." : "retry.offload.") + key;
+  const bool ok = fault::retry_transient(fault::BackoffPolicy{}, rank, label, [&] {
+    fault::FaultInjector::instance().maybe_throw(
+        site, rank, std::string(is_fetch ? "h2d fetch of " : "d2h offload of ") + key);
+  });
+  if (!ok) {
+    // Retries exhausted: degrade to the sync migration path for the rest of
+    // the pass. Sync mode is bit-identical by construction, so training
+    // survives with only the overlap lost.
+    degraded_ = true;
+    fault::FaultInjector::instance().note_degraded("sync_fallback");
+    FPDT_LOG_WARN << "rank " << rank << ": transfer retries exhausted on " << key
+                  << "; prefetcher degrading to sync migration";
+  }
+}
+
 void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
                                   std::vector<Event> waits, bool count_against_cap) {
   FPDT_CHECK(!fetches_.contains(key)) << " chunk " << key << " already in flight";
@@ -67,10 +94,16 @@ void ChunkPrefetcher::issue_fetch(const std::string& key, bool take,
     FPDT_CHECK_LT(in_flight(), max_in_flight_)
         << " prefetch window exceeded issuing " << key;
   }
+  if (fault::faults_enabled() && streams_active()) {
+    survive_transfer_faults(/*is_fetch=*/true, key);
+  }
 
-  if (!use_streams_) {
+  if (!streams_active()) {
     // Sync mode: migrate inline at this very program point, so pool charges
     // and transfer counters hit exactly where they do without streams.
+    // When we degraded mid-pass, a prior async offload of this key may not
+    // have retired yet — drain it so the store actually holds the chunk.
+    if (Event off = store_->offload_event(key); off.valid()) off.wait();
     InFetch f;
     f.slot = std::make_shared<Buffer>(take ? store_->take(key) : store_->fetch_copy(key));
     trace_chunk("fetch.sync", key, store_->device().rank(), f.slot->bytes());
@@ -138,7 +171,10 @@ ChunkPrefetcher::Fetched ChunkPrefetcher::acquire(const std::string& key, bool t
 
 Event ChunkPrefetcher::put_async(const std::string& key, Buffer buffer,
                                  std::vector<Event> waits) {
-  if (!use_streams_) {
+  if (fault::faults_enabled() && streams_active()) {
+    survive_transfer_faults(/*is_fetch=*/false, key);
+  }
+  if (!streams_active()) {
     trace_chunk("offload.sync", key, store_->device().rank(), buffer.bytes());
     store_->put(key, std::move(buffer));
     return Event();

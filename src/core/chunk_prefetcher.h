@@ -24,7 +24,8 @@
 //                  prefetch of the same key waits on the offload event
 //                  (write-then-read ordering across streams).
 //
-// In sync mode (cfg.stream_prefetch == false, or a non-offloading store)
+// In sync mode (cfg.stream_prefetch == false, a non-offloading store, or
+// after fault-injected transfer retries were exhausted — see degraded())
 // every call degrades to the store's inline migration at the same program
 // point, so byte accounting — and therefore HBM peaks and transfer
 // counters — is identical by construction between the two modes; only the
@@ -64,6 +65,11 @@ class ChunkPrefetcher {
 
   bool use_streams() const { return use_streams_; }
 
+  // True once transient-fault retries were exhausted and the prefetcher
+  // fell back to the sync migration path (bit-identical by construction)
+  // for the rest of its lifetime — i.e. the remainder of the pass.
+  bool degraded() const { return degraded_; }
+
   // Issues an async fetch of `key` to the device. `take` removes the
   // stored chunk (host charge drops at retire); otherwise the host copy
   // survives (fetch_copy semantics). `waits` are cross-stream deps — the
@@ -95,6 +101,11 @@ class ChunkPrefetcher {
  private:
   void issue_fetch(const std::string& key, bool take, std::vector<runtime::Event> waits,
                    bool count_against_cap);
+  // Streams path is active unless sync-constructed or fault-degraded.
+  bool streams_active() const { return use_streams_ && !degraded_; }
+  // Draws the injector for a transfer at `key`; retries with backoff
+  // (charged to the transfer stream); on exhaustion flips degraded_.
+  void survive_transfer_faults(bool is_fetch, const std::string& key);
 
   struct InFetch {
     runtime::Event ready;
@@ -108,6 +119,7 @@ class ChunkPrefetcher {
 
   ChunkStore* store_;
   bool use_streams_;
+  bool degraded_ = false;
   std::int64_t max_in_flight_;
   std::unordered_map<std::string, InFetch> fetches_;
   // Offloads issued but not yet retired: the chunk is not in the store

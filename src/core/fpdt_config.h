@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace fpdt::core {
 
@@ -45,6 +46,13 @@ struct FpdtConfig {
   // capacity is the binding constraint, disable it and backward falls back
   // to chunk-wise recompute (plain activation checkpointing).
   bool cache_forward_outputs = true;
+
+  // Deterministic fault-injection spec (fault/fault_injector.h), e.g.
+  // "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5". Empty (the
+  // default) leaves the injector untouched — zero overhead beyond one
+  // relaxed atomic load per injection point. Applied by FpdtEnv unless the
+  // process-wide injector was already configured (CLI/env takes precedence).
+  std::string fault_spec;
 };
 
 }  // namespace fpdt::core

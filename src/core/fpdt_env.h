@@ -3,11 +3,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/process_group.h"
 #include "common/logging.h"
 #include "core/fpdt_config.h"
+#include "fault/fault_injector.h"
 #include "runtime/device.h"
 
 namespace fpdt::core {
@@ -24,7 +26,27 @@ class FpdtEnv {
     for (int r = 0; r < world; ++r) {
       devices_.push_back(std::make_unique<runtime::Device>(r, hbm_capacity_bytes));
     }
+    // Arm the injector from the config unless something upstream (CLI flag,
+    // FPDT_FAULTS) already did — the process-wide spec wins over per-env.
+    if (!cfg_.fault_spec.empty() && !fault::FaultInjector::instance().enabled()) {
+      fault::FaultInjector::instance().configure(cfg_.fault_spec);
+    }
+    // Route retry backoffs into this env's stream ledgers so they show up
+    // in `fpdt overlap`/traces. Owner-tagged: a newer env (built during an
+    // OOM-degradation rebuild) steals the sink; the older env's clear is
+    // then a no-op.
+    fault::FaultInjector::instance().set_backoff_sink(
+        this, [this](int rank, const std::string& label, double seconds) {
+          charge_backoff(rank, label, seconds);
+        });
   }
+
+  ~FpdtEnv() { fault::FaultInjector::instance().clear_backoff_sink(this); }
+
+  FpdtEnv(const FpdtEnv&) = delete;  // the backoff sink captures `this`
+  FpdtEnv& operator=(const FpdtEnv&) = delete;
+  FpdtEnv(FpdtEnv&&) = delete;
+  FpdtEnv& operator=(FpdtEnv&&) = delete;
 
   int world() const { return pg_.world_size(); }
   comm::ProcessGroup& pg() { return pg_; }
@@ -61,6 +83,22 @@ class FpdtEnv {
 
   void synchronize_streams() {
     for (const auto& d : devices_) d->synchronize_streams();
+  }
+
+  // Charges a retry backoff as a timing-only span on the stream the retried
+  // operation would have used: collective retries (rank < 0) stall every
+  // rank's compute stream; transfer retries land on the acting rank's
+  // h2d/d2h stream (picked from the label the retry loop built).
+  void charge_backoff(int rank, const std::string& label, double seconds) {
+    if (rank < 0) {
+      for (const auto& d : devices_) d->compute_stream().enqueue(label, seconds);
+      return;
+    }
+    if (rank >= world()) return;  // stale sink call from a smaller old env
+    runtime::Device& d = device(rank);
+    runtime::Stream& s =
+        label.rfind("retry.offload", 0) == 0 ? d.d2h_stream() : d.h2d_stream();
+    s.enqueue(label, seconds);
   }
 
  private:

@@ -37,6 +37,34 @@ std::int32_t SyntheticCorpus::next_token() {
   return current_;
 }
 
+std::vector<std::uint64_t> SyntheticCorpus::save_state() const {
+  // Layout: [rng, current, copy_remaining, copy_cursor, |history|, history...].
+  std::vector<std::uint64_t> out;
+  out.reserve(5 + history_.size());
+  out.push_back(rng_.state());
+  out.push_back(static_cast<std::uint64_t>(current_));
+  out.push_back(static_cast<std::uint64_t>(copy_remaining_));
+  out.push_back(static_cast<std::uint64_t>(copy_cursor_));
+  out.push_back(static_cast<std::uint64_t>(history_.size()));
+  for (std::int32_t tok : history_) out.push_back(static_cast<std::uint64_t>(tok));
+  return out;
+}
+
+void SyntheticCorpus::load_state(const std::vector<std::uint64_t>& state) {
+  FPDT_CHECK_GE(static_cast<std::int64_t>(state.size()), 5) << " corpus state truncated";
+  const std::size_t n = static_cast<std::size_t>(state[4]);
+  FPDT_CHECK_EQ(static_cast<std::int64_t>(state.size()), static_cast<std::int64_t>(5 + n))
+      << " corpus state length";
+  rng_.set_state(state[0]);
+  current_ = static_cast<std::int32_t>(state[1]);
+  copy_remaining_ = static_cast<std::int64_t>(state[2]);
+  copy_cursor_ = static_cast<std::size_t>(state[3]);
+  history_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    history_[i] = static_cast<std::int32_t>(state[5 + i]);
+  }
+}
+
 std::vector<std::int32_t> SyntheticCorpus::sample(std::int64_t length) {
   std::vector<std::int32_t> out;
   out.reserve(static_cast<std::size_t>(length));

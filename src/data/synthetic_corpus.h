@@ -23,6 +23,13 @@ class SyntheticCorpus {
 
   std::int64_t vocab() const { return vocab_; }
 
+  // Full mutable stream state, flattened for checkpointing: restoring it
+  // makes the next sample() bit-identical to the uninterrupted stream. The
+  // Markov transition table is excluded — it is a pure function of the
+  // constructor seed.
+  std::vector<std::uint64_t> save_state() const;
+  void load_state(const std::vector<std::uint64_t>& state);
+
  private:
   std::int32_t next_token();
 

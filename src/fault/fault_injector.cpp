@@ -1,0 +1,290 @@
+#include "fault/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace fpdt::fault {
+
+std::atomic<bool> g_faults_enabled{false};
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kH2D: return "h2d";
+    case Site::kD2H: return "d2h";
+    case Site::kAlloc: return "oom";
+    case Site::kCollective: return "collective";
+    case Site::kStraggler: return "straggler";
+    case Site::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+std::string FaultStats::to_string() const {
+  std::ostringstream os;
+  os << "injected " << injected << " retried " << retried << " degraded " << degraded
+     << " recovered " << recovered;
+  for (const auto& [site, n] : injected_by_site) os << "  " << site << "=" << n;
+  return os.str();
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+namespace {
+
+Site site_by_name(const std::string& name) {
+  if (name == "h2d") return Site::kH2D;
+  if (name == "d2h") return Site::kD2H;
+  if (name == "oom" || name == "alloc") return Site::kAlloc;
+  if (name == "collective" || name == "coll") return Site::kCollective;
+  if (name == "straggler" || name == "slow") return Site::kStraggler;
+  if (name == "crash") return Site::kCrash;
+  throw FpdtError("fault spec: unknown site '" + name +
+                  "' (try h2d, d2h, oom, collective, straggler, crash)");
+}
+
+double parse_double(const std::string& v, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double x = std::stod(v, &used);
+    FPDT_CHECK_EQ(used, v.size()) << " fault spec value for " << key;
+    return x;
+  } catch (const FpdtError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw FpdtError("fault spec: bad value '" + v + "' for " + key);
+  }
+}
+
+// Stable per-rank stream derivation: rule seed, site and rank mixed through
+// splitmix64 so rules with equal seeds still draw independent sequences.
+Rng make_stream(std::uint64_t seed, Site site, int rank) {
+  Rng base(seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(site) + 1)));
+  return base.split(static_cast<std::uint64_t>(rank + 2));
+}
+
+}  // namespace
+
+bool FaultInjector::Rule::draw(std::int64_t current_step, int at_rank) {
+  // Rank pins: a draw from a concrete rank only matches its own rule; draws
+  // from the driver thread / whole-group sites (rank -1) match any rule, so
+  // "collective:step=3,rank=1" still fires even though collectives run once
+  // for the whole group.
+  if (rank >= 0 && at_rank >= 0 && at_rank != rank) return false;
+  if (count >= 0 && fired >= count) return false;
+  if (step >= 0) {
+    if (current_step != step) return false;
+    if (!fired_pins.insert({current_step, at_rank}).second) return false;
+    ++fired;
+    return true;
+  }
+  if (p <= 0.0) return false;
+  auto it = streams.find(at_rank);
+  if (it == streams.end()) it = streams.emplace(at_rank, make_stream(seed, site, at_rank)).first;
+  if (it->second.next_uniform() >= p) return false;
+  ++fired;
+  return true;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  stats_ = FaultStats{};
+  log_.clear();
+  step_ = 0;
+
+  std::istringstream ss(spec);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    // Trim surrounding whitespace; empty clauses (trailing ';') are fine.
+    const auto b = clause.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const auto e = clause.find_last_not_of(" \t");
+    clause = clause.substr(b, e - b + 1);
+
+    const auto colon = clause.find(':');
+    Rule rule;
+    rule.site = site_by_name(colon == std::string::npos ? clause : clause.substr(0, colon));
+    if (colon != std::string::npos) {
+      std::istringstream kvs(clause.substr(colon + 1));
+      std::string kv;
+      while (std::getline(kvs, kv, ',')) {
+        if (kv.empty()) continue;
+        const auto eq = kv.find('=');
+        FPDT_CHECK_NE(eq, std::string::npos) << " fault spec clause '" << kv << "'";
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "p") rule.p = parse_double(value, key);
+        else if (key == "step") rule.step = static_cast<std::int64_t>(parse_double(value, key));
+        else if (key == "rank") rule.rank = static_cast<int>(parse_double(value, key));
+        else if (key == "count") rule.count = static_cast<std::int64_t>(parse_double(value, key));
+        else if (key == "delay") rule.delay = parse_double(value, key);
+        else if (key == "seed") rule.seed = static_cast<std::uint64_t>(parse_double(value, key));
+        else throw FpdtError("fault spec: unknown key '" + key + "'");
+      }
+    }
+    FPDT_CHECK(rule.p >= 0.0 && rule.p <= 1.0) << " fault probability for " << site_name(rule.site);
+    FPDT_CHECK(rule.p > 0.0 || rule.step >= 0)
+        << " fault rule for " << site_name(rule.site) << " needs p= or step=";
+    rules_.push_back(std::move(rule));
+  }
+  g_faults_enabled.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_env() {
+  const char* spec = std::getenv("FPDT_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') configure(spec);
+}
+
+void FaultInjector::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  g_faults_enabled.store(false, std::memory_order_relaxed);
+  rules_.clear();
+}
+
+void FaultInjector::begin_step(std::int64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  step_ = step;
+}
+
+std::int64_t FaultInjector::step() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return step_;
+}
+
+void FaultInjector::record_injection_locked(Site site, int rank) {
+  ++stats_.injected;
+  ++stats_.injected_by_site[site_name(site)];
+  log_.push_back("step=" + std::to_string(step_) + " site=" + site_name(site) +
+                 " rank=" + std::to_string(rank));
+  obs::MetricsRegistry::global()
+      .counter("fault.injected", std::string("site=") + site_name(site))
+      .add(1);
+}
+
+bool FaultInjector::should_fail_locked(Site site, int rank, double* delay_out) {
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    if (!rule.draw(step_, rank)) continue;
+    if (delay_out != nullptr) *delay_out = rule.delay;
+    record_injection_locked(site, rank);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_fail(Site site, int rank) {
+  if (!faults_enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return should_fail_locked(site, rank, nullptr);
+}
+
+void FaultInjector::maybe_throw(Site site, int rank, const std::string& what) {
+  if (should_fail(site, rank)) {
+    throw TransientError(std::string("injected ") + site_name(site) + " fault: " + what +
+                         " (rank " + std::to_string(rank) + ", step " +
+                         std::to_string(step()) + ")");
+  }
+}
+
+double FaultInjector::straggler_delay(int rank) {
+  if (!faults_enabled()) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double delay = 0.0;
+  if (should_fail_locked(Site::kStraggler, rank, &delay)) return delay;
+  return 0.0;
+}
+
+void FaultInjector::note_retry() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.retried;
+  }
+  obs::MetricsRegistry::global().counter("fault.retried").add(1);
+}
+
+void FaultInjector::note_degraded(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.degraded;
+  }
+  obs::MetricsRegistry::global().counter("fault.degraded", "reason=" + reason).add(1);
+}
+
+void FaultInjector::reconcile_step() {
+  std::int64_t recovered = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.recovered = stats_.injected;
+    recovered = stats_.recovered;
+  }
+  obs::MetricsRegistry::global().gauge("fault.recovered").set(static_cast<double>(recovered));
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::string> FaultInjector::injection_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+void FaultInjector::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = FaultStats{};
+  log_.clear();
+  for (Rule& rule : rules_) {
+    rule.fired = 0;
+    rule.fired_pins.clear();
+    rule.streams.clear();
+  }
+}
+
+std::string FaultInjector::describe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const Rule& rule : rules_) {
+    os << site_name(rule.site) << ": ";
+    if (rule.step >= 0) os << "step=" << rule.step;
+    else os << "p=" << rule.p;
+    if (rule.rank >= 0) os << " rank=" << rule.rank;
+    if (rule.count >= 0) os << " count=" << rule.count;
+    if (rule.site == Site::kStraggler) os << " delay=" << rule.delay << "s";
+    os << " seed=" << rule.seed << "\n";
+  }
+  return os.str();
+}
+
+void FaultInjector::set_backoff_sink(const void* owner, BackoffSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_owner_ = owner;
+  sink_ = std::move(sink);
+}
+
+void FaultInjector::clear_backoff_sink(const void* owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_owner_ == owner) {
+    sink_owner_ = nullptr;
+    sink_ = nullptr;
+  }
+}
+
+void FaultInjector::charge_backoff(int rank, const std::string& label, double seconds) {
+  BackoffSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink = sink_;
+  }
+  // Invoke outside the lock: the sink enqueues stream spans, which may
+  // re-enter the injector (e.g. the straggler draw at drain time).
+  if (sink) sink(rank, label, seconds);
+}
+
+}  // namespace fpdt::fault

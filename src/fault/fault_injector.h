@@ -1,0 +1,166 @@
+// Deterministic, seeded fault injection for the emulated runtime.
+//
+// The paper's pipeline only earns its memory wins if every link — H2D/D2H
+// chunk traffic, chunked All2Alls, the offload pool — behaves; at scale
+// those links fail transiently, straggle and OOM. This module lets a run
+// *prove* it survives that, reproducibly: every fault is drawn from a
+// seeded, per-(rule, rank) splitmix64 stream, so the same spec + seed
+// produces the same fault sequence on every run regardless of thread
+// interleaving (each rank's draws are program-order deterministic).
+//
+// Configuration is a spec string (FpdtConfig::fault_spec or the
+// FPDT_FAULTS env var): semicolon-separated rules of the form
+//
+//   site:key=value,key=value
+//
+// with sites  h2d | d2h | oom | collective | straggler | crash
+// and keys    p=<prob per draw>      step=<fire once at this step>
+//             rank=<only this rank>  count=<max injections from the rule>
+//             delay=<straggler seconds>  seed=<rule RNG seed>
+//
+// e.g. "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5".
+//
+// Cost discipline mirrors obs::Tracer: the injector is off by default and
+// every injection point is gated on faults_enabled() — one relaxed atomic
+// load compiling to a branch — so an unconfigured run takes no lock, draws
+// no RNG and is bit-identical to a build without the fault layer.
+//
+// Recovery accounting lives here too (retried/degraded/recovered counters,
+// mirrored into obs::MetricsRegistry), plus the backoff sink: retry loops
+// report their exponential-backoff waits to the owning FpdtEnv, which
+// charges them to stream virtual time so retries appear in `fpdt overlap`
+// and trace output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fpdt::fault {
+
+// Global enable flag. Kept outside the injector so the disabled check is
+// one relaxed atomic load, no function call, no lock (obs/trace.h idiom).
+extern std::atomic<bool> g_faults_enabled;
+inline bool faults_enabled() { return g_faults_enabled.load(std::memory_order_relaxed); }
+
+// Where a fault can be injected.
+enum class Site {
+  kH2D,         // transient fetch failure (ChunkPrefetcher / H2D stream)
+  kD2H,         // transient offload failure
+  kAlloc,       // spurious OutOfMemoryError in MemoryPool::charge
+  kCollective,  // transient ProcessGroup collective failure
+  kStraggler,   // latency spike charged to a stream task's virtual time
+  kCrash,       // unrecoverable step failure (exercises restore-and-replay)
+};
+
+const char* site_name(Site site);
+
+struct FaultStats {
+  std::int64_t injected = 0;
+  std::int64_t retried = 0;
+  std::int64_t degraded = 0;
+  std::int64_t recovered = 0;
+  std::map<std::string, std::int64_t> injected_by_site;
+  std::string to_string() const;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Parses `spec` (grammar above), resets stats and arms the gate. An empty
+  // spec disarms. Throws FpdtError on malformed specs.
+  void configure(const std::string& spec);
+  // configure(getenv("FPDT_FAULTS")) if the variable is set and non-empty.
+  void configure_from_env();
+  // Disarms the gate and clears rules; stats survive for inspection.
+  void disable();
+  bool enabled() const { return faults_enabled(); }
+
+  // Step boundary: makes step-pinned rules eligible for `step`.
+  void begin_step(std::int64_t step);
+  std::int64_t step() const;
+
+  // Draws every matching rule for `site` in spec order at drawing context
+  // `rank` (-1 = driver thread / whole-group collective); the first rule
+  // that fires wins and is counted as one injection. Step-pinned rules
+  // fire once per (step, rank).
+  bool should_fail(Site site, int rank);
+
+  // should_fail + throw TransientError naming the site and `what`.
+  void maybe_throw(Site site, int rank, const std::string& what);
+
+  // Extra virtual seconds a straggler rule adds to the current stream task
+  // (0 when none fires). Counted as an injection.
+  double straggler_delay(int rank);
+
+  // Recovery accounting, mirrored into obs::MetricsRegistry.
+  void note_retry();
+  void note_degraded(const std::string& reason);
+  // Called after a step completes: every injection so far was, by
+  // definition, survived — recovered := injected.
+  void reconcile_step();
+
+  FaultStats stats() const;
+  // One entry per injection, "step=S site=NAME rank=R". Global order across
+  // rank threads is nondeterministic; sort before comparing runs.
+  std::vector<std::string> injection_log() const;
+  void reset_stats();
+  // Human-readable rule listing (CLI / tests).
+  std::string describe() const;
+
+  // ---- Backoff sink -------------------------------------------------------
+  // Retry loops report their exponential-backoff waits here; the owning
+  // FpdtEnv charges them to stream virtual time (rank < 0 = every rank's
+  // compute stream; otherwise the rank's transfer stream picked by label).
+  // Owner-tagged so a destroyed env never leaves a dangling closure: only
+  // the matching owner's clear removes the sink.
+  using BackoffSink = std::function<void(int rank, const std::string& label, double seconds)>;
+  void set_backoff_sink(const void* owner, BackoffSink sink);
+  void clear_backoff_sink(const void* owner);
+  void charge_backoff(int rank, const std::string& label, double seconds);
+
+ private:
+  FaultInjector() = default;
+
+  struct Rule {
+    Site site = Site::kH2D;
+    double p = 0.0;           // per-draw probability (ignored when step >= 0)
+    std::int64_t step = -1;   // pinned step; fires once per (step, rank)
+    int rank = -1;            // restrict to this rank (-1 = any)
+    std::int64_t count = -1;  // max injections from this rule (-1 = unlimited)
+    double delay = 500e-6;    // straggler extra seconds
+    std::uint64_t seed = 1;
+    std::int64_t fired = 0;
+    std::set<std::pair<std::int64_t, int>> fired_pins;
+    // One RNG stream per drawing rank so fault sequences are deterministic
+    // under the thread pool (each rank draws in its own program order).
+    std::map<int, Rng> streams;
+
+    bool draw(std::int64_t current_step, int at_rank);
+  };
+
+  bool should_fail_locked(Site site, int rank, double* delay_out);
+  void record_injection_locked(Site site, int rank);
+
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::int64_t step_ = 0;
+  FaultStats stats_;
+  std::vector<std::string> log_;
+  const void* sink_owner_ = nullptr;
+  BackoffSink sink_;
+};
+
+}  // namespace fpdt::fault

@@ -1,0 +1,212 @@
+#include "fault/resilient_trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "core/chunk_schedule.h"
+#include "fault/watchdog.h"
+#include "nn/checkpoint_io.h"
+#include "nn/model_config.h"
+#include "obs/metrics.h"
+
+namespace fpdt::fault {
+
+ResilientTrainer::ResilientTrainer(const ResilientOptions& opt)
+    : opt_(opt),
+      s_global_(static_cast<std::int64_t>(opt.world) * opt.cfg.chunks_per_rank *
+                opt.chunk_tokens),
+      model_(std::make_unique<nn::Model>(nn::tiny_gpt(), opt.model_seed)),
+      adam_(opt.lr),
+      corpus_(nn::tiny_gpt().vocab, opt.data_seed) {
+  FPDT_CHECK_GE(opt_.max_step_retries, 1) << " resilient step retry budget";
+  rebuild_trainer();
+  // Seed snapshot: restore-and-replay must work even when the very first
+  // step dies.
+  if (!opt_.checkpoint_path.empty()) save_snapshot(opt_.checkpoint_path);
+}
+
+void ResilientTrainer::rebuild_trainer() {
+  trainer_ = std::make_unique<core::FpdtTrainer>(*model_, opt_.world, opt_.cfg,
+                                                 opt_.hbm_capacity_bytes);
+}
+
+void ResilientTrainer::double_chunks_or_rethrow() {
+  const std::int64_t u2 = opt_.cfg.chunks_per_rank * 2;
+  const std::int64_t s_local = s_global_ / opt_.world;
+  if (s_local % u2 != 0) {
+    throw FpdtError("OOM at chunks_per_rank " + std::to_string(opt_.cfg.chunks_per_rank) +
+                    " and the local sequence (" + std::to_string(s_local) +
+                    " tokens) cannot be split into " + std::to_string(u2) + " chunks");
+  }
+  // The doubled schedule must still be legal before committing to it.
+  core::ChunkSchedule::forward(u2, opt_.cfg.offload, opt_.cfg.double_buffer).check_legal();
+  core::ChunkSchedule::backward(u2, opt_.cfg.offload, opt_.cfg.double_buffer).check_legal();
+  FPDT_LOG_WARN << "OOM: degrading chunks_per_rank " << opt_.cfg.chunks_per_rank << " -> " << u2
+                << " and retrying the step";
+  opt_.cfg.chunks_per_rank = u2;
+}
+
+StepOutcome ResilientTrainer::train_step() {
+  StepOutcome out;
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.enabled()) inj.begin_step(step_);
+  std::vector<std::int32_t> tokens = corpus_.sample(s_global_ + 1);
+
+  for (int attempt = 1; attempt <= opt_.max_step_retries; ++attempt) {
+    out.attempts = attempt;
+    try {
+      // A retried attempt may have left partial gradient accumulation
+      // behind; zero is also the clean-path state, so this never perturbs
+      // an undisturbed run.
+      model_->zero_grads();
+      const double loss = trainer_->train_step_grads(tokens);
+      if (faults_enabled() && inj.should_fail(Site::kCrash, -1)) {
+        throw FpdtError("injected crash: step " + std::to_string(step_) +
+                        " lost before the optimizer update");
+      }
+      adam_.step([&](const nn::ParamVisitor& v) { model_->visit_params(v); });
+      check_step_quiescent(trainer_->env());
+      trainer_->env().synchronize_streams();
+      out.loss = loss;
+      ++step_;
+      if (inj.enabled()) inj.reconcile_step();
+      if (!opt_.checkpoint_path.empty() && step_ % opt_.checkpoint_every == 0) {
+        save_snapshot(opt_.checkpoint_path);
+      }
+      return out;
+    } catch (const OutOfMemoryError& e) {
+      if (attempt >= opt_.max_step_retries) throw;
+      FPDT_LOG_WARN << "step " << step_ << " hit OOM (" << e.what() << ")";
+      double_chunks_or_rethrow();
+      rebuild_trainer();
+      out.oom_degraded = true;
+      if (inj.enabled()) inj.note_degraded("chunk_double");
+      // Same tokens, finer chunk schedule.
+    } catch (const FpdtError& e) {
+      if (attempt >= opt_.max_step_retries || opt_.checkpoint_path.empty()) throw;
+      FPDT_LOG_WARN << "step " << step_ << " failed (" << e.what()
+                    << "); restoring last snapshot and replaying";
+      restore_snapshot(opt_.checkpoint_path);
+      out.restored = true;
+      // The snapshot rewound the data stream (possibly several steps, with
+      // checkpoint_every > 1): re-sample the step it points at.
+      tokens = corpus_.sample(s_global_ + 1);
+      if (inj.enabled()) inj.begin_step(step_);
+    }
+  }
+  throw FpdtError("resilient step retry budget exhausted at step " + std::to_string(step_));
+}
+
+void ResilientTrainer::save_snapshot(const std::string& path) {
+  nn::TrainingState ts;
+  ts.step = step_;
+  ts.streams["corpus"] = corpus_.save_state();
+  nn::save_training_state(*model_, adam_, ts, path);
+}
+
+void ResilientTrainer::restore_snapshot(const std::string& path) {
+  const nn::TrainingState ts = nn::load_training_state(*model_, adam_, path);
+  step_ = ts.step;
+  auto it = ts.streams.find("corpus");
+  FPDT_CHECK(it != ts.streams.end()) << " snapshot missing the corpus stream state";
+  corpus_.load_state(it->second);
+  rebuild_trainer();
+  obs::MetricsRegistry::global().counter("fault.restored").add(1);
+}
+
+// ---- fpdt chaos ------------------------------------------------------------
+
+namespace {
+
+bool bitwise_equal(double a, double b) {
+  std::uint64_t ab = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ab == bb;
+}
+
+}  // namespace
+
+std::string ChaosResult::report(int requested_steps) const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "chaos: completed " << steps_completed << "/" << requested_steps << " steps\n"
+     << "chaos: " << stats.to_string() << "\n";
+  if (any_restored) os << "chaos: restore-and-replay engaged\n";
+  if (math_degraded) {
+    os << "chaos: OOM chunk-doubling changed the reduction order; verifying approximately\n";
+  }
+  if (!clean_losses.empty() && !losses.empty()) {
+    os << "chaos: final loss " << losses.back() << " clean " << clean_losses.back() << " ";
+    if (loss_bitwise_match) {
+      os << "match bitwise\n";
+    } else if (math_degraded &&
+               loss_abs_diff <= 1e-2 * std::max(1.0, std::abs(clean_losses.back()))) {
+      os << "match approx (|d|=" << loss_abs_diff << ")\n";
+    } else {
+      os << "MISMATCH (|d|=" << loss_abs_diff << ")\n";
+    }
+  }
+  return os.str();
+}
+
+ChaosResult run_chaos(const ChaosOptions& opt) {
+  FPDT_CHECK_GE(opt.steps, 1) << " chaos needs at least one step";
+  FaultInjector& inj = FaultInjector::instance();
+  ChaosResult result;
+
+  const std::string clean_ckpt =
+      opt.checkpoint_path.empty() ? std::string() : opt.checkpoint_path + ".clean";
+  auto run_once = [&](const std::string& ckpt, std::vector<double>& losses,
+                      bool* math_degraded, bool* restored) {
+    ResilientOptions ro;
+    ro.world = opt.world;
+    ro.cfg.chunks_per_rank = opt.chunks;
+    ro.chunk_tokens = opt.chunk_tokens;
+    ro.hbm_capacity_bytes = opt.hbm_capacity_bytes;
+    ro.model_seed = opt.seed;
+    ro.checkpoint_path = ckpt;
+    ResilientTrainer rt(ro);
+    while (rt.step() < opt.steps) {
+      const StepOutcome o = rt.train_step();
+      if (static_cast<std::size_t>(rt.step()) > losses.size()) {
+        losses.resize(static_cast<std::size_t>(rt.step()));
+      }
+      // A restore-and-replay rewinds and overwrites; the final vector holds
+      // each step's surviving loss.
+      losses[static_cast<std::size_t>(rt.step()) - 1] = o.loss;
+      if (math_degraded != nullptr && o.oom_degraded) *math_degraded = true;
+      if (restored != nullptr && o.restored) *restored = true;
+    }
+  };
+
+  if (!opt.spec.empty()) inj.configure(opt.spec);
+  run_once(opt.checkpoint_path, result.losses, &result.math_degraded, &result.any_restored);
+  result.steps_completed = static_cast<std::int64_t>(result.losses.size());
+  result.stats = inj.stats();
+  inj.disable();
+
+  if (opt.verify_against_clean) {
+    run_once(clean_ckpt, result.clean_losses, nullptr, nullptr);
+    if (!result.losses.empty() && !result.clean_losses.empty()) {
+      result.loss_bitwise_match = bitwise_equal(result.losses.back(), result.clean_losses.back());
+      result.loss_abs_diff = std::abs(result.losses.back() - result.clean_losses.back());
+    }
+  }
+
+  if (!opt.keep_checkpoint) {
+    for (const std::string& p : {opt.checkpoint_path, clean_ckpt}) {
+      if (p.empty()) continue;
+      std::remove(p.c_str());
+      std::remove((p + ".tmp").c_str());
+    }
+  }
+  return result;
+}
+
+}  // namespace fpdt::fault

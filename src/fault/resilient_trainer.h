@@ -1,0 +1,130 @@
+// ResilientTrainer — the recovery ladder around an FPDT training step.
+//
+// Wraps model + optimizer + data stream + FpdtTrainer and survives the
+// faults the injector (fault/fault_injector.h) can throw at a step:
+//
+//   transient transfer/collective failures   handled below this layer, by
+//       retry-with-backoff (fault/retry.h) and the prefetcher's sync
+//       fallback — invisible here and to training math;
+//   OutOfMemoryError mid-step                chunk-count doubling via the
+//       chunk schedule (validated with ChunkSchedule::check_legal) and a
+//       step retry on a rebuilt trainer;
+//   anything else (FpdtError)                restore-and-replay from the
+//       last TrainingState snapshot; the replayed steps are bitwise
+//       identical to an uninterrupted run because every piece of state —
+//       params, Adam moments, the corpus RNG stream, the step counter —
+//       was captured.
+//
+// After each successful step the end-of-step watchdog runs, the injector's
+// recovered counter is reconciled, and (optionally) a crash-safe
+// TrainingState snapshot is written.
+//
+// run_chaos() is the `fpdt chaos` driver: a faulted run followed by a
+// fault-free twin with identical seeds, verifying the final loss matches
+// bitwise (transient faults must be invisible to training math; an OOM
+// chunk-doubling legitimately changes the reduction order, which the
+// result reports as math_degraded and verifies approximately instead).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fpdt_trainer.h"
+#include "data/synthetic_corpus.h"
+#include "fault/fault_injector.h"
+#include "nn/adam.h"
+#include "nn/model.h"
+
+namespace fpdt::fault {
+
+struct ResilientOptions {
+  int world = 2;
+  core::FpdtConfig cfg;
+  std::int64_t hbm_capacity_bytes = -1;
+  std::int64_t chunk_tokens = 64;
+  double lr = 1e-3;
+  std::uint64_t model_seed = 1234;
+  std::uint64_t data_seed = 7;
+  // Empty = no snapshots (an unrecoverable fault is then fatal).
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  // Attempts per train_step() call across OOM-degrade and restore-replay.
+  int max_step_retries = 4;
+};
+
+struct StepOutcome {
+  double loss = 0.0;
+  int attempts = 1;
+  bool oom_degraded = false;  // chunk count doubled during this step
+  bool restored = false;      // restore-and-replay happened
+};
+
+class ResilientTrainer {
+ public:
+  explicit ResilientTrainer(const ResilientOptions& opt);
+
+  // Runs one resilient optimizer step (sample -> forward/backward -> Adam
+  // -> watchdog -> snapshot). Throws only when the recovery ladder is
+  // exhausted.
+  StepOutcome train_step();
+
+  std::int64_t step() const { return step_; }
+  std::int64_t tokens_per_step() const { return s_global_; }
+  nn::Model& model() { return *model_; }
+  nn::Adam& adam() { return adam_; }
+  core::FpdtTrainer& trainer() { return *trainer_; }
+  const core::FpdtConfig& cfg() const { return opt_.cfg; }
+
+  // Full TrainingState snapshot / restore (params + Adam moments + corpus
+  // stream + step counter). Restore rebuilds the trainer from scratch.
+  void save_snapshot(const std::string& path);
+  void restore_snapshot(const std::string& path);
+
+ private:
+  void rebuild_trainer();
+  void double_chunks_or_rethrow();
+
+  ResilientOptions opt_;
+  std::int64_t s_global_ = 0;
+  std::unique_ptr<nn::Model> model_;
+  std::unique_ptr<core::FpdtTrainer> trainer_;
+  nn::Adam adam_;
+  data::SyntheticCorpus corpus_;
+  std::int64_t step_ = 0;
+};
+
+// ---- fpdt chaos ------------------------------------------------------------
+
+struct ChaosOptions {
+  std::string spec;  // fault spec; empty = injector left as-is (disabled)
+  int steps = 4;
+  int world = 2;
+  std::int64_t chunks = 4;
+  std::int64_t chunk_tokens = 64;
+  std::uint64_t seed = 1234;
+  std::int64_t hbm_capacity_bytes = -1;
+  std::string checkpoint_path = "fpdt_chaos.ckpt";
+  bool verify_against_clean = true;
+  bool keep_checkpoint = false;
+};
+
+struct ChaosResult {
+  std::vector<double> losses;        // faulted run, one per step
+  std::vector<double> clean_losses;  // fault-free twin (verify_against_clean)
+  FaultStats stats;
+  std::int64_t steps_completed = 0;
+  bool math_degraded = false;   // OOM doubling changed the reduction order
+  bool any_restored = false;
+  bool loss_bitwise_match = false;  // final faulted loss == final clean loss
+  double loss_abs_diff = 0.0;
+
+  bool survived(int steps) const { return steps_completed == steps; }
+  // Human-readable + machine-greppable summary ("chaos: ..." lines).
+  std::string report(int requested_steps) const;
+};
+
+ChaosResult run_chaos(const ChaosOptions& opt);
+
+}  // namespace fpdt::fault

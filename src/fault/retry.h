@@ -1,0 +1,52 @@
+// Retry-with-exponential-backoff for transient faults.
+//
+// The body of a retry loop is the fault *draw*, not the real work: transfer
+// and collective payloads in this emulation are deterministic and must
+// execute exactly once, so callers draw (and re-draw on retry) before
+// issuing the real operation. Each failed attempt charges an exponential
+// backoff to the injector's sink, where the owning FpdtEnv turns it into a
+// stream span — retries cost virtual time and show up as exposed transfer
+// time in `fpdt overlap` and traces, exactly like a real NIC hiccup would.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "fault/fault_injector.h"
+
+namespace fpdt::fault {
+
+struct BackoffPolicy {
+  int max_attempts = 5;
+  double base_s = 200e-6;
+  double multiplier = 2.0;
+
+  double delay(int attempt) const {
+    double d = base_s;
+    for (int i = 0; i < attempt; ++i) d *= multiplier;
+    return d;
+  }
+};
+
+// Runs `body` up to policy.max_attempts times, swallowing TransientError.
+// Returns true on success; false when attempts are exhausted (the caller
+// degrades or escalates). Non-transient exceptions propagate untouched.
+template <typename Fn>
+bool retry_transient(const BackoffPolicy& policy, int rank, const std::string& label,
+                     Fn&& body) {
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    try {
+      body();
+      return true;
+    } catch (const TransientError&) {
+      if (attempt + 1 >= policy.max_attempts) return false;
+      FaultInjector& inj = FaultInjector::instance();
+      inj.note_retry();
+      inj.charge_backoff(rank, label, policy.delay(attempt));
+    }
+  }
+  return false;
+}
+
+}  // namespace fpdt::fault

@@ -1,0 +1,44 @@
+#include "fault/watchdog.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fpdt::fault {
+
+namespace {
+
+void report_pending(std::ostringstream& os, int rank, const runtime::Stream& stream) {
+  if (stream.idle()) return;
+  const std::vector<std::string> labels = stream.pending_labels();
+  os << "watchdog: rank " << rank << " stream " << stream.name() << " has " << labels.size()
+     << " unretired task(s):";
+  for (const std::string& label : labels) os << " " << label;
+  os << "\n";
+}
+
+}  // namespace
+
+void check_step_quiescent(core::FpdtEnv& env) {
+  std::ostringstream os;
+  for (int r = 0; r < env.world(); ++r) {
+    runtime::Device& dev = env.device(r);
+    // Deferred timing spans legitimately accumulate on the compute stream
+    // (phase markers, backoff charges); drain them before judging.
+    dev.compute_stream().synchronize();
+    report_pending(os, r, dev.h2d_stream());
+    report_pending(os, r, dev.d2h_stream());
+    if (dev.hbm().staging() != 0) {
+      os << "watchdog: rank " << r << " HBM pool holds " << dev.hbm().staging()
+         << " staged bytes with no in-flight transfer\n";
+    }
+  }
+  if (env.host().pool().staging() != 0) {
+    os << "watchdog: host pool holds " << env.host().pool().staging()
+       << " staged bytes with no in-flight transfer\n";
+  }
+  const std::string diagnosis = os.str();
+  if (!diagnosis.empty()) throw FpdtError(diagnosis);
+}
+
+}  // namespace fpdt::fault

@@ -1,0 +1,22 @@
+// End-of-step watchdog: detects work that should have retired but didn't.
+//
+// After a training step every chunk migration must have retired — the
+// block executors drain their prefetchers before returning — and no pool
+// may still hold staging bytes for an in-flight transfer. A violation means
+// a lost wait edge or an abandoned closure: silent corruption waiting for
+// the next step. The watchdog turns it into a diagnostic naming the stuck
+// rank, stream and chunk key (transfer task labels embed the key:
+// "fetch.khat.0.1", "offload.vhat.2.0").
+#pragma once
+
+#include "core/fpdt_env.h"
+
+namespace fpdt::fault {
+
+// Drains each rank's compute stream (deferred timing spans are expected
+// there), then throws FpdtError if any transfer stream still holds
+// unretired tasks or any pool still carries staging bytes. Returns normally
+// on a quiescent step.
+void check_step_quiescent(core::FpdtEnv& env);
+
+}  // namespace fpdt::fault

@@ -10,18 +10,22 @@ namespace fpdt::nn {
 Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_decay)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
 
+Adam::Moments& Adam::ensure_moments(const Param& p) {
+  auto [it, inserted] = state_.try_emplace(p.name);
+  if (inserted) {
+    it->second.m = Tensor::zeros(p.value.shape());
+    it->second.v = Tensor::zeros(p.value.shape());
+  }
+  return it->second;
+}
+
 void Adam::step(const std::function<void(const ParamVisitor&)>& walk) {
   FPDT_TRACE_SCOPE(obs::kCatPhase, "optimizer");
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   walk([&](Param& p) {
-    auto [it, inserted] = state_.try_emplace(p.name);
-    if (inserted) {
-      it->second.m = Tensor::zeros(p.value.shape());
-      it->second.v = Tensor::zeros(p.value.shape());
-    }
-    Moments& mom = it->second;
+    Moments& mom = ensure_moments(p);
     FPDT_CHECK_EQ(mom.m.numel(), p.value.numel()) << " adam state shape for " << p.name;
     float* w = p.value.data();
     float* g = p.grad.data();

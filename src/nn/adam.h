@@ -15,6 +15,11 @@ namespace fpdt::nn {
 
 class Adam {
  public:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+
   // weight_decay applies decoupled (AdamW-style) decay: w -= lr * wd * w.
   explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.95, double eps = 1e-8,
                 double weight_decay = 0.0);
@@ -27,12 +32,17 @@ class Adam {
   double lr() const { return lr_; }
   void set_lr(double lr) { lr_ = lr; }
 
- private:
-  struct Moments {
-    Tensor m;
-    Tensor v;
-  };
+  // Moment slot for `p`, zero-initialized on first touch exactly as step()
+  // would — so checkpoint save/restore of a never-stepped optimizer is
+  // well-defined and bit-identical to stepping from scratch.
+  Moments& ensure_moments(const Param& p);
 
+  const std::unordered_map<std::string, Moments>& state() const { return state_; }
+
+  // Rewinds/advances the bias-correction counter; checkpoint restore only.
+  void set_step_count(std::int64_t t) { t_ = t; }
+
+ private:
   double lr_, beta1_, beta2_, eps_, weight_decay_;
   std::int64_t t_ = 0;
   std::unordered_map<std::string, Moments> state_;

@@ -1,7 +1,12 @@
 #include "nn/checkpoint_io.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -10,84 +15,222 @@ namespace fpdt::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'P', 'D', 'T', 'C', 'K', 'P', '1'};
+constexpr char kModelMagic[8] = {'F', 'P', 'D', 'T', 'C', 'K', 'P', '2'};
+constexpr char kTrainMagic[8] = {'F', 'P', 'D', 'T', 'T', 'R', 'N', '1'};
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
-std::uint64_t read_u64(std::ifstream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  FPDT_CHECK(in.good()) << " truncated checkpoint";
-  return v;
+// In-memory payload writer: the whole payload is serialized before any file
+// is opened, so the on-disk write is a single buffer + checksum.
+struct Writer {
+  std::string buf;
+
+  void put_bytes(const void* p, std::size_t n) {
+    buf.append(static_cast<const char*>(p), n);
+  }
+  void put_u64(std::uint64_t v) { put_bytes(&v, sizeof(v)); }
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    put_bytes(s.data(), s.size());
+  }
+  void put_floats(const float* p, std::int64_t n) {
+    put_bytes(p, static_cast<std::size_t>(n) * sizeof(float));
+  }
+};
+
+// Bounds-checked payload reader over the verified buffer.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos = 0;
+
+  void get_bytes(void* p, std::size_t n) {
+    FPDT_CHECK_LE(static_cast<std::int64_t>(pos + n), static_cast<std::int64_t>(buf.size()))
+        << " checkpoint payload truncated";
+    std::memcpy(p, buf.data() + pos, n);
+    pos += n;
+  }
+  std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    get_bytes(&v, sizeof(v));
+    return v;
+  }
+  std::string get_string() {
+    const std::uint64_t n = get_u64();
+    FPDT_CHECK_LT(n, 1u << 20) << " implausible string length in checkpoint";
+    std::string s(static_cast<std::size_t>(n), '\0');
+    get_bytes(s.data(), s.size());
+    return s;
+  }
+  void get_floats(float* p, std::int64_t n) {
+    get_bytes(p, static_cast<std::size_t>(n) * sizeof(float));
+  }
+  bool exhausted() const { return pos == buf.size(); }
+};
+
+// Crash-safe commit: write-to-temp, flush, atomic rename. A crash mid-write
+// leaves only `path + ".tmp"` junk; the previous checkpoint under `path`
+// stays intact and valid.
+void write_file(const std::string& path, const char (&magic)[8], const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FPDT_CHECK(out.good()) << " cannot open " << tmp << " for writing";
+    out.write(magic, sizeof(magic));
+    const std::uint64_t size = payload.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t sum = fnv1a64(payload);
+    out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    out.flush();
+    FPDT_CHECK(out.good()) << " write failed for " << tmp;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw FpdtError("checkpoint rename failed: " + tmp + " -> " + path);
+  }
 }
 
-void write_string(std::ofstream& out, const std::string& s) {
-  write_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+// Reads, frames and checksum-verifies the payload before the caller touches
+// any model state.
+std::string read_file(const std::string& path, const char (&magic)[8]) {
+  std::ifstream in(path, std::ios::binary);
+  FPDT_CHECK(in.good()) << " cannot open " << path;
+  std::string raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  constexpr std::size_t kHeader = sizeof(magic) + sizeof(std::uint64_t);
+  FPDT_CHECK_GE(static_cast<std::int64_t>(raw.size()),
+                static_cast<std::int64_t>(kHeader + sizeof(std::uint64_t)))
+      << " truncated checkpoint " << path;
+  FPDT_CHECK(std::equal(magic, magic + sizeof(magic), raw.data()))
+      << " not an FPDT checkpoint of the expected kind (bad magic): " << path;
+  std::uint64_t size = 0;
+  std::memcpy(&size, raw.data() + sizeof(magic), sizeof(size));
+  FPDT_CHECK_EQ(static_cast<std::int64_t>(raw.size()),
+                static_cast<std::int64_t>(kHeader + size + sizeof(std::uint64_t)))
+      << " truncated or oversized checkpoint " << path;
+  std::string payload = raw.substr(kHeader, static_cast<std::size_t>(size));
+  std::uint64_t sum = 0;
+  std::memcpy(&sum, raw.data() + kHeader + size, sizeof(sum));
+  FPDT_CHECK_EQ(fnv1a64(payload), sum) << " checkpoint checksum mismatch (corrupt): " << path;
+  return payload;
 }
 
-std::string read_string(std::ifstream& in) {
-  const std::uint64_t n = read_u64(in);
-  FPDT_CHECK_LT(n, 1u << 20) << " implausible name length";
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  FPDT_CHECK(in.good()) << " truncated checkpoint";
-  return s;
+void put_param_header(Writer& w, const Param& p) {
+  w.put_string(p.name);
+  w.put_u64(static_cast<std::uint64_t>(p.value.ndim()));
+  for (int i = 0; i < p.value.ndim(); ++i) {
+    w.put_u64(static_cast<std::uint64_t>(p.value.dim(i)));
+  }
+}
+
+void check_param_header(Reader& r, const Param& p) {
+  const std::string name = r.get_string();
+  FPDT_CHECK_EQ(name, p.name) << " parameter order/name mismatch";
+  const std::uint64_t ndim = r.get_u64();
+  FPDT_CHECK_EQ(ndim, static_cast<std::uint64_t>(p.value.ndim()))
+      << " rank mismatch for " << name;
+  for (int i = 0; i < p.value.ndim(); ++i) {
+    const std::uint64_t d = r.get_u64();
+    FPDT_CHECK_EQ(d, static_cast<std::uint64_t>(p.value.dim(i)))
+        << " shape mismatch for " << name << " dim " << i;
+  }
 }
 
 }  // namespace
 
 void save_checkpoint(Model& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  FPDT_CHECK(out.good()) << " cannot open " << path << " for writing";
-  out.write(kMagic, sizeof(kMagic));
-
+  Writer w;
   std::uint64_t count = 0;
   model.visit_params([&](Param&) { ++count; });
-  write_u64(out, count);
-
+  w.put_u64(count);
   model.visit_params([&](Param& p) {
-    write_string(out, p.name);
-    write_u64(out, static_cast<std::uint64_t>(p.value.ndim()));
-    for (int i = 0; i < p.value.ndim(); ++i) {
-      write_u64(out, static_cast<std::uint64_t>(p.value.dim(i)));
-    }
-    out.write(reinterpret_cast<const char*>(p.value.data()),
-              static_cast<std::streamsize>(p.value.numel()) * 4);
+    put_param_header(w, p);
+    w.put_floats(p.value.data(), p.value.numel());
   });
-  FPDT_CHECK(out.good()) << " write failed for " << path;
+  write_file(path, kModelMagic, w.buf);
 }
 
 void load_checkpoint(Model& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  FPDT_CHECK(in.good()) << " cannot open " << path;
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  FPDT_CHECK(in.good() && std::equal(magic, magic + sizeof(kMagic), kMagic))
-      << " not an FPDT checkpoint (bad magic): " << path;
-
-  const std::uint64_t count = read_u64(in);
+  const std::string payload = read_file(path, kModelMagic);
+  Reader r{payload};
+  const std::uint64_t count = r.get_u64();
   std::uint64_t seen = 0;
   model.visit_params([&](Param& p) {
     FPDT_CHECK_LT(seen, count) << " checkpoint has fewer parameters than the model";
-    const std::string name = read_string(in);
-    FPDT_CHECK_EQ(name, p.name) << " parameter order/name mismatch";
-    const std::uint64_t ndim = read_u64(in);
-    FPDT_CHECK_EQ(ndim, static_cast<std::uint64_t>(p.value.ndim()))
-        << " rank mismatch for " << name;
-    for (int i = 0; i < p.value.ndim(); ++i) {
-      const std::uint64_t d = read_u64(in);
-      FPDT_CHECK_EQ(d, static_cast<std::uint64_t>(p.value.dim(i)))
-          << " shape mismatch for " << name << " dim " << i;
-    }
-    in.read(reinterpret_cast<char*>(p.value.data()),
-            static_cast<std::streamsize>(p.value.numel()) * 4);
-    FPDT_CHECK(in.good()) << " truncated tensor data for " << name;
+    check_param_header(r, p);
+    r.get_floats(p.value.data(), p.value.numel());
     ++seen;
   });
   FPDT_CHECK_EQ(seen, count) << " checkpoint has more parameters than the model";
+  FPDT_CHECK(r.exhausted()) << " trailing bytes in checkpoint " << path;
+}
+
+void save_training_state(Model& model, Adam& adam, const TrainingState& state,
+                         const std::string& path) {
+  Writer w;
+  std::uint64_t count = 0;
+  model.visit_params([&](Param&) { ++count; });
+  w.put_u64(count);
+  // Params and their Adam moments interleaved in visit order. Moments are
+  // materialized (zero-init) for never-stepped params so a step-0 snapshot
+  // restores to exactly the state step() would have built.
+  model.visit_params([&](Param& p) {
+    put_param_header(w, p);
+    w.put_floats(p.value.data(), p.value.numel());
+    const Adam::Moments& mom = adam.ensure_moments(p);
+    w.put_floats(mom.m.data(), mom.m.numel());
+    w.put_floats(mom.v.data(), mom.v.numel());
+  });
+  w.put_u64(static_cast<std::uint64_t>(adam.step_count()));
+  w.put_u64(static_cast<std::uint64_t>(state.step));
+  w.put_u64(state.streams.size());
+  for (const auto& [name, values] : state.streams) {  // std::map: sorted, stable
+    w.put_string(name);
+    w.put_u64(values.size());
+    for (std::uint64_t v : values) w.put_u64(v);
+  }
+  write_file(path, kTrainMagic, w.buf);
+}
+
+TrainingState load_training_state(Model& model, Adam& adam, const std::string& path) {
+  const std::string payload = read_file(path, kTrainMagic);
+  Reader r{payload};
+  const std::uint64_t count = r.get_u64();
+  std::uint64_t seen = 0;
+  model.visit_params([&](Param& p) {
+    FPDT_CHECK_LT(seen, count) << " training state has fewer parameters than the model";
+    check_param_header(r, p);
+    r.get_floats(p.value.data(), p.value.numel());
+    Adam::Moments& mom = adam.ensure_moments(p);
+    r.get_floats(mom.m.data(), mom.m.numel());
+    r.get_floats(mom.v.data(), mom.v.numel());
+    // A restored step starts from a clean slate: any half-accumulated
+    // gradient from the failed attempt is discarded.
+    float* g = p.grad.data();
+    std::fill(g, g + p.grad.numel(), 0.0f);
+    ++seen;
+  });
+  FPDT_CHECK_EQ(seen, count) << " training state has more parameters than the model";
+  adam.set_step_count(static_cast<std::int64_t>(r.get_u64()));
+  TrainingState state;
+  state.step = static_cast<std::int64_t>(r.get_u64());
+  const std::uint64_t n_streams = r.get_u64();
+  for (std::uint64_t i = 0; i < n_streams; ++i) {
+    std::string name = r.get_string();
+    const std::uint64_t len = r.get_u64();
+    FPDT_CHECK_LT(len, 1u << 24) << " implausible stream state length";
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(len));
+    for (auto& v : values) v = r.get_u64();
+    state.streams.emplace(std::move(name), std::move(values));
+  }
+  FPDT_CHECK(r.exhausted()) << " trailing bytes in training state " << path;
+  return state;
 }
 
 }  // namespace fpdt::nn

@@ -1,11 +1,33 @@
-// Model checkpoint serialization: a small self-describing binary format
-// (magic, version, per-parameter name/shape/data). Round-trips bit-exactly,
-// validates names and shapes on load, and refuses version/format
-// mismatches — the minimum a training system needs to survive restarts.
+// Checkpoint serialization: a small self-describing binary format that
+// round-trips bit-exactly and survives crashes mid-write.
+//
+// Every file shares one crash-safe envelope:
+//
+//   [magic 8B][payload_size u64][payload][fnv1a64(payload) u64]
+//
+// Writers serialize the payload in memory, write to `path + ".tmp"`, flush,
+// and std::rename over the target — a torn write can only ever leave a stale
+// but complete previous checkpoint plus a junk temp file, never a
+// half-written checkpoint under the real name. Readers verify the checksum
+// before touching any model state, so truncation and bit rot are rejected
+// up front (FpdtError), not discovered as NaNs three steps later.
+//
+// Two payload kinds:
+//   FPDTCKP2 — model parameters only (save/load_checkpoint);
+//   FPDTTRN1 — full training state for restore-and-replay: parameters,
+//              Adam moments + step counter, RNG/data-stream states and the
+//              global step (save/load_training_state). Restoring resumes
+//              training bit-identically to the uninterrupted run.
+//
+// The former FPDTCKP1 in-place format is refused (bad magic).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "nn/adam.h"
 #include "nn/model.h"
 
 namespace fpdt::nn {
@@ -15,7 +37,27 @@ namespace fpdt::nn {
 void save_checkpoint(Model& model, const std::string& path);
 
 // Loads parameters into `model`; every parameter must match by name, order
-// and shape (same ModelConfig). Throws FpdtError on any mismatch.
+// and shape (same ModelConfig). Throws FpdtError on any mismatch, a bad
+// checksum, or a truncated file.
 void load_checkpoint(Model& model, const std::string& path);
+
+// Everything outside the model/optimizer tensors that step replay needs:
+// the global step counter plus named flat state vectors (data-stream RNGs,
+// corpus history — see data::SyntheticCorpus::save_state).
+struct TrainingState {
+  std::int64_t step = 0;
+  std::map<std::string, std::vector<std::uint64_t>> streams;
+};
+
+// Full snapshot: parameters, Adam first/second moments (materialized for
+// every parameter, zero-initialized if never stepped) and step counter,
+// plus `state`. Crash-safe like save_checkpoint.
+void save_training_state(Model& model, Adam& adam, const TrainingState& state,
+                         const std::string& path);
+
+// Restores a save_training_state snapshot into `model` and `adam` (grads
+// are zeroed) and returns the TrainingState. Throws FpdtError on mismatch
+// or corruption.
+TrainingState load_training_state(Model& model, Adam& adam, const std::string& path);
 
 }  // namespace fpdt::nn

@@ -30,6 +30,9 @@ double finite(double v) { return std::isfinite(v) ? v : 0.0; }
 }  // namespace
 
 std::string phase_of(const std::string& label) {
+  // Fault-injection retry backoffs ("retry.fetch.k.0.1", "retry.all_reduce")
+  // are their own phase, so recovery cost is visible in the breakdown.
+  if (starts_with(label, "retry.")) return "retry";
   // Transfer spans keep their stream-of-origin identity.
   if (starts_with(label, "fetch.")) return "fetch";
   if (starts_with(label, "offload.")) return "offload";

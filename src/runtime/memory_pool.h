@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "obs/trace.h"
 
 namespace fpdt::runtime {
@@ -99,6 +100,14 @@ class MemoryPool {
   // attention loops fork across threads (common/thread_pool.h).
   void charge(std::int64_t bytes) {
     FPDT_CHECK_GE(bytes, 0) << " negative charge on " << name_;
+    // Fault-injection point: a spurious OOM, drawn at the acting rank's
+    // deterministic stream, exercises the trainer's chunk-doubling
+    // degradation path. One relaxed load when the injector is off.
+    if (fault::faults_enabled() &&
+        fault::FaultInjector::instance().should_fail(fault::Site::kAlloc, current_rank())) {
+      throw OutOfMemoryError(name_ + ": injected OOM charging " + std::to_string(bytes) +
+                             " bytes");
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (capacity_ >= 0 && used_ + staging_ + bytes > capacity_) {
       throw OutOfMemoryError(name_ + ": OOM allocating " + std::to_string(bytes) +

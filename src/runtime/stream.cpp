@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "fault/fault_injector.h"
 #include "obs/trace.h"
 
 namespace fpdt::runtime {
@@ -44,6 +45,13 @@ void Stream::discard_pending() {
   }
 }
 
+std::vector<std::string> Stream::pending_labels() const {
+  std::vector<std::string> out;
+  out.reserve(pending_.size());
+  for (const Pending& p : pending_) out.push_back(p.label);
+  return out;
+}
+
 void Stream::drain_through(std::int64_t seq) {
   while (executed() <= seq && !pending_.empty()) execute_front();
 }
@@ -60,15 +68,22 @@ void Stream::execute_front() {
     e.wait();
     start = std::max(start, e.ready_time());
   }
-  spans_.push_back(StreamSpan{std::move(task.label), start, start + task.duration});
-  tail_ = start + task.duration;
+  // Fault-injection point: a straggler spike stretches this task's virtual
+  // duration — timing only, the side effect is untouched, so results stay
+  // bit-identical while the timeline shows the stall.
+  double duration = task.duration;
+  if (fault::faults_enabled()) {
+    duration += fault::FaultInjector::instance().straggler_delay(trace_rank_);
+  }
+  spans_.push_back(StreamSpan{std::move(task.label), start, start + duration});
+  tail_ = start + duration;
   if (obs::tracing_enabled()) {
     // Emit the resolved span (and advance the rank's virtual clock) before
     // the side effect runs, so events the closure emits — chunk retirement,
     // pool samples — are stamped at this task's finish time.
     obs::Tracer::instance().complete(obs::kCatStream, spans_.back().label, trace_rank_,
                                      trace_track_.empty() ? name_ : trace_track_,
-                                     trace_offset_ + start, task.duration);
+                                     trace_offset_ + start, duration);
   }
   if (task.fn) task.fn();
 }

@@ -129,6 +129,11 @@ class Stream {
 
   bool idle() const { return pending_.empty(); }
 
+  // Labels of not-yet-executed tasks, in FIFO order — the end-of-step
+  // watchdog's evidence when a transfer never retired (labels embed the
+  // chunk key: "fetch.khat.0.1").
+  std::vector<std::string> pending_labels() const;
+
   // Virtual time at which the stream goes idle (after synchronize()).
   double tail_time() const { return tail_; }
 

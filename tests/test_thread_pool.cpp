@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -39,6 +41,30 @@ TEST(ThreadPoolTest, ExceptionsPropagate) {
         if (i == 3) throw FpdtError("worker failure");
       }),
       FpdtError);
+}
+
+TEST(ThreadPoolTest, FailFastCancelsUnstartedBodies) {
+  // After one body throws, indices not yet claimed must never start: with
+  // slow bodies and few workers, far fewer than n bodies run. Without the
+  // cancellation flag all 64 would execute.
+  const int saved = parallel_workers();
+  set_parallel_workers(4);
+  constexpr int kN = 64;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_for_ranks(kN,
+                         [&](int i) {
+                           executed.fetch_add(1);
+                           if (i == 0) throw FpdtError("injected worker failure");
+                           std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                         }),
+      FpdtError);
+  set_parallel_workers(saved);
+  // Index 0 runs on some worker's first claim; the other three workers get
+  // at most a couple of bodies in before the flag is visible. Anything well
+  // below kN proves cancellation; allow generous slack for scheduling.
+  EXPECT_LT(executed.load(), kN / 2);
+  EXPECT_GE(executed.load(), 1);
 }
 
 TEST(ThreadPoolTest, WorkerCountConfigurable) {

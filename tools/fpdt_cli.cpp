@@ -9,9 +9,11 @@
 //                                               measured stream-overlap report
 //   fpdt profile [--steps N] [--gpus G] [--strategy S] [--trace t.json]
 //                [--metrics m.json]             executed-step profiler
+//   fpdt chaos [--spec S] [--steps N] [--gpus G]  fault-injected resilience run
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -21,6 +23,8 @@
 #include "common/units.h"
 #include "core/fpdt_trainer.h"
 #include "data/synthetic_corpus.h"
+#include "fault/fault_injector.h"
+#include "fault/resilient_trainer.h"
 #include "nn/model_config.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -57,7 +61,10 @@ int usage() {
                "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64] [--trace out.json]\n"
                "  fpdt profile [--steps 2] [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
                "               [--strategy fpdt|ulysses|megatron-sp|ring]\n"
-               "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n";
+               "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n"
+               "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
+               "             [--chunks 4] [--chunk-tokens 64] [--seed 1234]\n"
+               "             [--ckpt fpdt_chaos.ckpt] [--no-verify]\n";
   return 2;
 }
 
@@ -239,10 +246,48 @@ int cmd_profile(int argc, char** argv, int base) {
   return 0;
 }
 
+// Deterministic fault-injection drill: a faulted run (retry / degrade /
+// restore as needed) followed by a fault-free twin, verifying the injector
+// was survivable and invisible to training math.
+int cmd_chaos(int argc, char** argv, int base) {
+  fault::ChaosOptions opt;
+  // Default spec: env override, else a canned mix exercising every
+  // recovery path short of math degradation.
+  if (const char* env = std::getenv("FPDT_FAULTS")) opt.spec = env;
+  if (opt.spec.empty()) opt.spec = "h2d:p=0.05;d2h:p=0.05;collective:step=2";
+  for (int i = base; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
+      return argv[++i];
+    };
+    if (a == "--spec") opt.spec = next("--spec");
+    else if (a == "--steps") opt.steps = std::atoi(next("--steps"));
+    else if (a == "--gpus") opt.world = std::atoi(next("--gpus"));
+    else if (a == "--chunks") opt.chunks = std::atoll(next("--chunks"));
+    else if (a == "--chunk-tokens") opt.chunk_tokens = std::atoll(next("--chunk-tokens"));
+    else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (a == "--ckpt") opt.checkpoint_path = next("--ckpt");
+    else if (a == "--no-verify") opt.verify_against_clean = false;
+    else throw FpdtError("unknown chaos flag: " + a);
+  }
+
+  fault::FaultInjector::instance().configure(opt.spec);
+  std::cout << fault::FaultInjector::instance().describe();
+  const fault::ChaosResult res = fault::run_chaos(opt);
+  std::cout << res.report(opt.steps);
+  if (!res.survived(opt.steps)) return 1;
+  if (opt.verify_against_clean && !res.loss_bitwise_match && !res.math_degraded) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    // FPDT_FAULTS arms the injector process-wide (off when unset): any
+    // command — profile, overlap — then runs under injected faults.
+    fpdt::fault::FaultInjector::instance().configure_from_env();
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "plan" && argc >= 4) {
@@ -281,6 +326,7 @@ int main(int argc, char** argv) {
       return cmd_overlap(gpus, chunks, chunk_tokens, trace_path);
     }
     if (cmd == "profile") return cmd_profile(argc, argv, 2);
+    if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
