@@ -8,11 +8,15 @@
 #   - the final loss matches a fault-free twin bitwise (transient faults are
 #     invisible to training math).
 #
-#   ci/chaos_smoke.sh [build_dir]   # default: build
+#   ci/chaos_smoke.sh [build_dir] [zero_stage]   # defaults: build, seed (-1)
+#
+# A second argument runs the whole contract under that ZeRO stage (the
+# sharded optimizer + sharded FPDTZR01 snapshots are then on the fault path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+ZERO_STAGE="${2:--1}"
 FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
 if [[ ! -x "$FPDT" ]]; then
   echo "chaos_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
@@ -25,7 +29,8 @@ trap 'rm -rf "$workdir"' EXIT
 STEPS=4
 out="$workdir/chaos.out"
 (cd "$workdir" && "$FPDT" chaos \
-    --spec 'h2d:p=0.05;d2h:p=0.05;collective:step=2' --steps "$STEPS") | tee "$out"
+    --spec 'h2d:p=0.05;d2h:p=0.05;collective:step=2' --steps "$STEPS" \
+    --zero-stage "$ZERO_STAGE") | tee "$out"
 
 grep -q "chaos: completed $STEPS/$STEPS steps" "$out" \
   || { echo "chaos_smoke: run did not complete all $STEPS steps" >&2; exit 1; }

@@ -22,7 +22,15 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal'
+  # ZeRO stage matrix: one footprint run per stage exercises the sharded
+  # residency charges, the gather/scatter collectives and the sharded
+  # optimizer under the sanitizer, and asserts the measured-vs-modeled
+  # deltas (and cross-stage loss bit-identity) end to end.
+  for stage in 0 1 2 3; do
+    "$dir/tools/fpdt" footprint --gpus 2 --chunks 2 --chunk-tokens 32 --stage "$stage" \
+      > /dev/null
+  done
   # End-to-end profiler smoke under the sanitizer: traces a 2-step run and
   # checks the emitted JSON documents and overlap invariants.
   ci/profile_smoke.sh "$dir"
@@ -30,6 +38,9 @@ run_lane() {
   # with all faults recovered and the final loss bitwise-clean. Races in the
   # injector's locked draw paths or the retry ladders show up here.
   ci/chaos_smoke.sh "$dir"
+  # Same contract with the ZeRO-3 sharded optimizer and FPDTZR01 snapshots
+  # on the fault path.
+  ci/chaos_smoke.sh "$dir" 3
 }
 
 lanes=("$@")

@@ -47,6 +47,16 @@ struct FpdtConfig {
   // to chunk-wise recompute (plain activation checkpointing).
   bool cache_forward_outputs = true;
 
+  // ZeRO stage composed with the sequence-parallel group (parallel/zero/):
+  //   -1  seed behavior — no model-state residency accounting, replicated
+  //       optimizer (every pre-ZeRO test and bench keeps its exact numbers);
+  //    0  replicated params/grads/optimizer, but *accounted*: the trainer
+  //       attaches a zero::ZeroEngine that charges 2N+2N+12N logical bytes
+  //       per rank (the conformance oracle);
+  //  1-3  ZeRO-1/2/3 partitioning per Rajbhandari et al. (2020); every
+  //       stage is bit-identical to stage 0 (tests/test_zero.cpp).
+  int zero_stage = -1;
+
   // Deterministic fault-injection spec (fault/fault_injector.h), e.g.
   // "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5". Empty (the
   // default) leaves the injector untouched — zero overhead beyond one

@@ -29,6 +29,25 @@ FpdtTrainer::FpdtTrainer(nn::Model& model, int world, FpdtConfig cfg,
   for (std::size_t l = 0; l < model.blocks().size(); ++l) {
     executors_.emplace_back(model.blocks()[l], static_cast<std::int64_t>(l), env_);
   }
+  if (cfg.zero_stage >= 0) {
+    zero_ = std::make_unique<zero::ZeroEngine>(model, env_,
+                                               zero::ZeroConfig{cfg.zero_stage});
+  }
+}
+
+zero::ParamWalk FpdtTrainer::walk_embed() {
+  return [this](const nn::ParamVisitor& fn) { model_->embedding().visit(fn); };
+}
+
+zero::ParamWalk FpdtTrainer::walk_block(std::size_t l) {
+  return [this, l](const nn::ParamVisitor& fn) { model_->blocks()[l].visit(fn); };
+}
+
+zero::ParamWalk FpdtTrainer::walk_head() {
+  return [this](const nn::ParamVisitor& fn) {
+    model_->final_norm().visit(fn);
+    model_->lm_head().visit(fn);
+  };
 }
 
 double FpdtTrainer::train_batch_grads(const std::vector<std::vector<std::int32_t>>& batch) {
@@ -56,6 +75,7 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   h.reserve(static_cast<std::size_t>(P));
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "embed");
+    zero::GroupScope zs(zero_.get(), "embed", walk_embed(), /*grad_bucket=*/false);
     for (int r = 0; r < P; ++r) {
       h.push_back(model_->embedding().forward(shards[static_cast<std::size_t>(r)].inputs));
       trace_phase_span(env_, r, "embed", 2.0 * static_cast<double>(h.back().numel()));
@@ -68,9 +88,13 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   block_inputs.reserve(executors_.size());
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.forward");
-    for (FpdtBlockExecutor& exec : executors_) {
+    for (std::size_t l = 0; l < executors_.size(); ++l) {
+      // ZeRO-3: this block's params are gathered only for its execution
+      // window — the working set stays one layer, not the whole model.
+      zero::GroupScope zs(zero_.get(), "block" + std::to_string(l), walk_block(l),
+                          /*grad_bucket=*/false);
       block_inputs.push_back(h);
-      h = exec.forward(h);
+      h = executors_[l].forward(h);
     }
   }
 
@@ -83,6 +107,9 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   std::vector<Tensor> dh(static_cast<std::size_t>(P));
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "loss_head");
+    // forward_backward computes head/norm grads here, so the ZeRO-2/3 grad
+    // bucket is live for this window.
+    zero::GroupScope zs(zero_.get(), "head", walk_head(), /*grad_bucket=*/true);
     const double vocab = static_cast<double>(model_->embedding().vocab());
     for (int r = 0; r < P; ++r) {
       nn::NormStats st;
@@ -103,6 +130,8 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.backward");
     for (std::size_t l = executors_.size(); l-- > 0;) {
+      zero::GroupScope zs(zero_.get(), "block" + std::to_string(l), walk_block(l),
+                          /*grad_bucket=*/true);
       dh = executors_[l].backward(dh, block_inputs[l]);
     }
   }
@@ -110,6 +139,7 @@ double FpdtTrainer::train_step_grads(const std::vector<std::int32_t>& tokens) {
   // ---- Embedding backward per rank.
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "embed.backward");
+    zero::GroupScope zs(zero_.get(), "embed", walk_embed(), /*grad_bucket=*/true);
     for (int r = 0; r < P; ++r) {
       model_->embedding().backward(dh[static_cast<std::size_t>(r)],
                                    shards[static_cast<std::size_t>(r)].inputs);

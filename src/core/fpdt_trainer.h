@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/fpdt_block.h"
 #include "core/fpdt_env.h"
 #include "data/rank_ordinal.h"
 #include "nn/model.h"
+#include "parallel/zero/zero_engine.h"
 
 namespace fpdt::core {
 
@@ -46,11 +48,20 @@ class FpdtTrainer {
   FpdtEnv& env() { return env_; }
   nn::Model& model() { return *model_; }
 
+  // Attached when cfg.zero_stage >= 0 (nullptr at the seed's -1 sentinel).
+  zero::ZeroEngine* zero_engine() { return zero_.get(); }
+
  private:
+  // Walks one parameter group for ZeRO gather/bucket windows.
+  zero::ParamWalk walk_embed();
+  zero::ParamWalk walk_block(std::size_t l);
+  zero::ParamWalk walk_head();
+
   nn::Model* model_;
   FpdtEnv env_;
   data::RankOrdinalSharder sharder_;
   std::vector<FpdtBlockExecutor> executors_;
+  std::unique_ptr<zero::ZeroEngine> zero_;
 };
 
 }  // namespace fpdt::core

@@ -30,8 +30,23 @@ ResilientTrainer::ResilientTrainer(const ResilientOptions& opt)
 }
 
 void ResilientTrainer::rebuild_trainer() {
+  // The sharded optimizer is bound to the trainer's env (its collectives,
+  // streams, pools); carry its state across the rebuild and re-bind it.
+  zero::ShardedAdamState saved_shards;
+  std::int64_t saved_t = 0;
+  if (zopt_ != nullptr) {
+    saved_shards = std::move(zopt_->mutable_shards());
+    saved_t = zopt_->step_count();
+    zopt_.reset();  // before its env dies with the old trainer
+  }
   trainer_ = std::make_unique<core::FpdtTrainer>(*model_, opt_.world, opt_.cfg,
                                                  opt_.hbm_capacity_bytes);
+  if (opt_.cfg.zero_stage >= 1) {
+    zopt_ = std::make_unique<zero::ShardedOptimizer>(
+        trainer_->env(), zero::ZeroConfig{opt_.cfg.zero_stage}, opt_.lr);
+    zopt_->set_shards(std::move(saved_shards));
+    zopt_->set_step_count(saved_t);
+  }
 }
 
 void ResilientTrainer::double_chunks_or_rethrow() {
@@ -68,7 +83,12 @@ StepOutcome ResilientTrainer::train_step() {
         throw FpdtError("injected crash: step " + std::to_string(step_) +
                         " lost before the optimizer update");
       }
-      adam_.step([&](const nn::ParamVisitor& v) { model_->visit_params(v); });
+      const auto walk = [&](const nn::ParamVisitor& v) { model_->visit_params(v); };
+      if (zopt_ != nullptr) {
+        zopt_->step(walk);
+      } else {
+        adam_.step(walk);
+      }
       check_step_quiescent(trainer_->env());
       trainer_->env().synchronize_streams();
       out.loss = loss;
@@ -105,16 +125,33 @@ void ResilientTrainer::save_snapshot(const std::string& path) {
   nn::TrainingState ts;
   ts.step = step_;
   ts.streams["corpus"] = corpus_.save_state();
-  nn::save_training_state(*model_, adam_, ts, path);
+  if (zopt_ != nullptr) {
+    nn::save_sharded_training_state(*model_, zopt_->mutable_shards(), zopt_->step_count(),
+                                    opt_.world, opt_.cfg.zero_stage, ts, path);
+  } else {
+    nn::save_training_state(*model_, adam_, ts, path);
+  }
 }
 
 void ResilientTrainer::restore_snapshot(const std::string& path) {
-  const nn::TrainingState ts = nn::load_training_state(*model_, adam_, path);
-  step_ = ts.step;
+  nn::TrainingState ts;
+  if (zopt_ != nullptr) {
+    nn::ShardedAdamState shards;
+    nn::ShardedRestore sr = nn::load_sharded_training_state(
+        *model_, shards, opt_.world, opt_.cfg.zero_stage, path);
+    ts = std::move(sr.state);
+    step_ = ts.step;
+    rebuild_trainer();  // re-bind zopt_ to the fresh env...
+    zopt_->set_shards(std::move(shards));  // ...then install the restored shards
+    zopt_->set_step_count(sr.adam_step);
+  } else {
+    ts = nn::load_training_state(*model_, adam_, path);
+    step_ = ts.step;
+    rebuild_trainer();
+  }
   auto it = ts.streams.find("corpus");
   FPDT_CHECK(it != ts.streams.end()) << " snapshot missing the corpus stream state";
   corpus_.load_state(it->second);
-  rebuild_trainer();
   obs::MetricsRegistry::global().counter("fault.restored").add(1);
 }
 
@@ -167,6 +204,7 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
     ResilientOptions ro;
     ro.world = opt.world;
     ro.cfg.chunks_per_rank = opt.chunks;
+    ro.cfg.zero_stage = opt.zero_stage;
     ro.chunk_tokens = opt.chunk_tokens;
     ro.hbm_capacity_bytes = opt.hbm_capacity_bytes;
     ro.model_seed = opt.seed;

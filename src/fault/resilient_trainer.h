@@ -36,6 +36,7 @@
 #include "fault/fault_injector.h"
 #include "nn/adam.h"
 #include "nn/model.h"
+#include "parallel/zero/sharded_optimizer.h"
 
 namespace fpdt::fault {
 
@@ -77,6 +78,11 @@ class ResilientTrainer {
   core::FpdtTrainer& trainer() { return *trainer_; }
   const core::FpdtConfig& cfg() const { return opt_.cfg; }
 
+  // The ZeRO-sharded optimizer when cfg.zero_stage >= 1, else nullptr (the
+  // replicated adam() path). Snapshots switch to the sharded envelope
+  // (FPDTZR01) so per-rank moment shards round-trip bitwise.
+  zero::ShardedOptimizer* sharded() { return zopt_.get(); }
+
   // Full TrainingState snapshot / restore (params + Adam moments + corpus
   // stream + step counter). Restore rebuilds the trainer from scratch.
   void save_snapshot(const std::string& path);
@@ -91,6 +97,9 @@ class ResilientTrainer {
   std::unique_ptr<nn::Model> model_;
   std::unique_ptr<core::FpdtTrainer> trainer_;
   nn::Adam adam_;
+  // cfg.zero_stage >= 1: the partitioned optimizer, bound to the current
+  // trainer's env (rebuilt with it; moment shards carry over).
+  std::unique_ptr<zero::ShardedOptimizer> zopt_;
   data::SyntheticCorpus corpus_;
   std::int64_t step_ = 0;
 };
@@ -105,6 +114,8 @@ struct ChaosOptions {
   std::int64_t chunk_tokens = 64;
   std::uint64_t seed = 1234;
   std::int64_t hbm_capacity_bytes = -1;
+  // -1 = seed behavior; 0-3 runs the chaos pair under that ZeRO stage.
+  int zero_stage = -1;
   std::string checkpoint_path = "fpdt_chaos.ckpt";
   bool verify_against_clean = true;
   bool keep_checkpoint = false;

@@ -17,6 +17,7 @@ namespace {
 
 constexpr char kModelMagic[8] = {'F', 'P', 'D', 'T', 'C', 'K', 'P', '2'};
 constexpr char kTrainMagic[8] = {'F', 'P', 'D', 'T', 'T', 'R', 'N', '1'};
+constexpr char kShardMagic[8] = {'F', 'P', 'D', 'T', 'Z', 'R', '0', '1'};
 
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -231,6 +232,109 @@ TrainingState load_training_state(Model& model, Adam& adam, const std::string& p
   }
   FPDT_CHECK(r.exhausted()) << " trailing bytes in training state " << path;
   return state;
+}
+
+namespace {
+
+// Zero-materialized per-rank moment shards for `p`, matching
+// zero::ShardedOptimizer::ensure_shards — so a never-stepped optimizer
+// round-trips bit-identically to one built by stepping from scratch.
+std::vector<Adam::Moments>& ensure_shards(ShardedAdamState& shards, const Param& p,
+                                          int world) {
+  auto [it, inserted] = shards.try_emplace(p.name);
+  if (inserted) {
+    const std::int64_t s = (p.value.numel() + world - 1) / world;
+    it->second.resize(static_cast<std::size_t>(world));
+    for (auto& mom : it->second) {
+      mom.m = Tensor::zeros({s});
+      mom.v = Tensor::zeros({s});
+    }
+  }
+  return it->second;
+}
+
+void put_training_tail(Writer& w, std::int64_t adam_step, const TrainingState& state) {
+  w.put_u64(static_cast<std::uint64_t>(adam_step));
+  w.put_u64(static_cast<std::uint64_t>(state.step));
+  w.put_u64(state.streams.size());
+  for (const auto& [name, values] : state.streams) {  // std::map: sorted, stable
+    w.put_string(name);
+    w.put_u64(values.size());
+    for (std::uint64_t v : values) w.put_u64(v);
+  }
+}
+
+}  // namespace
+
+void save_sharded_training_state(Model& model, ShardedAdamState& shards,
+                                 std::int64_t adam_step, int world, int zero_stage,
+                                 const TrainingState& state, const std::string& path) {
+  Writer w;
+  w.put_u64(static_cast<std::uint64_t>(world));
+  w.put_u64(static_cast<std::uint64_t>(zero_stage));
+  std::uint64_t count = 0;
+  model.visit_params([&](Param&) { ++count; });
+  w.put_u64(count);
+  model.visit_params([&](Param& p) {
+    put_param_header(w, p);
+    w.put_floats(p.value.data(), p.value.numel());
+    const std::vector<Adam::Moments>& mom = ensure_shards(shards, p, world);
+    w.put_u64(static_cast<std::uint64_t>(mom[0].m.numel()));
+    for (const Adam::Moments& rank_mom : mom) {
+      w.put_floats(rank_mom.m.data(), rank_mom.m.numel());
+      w.put_floats(rank_mom.v.data(), rank_mom.v.numel());
+    }
+  });
+  put_training_tail(w, adam_step, state);
+  write_file(path, kShardMagic, w.buf);
+}
+
+ShardedRestore load_sharded_training_state(Model& model, ShardedAdamState& shards,
+                                           int world, int zero_stage,
+                                           const std::string& path) {
+  const std::string payload = read_file(path, kShardMagic);
+  Reader r{payload};
+  const std::uint64_t saved_world = r.get_u64();
+  FPDT_CHECK_EQ(saved_world, static_cast<std::uint64_t>(world))
+      << " sharded snapshot taken at world " << saved_world << ", loading at " << world;
+  const std::uint64_t saved_stage = r.get_u64();
+  FPDT_CHECK_EQ(saved_stage, static_cast<std::uint64_t>(zero_stage))
+      << " sharded snapshot taken at ZeRO stage " << saved_stage << ", loading at stage "
+      << zero_stage;
+  const std::uint64_t count = r.get_u64();
+  std::uint64_t seen = 0;
+  model.visit_params([&](Param& p) {
+    FPDT_CHECK_LT(seen, count) << " sharded state has fewer parameters than the model";
+    check_param_header(r, p);
+    r.get_floats(p.value.data(), p.value.numel());
+    const std::uint64_t s = r.get_u64();
+    const std::int64_t expect = (p.value.numel() + world - 1) / world;
+    FPDT_CHECK_EQ(static_cast<std::int64_t>(s), expect)
+        << " shard size mismatch for " << p.name;
+    std::vector<Adam::Moments>& mom = ensure_shards(shards, p, world);
+    for (Adam::Moments& rank_mom : mom) {
+      r.get_floats(rank_mom.m.data(), rank_mom.m.numel());
+      r.get_floats(rank_mom.v.data(), rank_mom.v.numel());
+    }
+    float* g = p.grad.data();
+    std::fill(g, g + p.grad.numel(), 0.0f);
+    ++seen;
+  });
+  FPDT_CHECK_EQ(seen, count) << " sharded state has more parameters than the model";
+  ShardedRestore out;
+  out.adam_step = static_cast<std::int64_t>(r.get_u64());
+  out.state.step = static_cast<std::int64_t>(r.get_u64());
+  const std::uint64_t n_streams = r.get_u64();
+  for (std::uint64_t i = 0; i < n_streams; ++i) {
+    std::string name = r.get_string();
+    const std::uint64_t len = r.get_u64();
+    FPDT_CHECK_LT(len, 1u << 24) << " implausible stream state length";
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(len));
+    for (auto& v : values) v = r.get_u64();
+    out.state.streams.emplace(std::move(name), std::move(values));
+  }
+  FPDT_CHECK(r.exhausted()) << " trailing bytes in sharded training state " << path;
+  return out;
 }
 
 }  // namespace fpdt::nn

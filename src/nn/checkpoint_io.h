@@ -60,4 +60,31 @@ void save_training_state(Model& model, Adam& adam, const TrainingState& state,
 // or corruption.
 TrainingState load_training_state(Model& model, Adam& adam, const std::string& path);
 
+// ---- ZeRO-sharded training state (FPDTZR01) ------------------------------
+// Per-parameter, per-rank flat Adam moment shards of ceil(numel/world)
+// elements — the layout parallel/zero's ShardedOptimizer keeps. Declared
+// here (not in parallel/zero) so checkpoint I/O stays below the ZeRO layer.
+using ShardedAdamState = std::map<std::string, std::vector<Adam::Moments>>;
+
+// Full snapshot of a ZeRO run: parameters, every rank's moment shards
+// (zero-materialized for never-stepped params), the Adam step counter,
+// world size and stage (validated on load), plus `state`. Crash-safe like
+// save_checkpoint.
+void save_sharded_training_state(Model& model, ShardedAdamState& shards,
+                                 std::int64_t adam_step, int world, int zero_stage,
+                                 const TrainingState& state, const std::string& path);
+
+struct ShardedRestore {
+  std::int64_t adam_step = 0;
+  TrainingState state;
+};
+
+// Restores a save_sharded_training_state snapshot into `model` and `shards`
+// (grads are zeroed). Throws FpdtError on corruption or if the snapshot was
+// taken at a different world size or ZeRO stage — shard geometry is part of
+// the state, not re-derivable.
+ShardedRestore load_sharded_training_state(Model& model, ShardedAdamState& shards,
+                                           int world, int zero_stage,
+                                           const std::string& path);
+
 }  // namespace fpdt::nn

@@ -7,18 +7,28 @@ namespace fpdt::parallel {
 
 namespace {
 
-core::FpdtConfig config_for(BaselineKind kind) {
-  if (kind == BaselineKind::kUlysses) return UlyssesBlockExecutor::config();
-  core::FpdtConfig cfg;  // Megatron-SP / Ring ignore the FPDT knobs
-  cfg.cache_forward_outputs = false;
+core::FpdtConfig config_for(BaselineKind kind, int zero_stage) {
+  core::FpdtConfig cfg;
+  if (kind == BaselineKind::kUlysses) {
+    cfg = UlyssesBlockExecutor::config();
+  } else {
+    cfg.cache_forward_outputs = false;  // Megatron-SP / Ring ignore FPDT knobs
+  }
+  cfg.zero_stage = zero_stage;
   return cfg;
 }
 
 }  // namespace
 
 BaselineTrainer::BaselineTrainer(nn::Model& model, int world, BaselineKind kind,
-                                 std::int64_t hbm_capacity_bytes)
-    : model_(&model), kind_(kind), env_(world, config_for(kind), hbm_capacity_bytes) {
+                                 std::int64_t hbm_capacity_bytes, int zero_stage)
+    : model_(&model),
+      kind_(kind),
+      env_(world, config_for(kind, zero_stage), hbm_capacity_bytes) {
+  if (zero_stage >= 0) {
+    zero_ = std::make_unique<zero::ZeroEngine>(model, env_,
+                                               zero::ZeroConfig{zero_stage});
+  }
   executors_.reserve(model.blocks().size());
   for (std::size_t l = 0; l < model.blocks().size(); ++l) {
     switch (kind_) {
@@ -67,9 +77,22 @@ double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens
         tokens.begin() + base + 1, tokens.begin() + base + s_local + 1);
   }
 
+  // ZeRO group walks (no-ops while zero_ is null).
+  const zero::ParamWalk walk_embed = [this](const nn::ParamVisitor& fn) {
+    model_->embedding().visit(fn);
+  };
+  const zero::ParamWalk walk_head = [this](const nn::ParamVisitor& fn) {
+    model_->final_norm().visit(fn);
+    model_->lm_head().visit(fn);
+  };
+  const auto walk_block = [this](std::size_t l) -> zero::ParamWalk {
+    return [this, l](const nn::ParamVisitor& fn) { model_->blocks()[l].visit(fn); };
+  };
+
   std::vector<Tensor> h(static_cast<std::size_t>(P));
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "embed");
+    zero::GroupScope zs(zero_.get(), "embed", walk_embed, /*grad_bucket=*/false);
     for (int r = 0; r < P; ++r) {
       h[static_cast<std::size_t>(r)] =
           model_->embedding().forward(inputs[static_cast<std::size_t>(r)]);
@@ -82,6 +105,8 @@ double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.forward");
     for (std::size_t l = 0; l < executors_.size(); ++l) {
+      zero::GroupScope zs(zero_.get(), "block" + std::to_string(l), walk_block(l),
+                          /*grad_bucket=*/false);
       block_inputs.push_back(h);
       h = exec_forward(l, h);
     }
@@ -91,6 +116,7 @@ double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens
   std::vector<Tensor> dh(static_cast<std::size_t>(P));
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "loss_head");
+    zero::GroupScope zs(zero_.get(), "head", walk_head, /*grad_bucket=*/true);
     for (int r = 0; r < P; ++r) {
       nn::NormStats st;
       Tensor hn = model_->final_norm().forward(h[static_cast<std::size_t>(r)], st);
@@ -108,11 +134,14 @@ double BaselineTrainer::train_step_grads(const std::vector<std::int32_t>& tokens
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "blocks.backward");
     for (std::size_t l = executors_.size(); l-- > 0;) {
+      zero::GroupScope zs(zero_.get(), "block" + std::to_string(l), walk_block(l),
+                          /*grad_bucket=*/true);
       dh = exec_backward(l, dh, block_inputs[l]);
     }
   }
   {
     FPDT_TRACE_SCOPE(obs::kCatPhase, "embed.backward");
+    zero::GroupScope zs(zero_.get(), "embed", walk_embed, /*grad_bucket=*/true);
     for (int r = 0; r < P; ++r) {
       model_->embedding().backward(dh[static_cast<std::size_t>(r)],
                                    inputs[static_cast<std::size_t>(r)]);

@@ -17,6 +17,7 @@
 #include "parallel/megatron_sp.h"
 #include "parallel/ring_attention.h"
 #include "parallel/ulysses.h"
+#include "parallel/zero/zero_engine.h"
 
 namespace fpdt::parallel {
 
@@ -24,8 +25,11 @@ enum class BaselineKind { kUlysses, kMegatronSp, kRing };
 
 class BaselineTrainer {
  public:
+  // zero_stage: -1 = seed behavior (no model-state accounting); 0-3 attach
+  // a zero::ZeroEngine exactly as FpdtTrainer does (DeepSpeed Ulysses runs
+  // with ZeRO-3 in the paper's evaluation, §5.1).
   BaselineTrainer(nn::Model& model, int world, BaselineKind kind,
-                  std::int64_t hbm_capacity_bytes = -1);
+                  std::int64_t hbm_capacity_bytes = -1, int zero_stage = -1);
 
   // tokens: s_global + 1 ids, s_global divisible by world.
   // Returns mean token loss; accumulates grads into the wrapped model.
@@ -33,6 +37,7 @@ class BaselineTrainer {
 
   core::FpdtEnv& env() { return env_; }
   BaselineKind kind() const { return kind_; }
+  zero::ZeroEngine* zero_engine() { return zero_.get(); }
 
  private:
   using Executor =
@@ -46,6 +51,7 @@ class BaselineTrainer {
   BaselineKind kind_;
   core::FpdtEnv env_;
   std::vector<Executor> executors_;
+  std::unique_ptr<zero::ZeroEngine> zero_;
 };
 
 }  // namespace fpdt::parallel

@@ -6,6 +6,11 @@
 // inventory, the ZeRO partitioning rules (Rajbhandari et al., 2020) and the
 // Megatron-SP sharding geometry. All quantities are bytes per GPU; BF16
 // activations, FP32 optimizer state (16 bytes/param total model state).
+//
+// The params/grads/optimizer rules are CI-enforced: tests/test_zero.cpp runs
+// the executable ZeRO engine (parallel/zero/) and holds the *measured*
+// MemoryPool residency to these estimates per stage — change the rules here
+// and the differential oracle fails with a per-component diff table.
 #pragma once
 
 #include <cstdint>

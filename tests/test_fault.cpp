@@ -19,6 +19,8 @@
 #include "nn/checkpoint_io.h"
 #include "nn/model.h"
 #include "nn/model_config.h"
+#include "parallel/zero/sharded_optimizer.h"
+#include "parallel/zero/zero_config.h"
 #include "tests/test_util.h"
 
 namespace fpdt {
@@ -248,6 +250,120 @@ TEST_F(FaultTest, CrashRestoresAndReplaysBitwise) {
   });
   EXPECT_EQ(faulted->adam().step_count(), clean->adam().step_count());
   EXPECT_EQ(faulted->step(), clean->step());
+}
+
+TEST_F(FaultTest, Zero3CrashResumeRestoresShardsBitwise) {
+  // The ZeRO-3 variant of CrashRestoresAndReplaysBitwise: the snapshot is
+  // the sharded envelope (FPDTZR01), and restore-and-replay must bring back
+  // every rank's Adam moment shards bitwise, not just the parameters.
+  auto run = [&](const std::string& spec, const std::string& ckpt) {
+    FaultInjector::instance().disable();
+    if (!spec.empty()) FaultInjector::instance().configure(spec);
+    fault::ResilientOptions ro;
+    ro.world = 2;
+    ro.cfg.chunks_per_rank = 2;
+    ro.cfg.zero_stage = 3;
+    ro.chunk_tokens = 32;
+    ro.checkpoint_path = ckpt;
+    auto rt = std::make_unique<fault::ResilientTrainer>(ro);
+    bool restored = false;
+    for (int s = 0; s < 4; ++s) restored |= rt->train_step().restored;
+    FaultInjector::instance().disable();
+    return std::pair<std::unique_ptr<fault::ResilientTrainer>, bool>(std::move(rt), restored);
+  };
+
+  auto [faulted, restored] = run("crash:step=2,count=1", tracked("z3_faulted.ckpt"));
+  auto [clean, clean_restored] = run("", tracked("z3_clean.ckpt"));
+  EXPECT_TRUE(restored);
+  EXPECT_FALSE(clean_restored);
+
+  ASSERT_NE(faulted->sharded(), nullptr);
+  ASSERT_NE(clean->sharded(), nullptr);
+  EXPECT_EQ(faulted->sharded()->step_count(), clean->sharded()->step_count());
+  EXPECT_EQ(faulted->step(), clean->step());
+
+  std::vector<Tensor> pv;
+  clean->model().visit_params([&](nn::Param& p) { pv.push_back(p.value); });
+  std::size_t i = 0;
+  faulted->model().visit_params([&](nn::Param& p) {
+    EXPECT_EQ(max_abs_diff(pv[i], p.value), 0.0) << p.name;
+    ++i;
+  });
+
+  const zero::ShardedAdamState& cs = clean->sharded()->shards();
+  const zero::ShardedAdamState& fs = faulted->sharded()->shards();
+  ASSERT_EQ(cs.size(), fs.size());
+  for (const auto& [name, ranks] : cs) {
+    ASSERT_EQ(fs.count(name), 1u) << name;
+    const auto& got = fs.at(name);
+    ASSERT_EQ(got.size(), ranks.size()) << name;
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      EXPECT_EQ(max_abs_diff(ranks[r].m, got[r].m), 0.0) << name << " rank " << r << " .m";
+      EXPECT_EQ(max_abs_diff(ranks[r].v, got[r].v), 0.0) << name << " rank " << r << " .v";
+    }
+  }
+}
+
+TEST_F(FaultTest, CollectiveFaultDuringZeroGatherRetriesWithoutCorruption) {
+  // At stage 3 the first collective of a step is the zero.gather all-gather
+  // of the embedding group, so a p=1,count=1 rule lands exactly there. The
+  // comm retry ladder must absorb it: same loss, same params, same moment
+  // shards as the fault-free twin, bitwise.
+  const nn::ModelConfig cfg = nn::tiny_gpt(32, 2, 4, 48);
+  data::SyntheticCorpus c1(cfg.vocab, 9), c2(cfg.vocab, 9);
+  const auto t1 = c1.sample(129);
+  const auto t2 = c2.sample(129);
+  ASSERT_EQ(t1, t2);
+  core::FpdtConfig fcfg;
+  fcfg.chunks_per_rank = 4;
+  fcfg.zero_stage = 3;
+
+  auto run = [&](nn::Model& model, const std::vector<std::int32_t>& tokens,
+                 zero::ShardedAdamState* shards_out) {
+    core::FpdtTrainer trainer(model, 2, fcfg);
+    zero::ShardedOptimizer opt(trainer.env(), zero::ZeroConfig{3});
+    const double loss = trainer.train_step_grads(tokens);
+    opt.step([&](const nn::ParamVisitor& v) { model.visit_params(v); });
+    trainer.env().synchronize_streams();
+    if (shards_out != nullptr) *shards_out = opt.shards();
+    return loss;
+  };
+
+  FaultInjector::instance().disable();
+  nn::Model clean(cfg, 55);
+  zero::ShardedAdamState clean_shards;
+  const double clean_loss = run(clean, t1, &clean_shards);
+
+  FaultInjector::instance().reset_stats();
+  FaultInjector::instance().configure("collective:p=1,count=1");
+  nn::Model faulted(cfg, 55);
+  zero::ShardedAdamState faulted_shards;
+  const double faulted_loss = run(faulted, t2, &faulted_shards);
+  const fault::FaultStats stats = FaultInjector::instance().stats();
+  const auto log = FaultInjector::instance().injection_log();
+  FaultInjector::instance().disable();
+
+  EXPECT_EQ(stats.injected, 1);
+  EXPECT_GT(stats.retried, 0);  // absorbed by retry, not degraded to corruption
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("site=collective"), std::string::npos) << log[0];
+
+  EXPECT_DOUBLE_EQ(clean_loss, faulted_loss);
+  std::vector<Tensor> pv;
+  clean.visit_params([&](nn::Param& p) { pv.push_back(p.value); });
+  std::size_t i = 0;
+  faulted.visit_params([&](nn::Param& p) {
+    EXPECT_EQ(max_abs_diff(pv[i], p.value), 0.0) << p.name;
+    ++i;
+  });
+  ASSERT_EQ(clean_shards.size(), faulted_shards.size());
+  for (const auto& [name, ranks] : clean_shards) {
+    const auto& got = faulted_shards.at(name);
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      EXPECT_EQ(max_abs_diff(ranks[r].m, got[r].m), 0.0) << name << " rank " << r;
+      EXPECT_EQ(max_abs_diff(ranks[r].v, got[r].v), 0.0) << name << " rank " << r;
+    }
+  }
 }
 
 TEST_F(FaultTest, TrainingStateRoundTripsBitwise) {

@@ -10,9 +10,11 @@
 //   fpdt profile [--steps N] [--gpus G] [--strategy S] [--trace t.json]
 //                [--metrics m.json]             executed-step profiler
 //   fpdt chaos [--spec S] [--steps N] [--gpus G]  fault-injected resilience run
+//   fpdt footprint [--gpus G] [--stage all|0..3]  measured vs modeled ZeRO bytes
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -29,6 +31,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "parallel/zero/sharded_optimizer.h"
+#include "parallel/zero/zero_engine.h"
 #include "perfmodel/evaluate.h"
 #include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
@@ -64,7 +68,9 @@ int usage() {
                "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n"
                "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
                "             [--chunks 4] [--chunk-tokens 64] [--seed 1234]\n"
-               "             [--ckpt fpdt_chaos.ckpt] [--no-verify]\n";
+               "             [--ckpt fpdt_chaos.ckpt] [--no-verify] [--zero-stage 0..3]\n"
+               "  fpdt footprint [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
+               "                 [--stage all|0|1|2|3]\n";
   return 2;
 }
 
@@ -246,6 +252,76 @@ int cmd_profile(int argc, char** argv, int base) {
   return 0;
 }
 
+// Executed ZeRO footprint audit: runs one real training step + optimizer
+// update per requested stage on the tiny model and prints each stage's
+// *measured* model-state residency (what the ZeroEngine actually charged
+// against rank-0's MemoryPool) next to the analytic memory model's
+// prediction for the same strategy — the measured-vs-modeled column the
+// differential oracle test (tests/test_zero.cpp) enforces in CI. The final
+// loss is printed at full precision: every stage must match stage 0 bitwise.
+int cmd_footprint(int argc, char** argv, int base) {
+  int gpus = 2;
+  std::int64_t chunks = 4, chunk_tokens = 64;
+  std::string stage_arg = "all";
+  for (int i = base; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
+      return argv[++i];
+    };
+    if (a == "--gpus") gpus = std::atoi(next("--gpus"));
+    else if (a == "--chunks") chunks = std::atoll(next("--chunks"));
+    else if (a == "--chunk-tokens") chunk_tokens = std::atoll(next("--chunk-tokens"));
+    else if (a == "--stage") stage_arg = next("--stage");
+    else throw FpdtError("unknown footprint flag: " + a);
+  }
+  std::vector<int> stages;
+  if (stage_arg == "all") stages = {0, 1, 2, 3};
+  else stages = {std::atoi(stage_arg.c_str())};
+
+  const nn::ModelConfig cfg = nn::tiny_gpt();
+  const std::int64_t s_global = static_cast<std::int64_t>(gpus) * chunks * chunk_tokens;
+  std::cout << "executed ZeRO footprint: " << cfg.name << ", " << gpus << " GPUs, seq "
+            << format_token_count(s_global) << " (one step + optimizer update per stage)\n";
+
+  TextTable t({"stage", "component", "measured", "modeled", "delta"});
+  std::cout.precision(17);
+  for (int stage : stages) {
+    core::FpdtConfig fcfg;
+    fcfg.chunks_per_rank = chunks;
+    fcfg.zero_stage = stage;
+    nn::Model model(cfg, 1234);
+    core::FpdtTrainer trainer(model, gpus, fcfg);
+    data::SyntheticCorpus corpus(cfg.vocab, 7);
+    const double loss = trainer.train_step_grads(corpus.sample(s_global + 1));
+    zero::ShardedOptimizer opt(trainer.env(), zero::ZeroConfig{stage});
+    opt.step([&](const nn::ParamVisitor& v) { model.visit_params(v); });
+    trainer.env().synchronize_streams();
+
+    const zero::ResidentBytes meas = trainer.zero_engine()->resident(0);
+    Strategy st = Strategy::fpdt();
+    st.zero_stage = stage;
+    st.fpdt_chunk_tokens = chunk_tokens * gpus;  // global chunk
+    const perfmodel::MemoryBreakdown mb = perfmodel::estimate_memory(cfg, st, gpus, s_global);
+    const auto row = [&](const char* name, std::int64_t m, std::int64_t p) {
+      const std::int64_t d = m - p;
+      t.add_row({"zero-" + std::to_string(stage), name, format_bytes(m), format_bytes(p),
+                 (d >= 0 ? "+" : "-") + format_bytes(std::abs(d))});
+    };
+    row("params", meas.params, mb.params);
+    row("grads", meas.grads, mb.grads);
+    row("optimizer", meas.optimizer, mb.optimizer);
+    row("TOTAL", meas.total(), mb.params + mb.grads + mb.optimizer);
+    std::cout << "zero-" << stage << ": loss " << loss << ", hbm peak "
+              << format_bytes(trainer.env().max_hbm_peak()) << ", model-state resident "
+              << format_bytes(meas.total()) << "\n";
+  }
+  t.print(std::cout);
+  std::cout << "(modeled = perfmodel::estimate_memory; deltas come from bias parameters the\n"
+               " analytic param count omits and per-parameter ceil(n/P) shard padding)\n";
+  return 0;
+}
+
 // Deterministic fault-injection drill: a faulted run (retry / degrade /
 // restore as needed) followed by a fault-free twin, verifying the injector
 // was survivable and invisible to training math.
@@ -269,6 +345,7 @@ int cmd_chaos(int argc, char** argv, int base) {
     else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
     else if (a == "--ckpt") opt.checkpoint_path = next("--ckpt");
     else if (a == "--no-verify") opt.verify_against_clean = false;
+    else if (a == "--zero-stage") opt.zero_stage = std::atoi(next("--zero-stage"));
     else throw FpdtError("unknown chaos flag: " + a);
   }
 
@@ -327,6 +404,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "profile") return cmd_profile(argc, argv, 2);
     if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
+    if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
