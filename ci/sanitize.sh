@@ -22,7 +22,7 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner'
   # ZeRO stage matrix: one footprint run per stage exercises the sharded
   # residency charges, the gather/scatter collectives and the sharded
   # optimizer under the sanitizer, and asserts the measured-vs-modeled
@@ -41,6 +41,11 @@ run_lane() {
   # Same contract with the ZeRO-3 sharded optimizer and FPDTZR01 snapshots
   # on the fault path.
   ci/chaos_smoke.sh "$dir" 3
+  # Autotuner smoke under the sanitizer: plans, prunes, executes top-K real
+  # profiled steps and re-tunes against the warm result cache, asserting a
+  # winner that measurably fits the budget and byte-identical cold/warm
+  # reports.
+  ci/tune_smoke.sh "$dir"
 }
 
 lanes=("$@")

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Autotuner smoke lane: runs `fpdt tune` on an existing build and holds the
+# report to the tuner's contracts:
+#   - a winner exists and its *measured* HBM peak fits the budget;
+#   - the winner has the best measured throughput among fitting executed
+#     candidates (the model never decides the final ranking);
+#   - every executed row carries modeled-vs-measured deltas, and the
+#     pruned/executed counts add up;
+#   - re-tuning with a warm result cache produces a byte-identical JSON
+#     report (determinism with cache cold and warm).
+#
+#   ci/tune_smoke.sh [build_dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "tune_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Budget calibrated like tests/test_tune.cpp: ZeRO-0 prunes on the
+# model-state floor, offloaded stage>=1 candidates fit, resident+cache_fwd
+# ones measure over.
+TUNE=("$FPDT" tune --gpus 2 --seq 512 --budget 1450K --top-k 4
+      --cache "$workdir/results.cache")
+
+(cd "$workdir" && "${TUNE[@]}" --json cold.json > cold.txt)
+(cd "$workdir" && "${TUNE[@]}" --json warm.json > warm.txt)
+
+cmp "$workdir/cold.json" "$workdir/warm.json"
+echo "tune_smoke: cold and warm reports are byte-identical"
+grep -q "(0 cache hits)" "$workdir/cold.txt"
+grep -q "(4 cache hits)" "$workdir/warm.txt"
+
+python3 - "$workdir" <<'EOF'
+import json, sys
+
+rep = json.load(open(f"{sys.argv[1]}/cold.json"))
+budget = rep["budget_bytes"]
+rows = rep["candidates"]
+assert rep["winner"], "tune produced no winner"
+assert len(rows) == rep["enumerated"], "report does not echo every candidate"
+
+executed = [r for r in rows if r["executed"]]
+pruned = [r for r in rows if r["pruned"]]
+assert len(executed) == rep["executed"] == rep["top_k"], \
+    f"executed {len(executed)} != top_k {rep['top_k']}"
+assert len(pruned) == rep["pruned"], "pruned count mismatch"
+assert not any(r["executed"] and r["pruned"] for r in rows), \
+    "a pruned candidate was executed"
+
+winner = next(r for r in rows if r["label"] == rep["winner"])
+assert winner["status"] == "winner", winner["status"]
+assert winner["measured"]["hbm_peak_bytes"] <= budget, \
+    "winner's measured HBM peak exceeds the budget"
+
+fitting = [r for r in executed if r["measured"]["fits_budget"]]
+assert winner in fitting, "winner does not fit its own budget"
+best = max(fitting, key=lambda r: r["measured"]["tokens_per_s"])
+assert winner["measured"]["tokens_per_s"] == best["measured"]["tokens_per_s"], \
+    "winner is not the fastest measured fitting candidate"
+
+for r in executed:
+    assert r["delta"]["time_ratio"] > 0, f"{r['label']}: missing time delta"
+    assert r["delta"]["mem_ratio"] > 0, f"{r['label']}: missing memory delta"
+for r in pruned:
+    # Conservative pruning: only the model-state floor may prune, and the
+    # floor must genuinely be over budget.
+    assert r["modeled"]["floor_bytes"] > budget, \
+        f"{r['label']}: pruned but floor fits the budget"
+    assert "prune_reason" in r, f"{r['label']}: pruned without a reason"
+print("tune_smoke: winner, deltas, and pruning invariants all hold")
+EOF

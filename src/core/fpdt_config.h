@@ -57,6 +57,18 @@ struct FpdtConfig {
   //       stage is bit-identical to stage 0 (tests/test_zero.cpp).
   int zero_stage = -1;
 
+  // Canonical encoding of every execution-behavior knob above, one string
+  // per distinct behavior ("u=4;off=1;db=1;sp=1;ffn=2;lm=0;cf=1;z=3").
+  // src/tune/ keys its result cache on it; fault_spec is deliberately
+  // excluded (the tuner never injects faults into candidate runs).
+  std::string canonical() const {
+    return "u=" + std::to_string(chunks_per_rank) + ";off=" + (offload ? "1" : "0") +
+           ";db=" + (double_buffer ? "1" : "0") + ";sp=" + (stream_prefetch ? "1" : "0") +
+           ";ffn=" + std::to_string(ffn_chunk_multiplier) +
+           ";lm=" + std::to_string(lm_head_chunks) +
+           ";cf=" + (cache_forward_outputs ? "1" : "0") + ";z=" + std::to_string(zero_stage);
+  }
+
   // Deterministic fault-injection spec (fault/fault_injector.h), e.g.
   // "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5". Empty (the
   // default) leaves the injector untouched — zero overhead beyond one

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/baseline_trainer.h"
+#include "parallel/zero/sharded_optimizer.h"
 #include "sim/runtime_bridge.h"
 
 namespace fpdt::obs {
@@ -137,9 +138,10 @@ StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
 std::string ProfileResult::json(const ProfileOptions& opt) const {
   std::ostringstream os;
   os.precision(12);
-  os << "{\"strategy\":\"" << opt.strategy << "\",\"world\":" << opt.world
-     << ",\"steps\":" << opt.steps << ",\"chunks\":" << opt.chunks
-     << ",\"chunk_tokens\":" << opt.chunk_tokens << ",\"tokens_per_step\":" << tokens_per_step
+  os << "{\"strategy\":\"" << opt.strategy << "\",\"model\":\"" << opt.model.name
+     << "\",\"world\":" << opt.world << ",\"steps\":" << opt.steps
+     << ",\"chunks\":" << opt.chunks << ",\"chunk_tokens\":" << opt.chunk_tokens
+     << ",\"zero_stage\":" << opt.zero_stage << ",\"tokens_per_step\":" << tokens_per_step
      << ",\"final_loss\":" << finite(final_loss) << ",\"step_stats\":[";
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (i > 0) os << ",";
@@ -160,7 +162,7 @@ ProfileResult run_profile(const ProfileOptions& opt) {
   }
   MetricsRegistry::global().reset();
 
-  const nn::ModelConfig cfg = nn::tiny_gpt(64, 2, 4, 96);
+  const nn::ModelConfig cfg = opt.model;
   nn::Model model(cfg, opt.seed);
   const sim::CostModel cm(sim::a100_80g_node(), opt.world);
   const std::int64_t s_global = static_cast<std::int64_t>(opt.world) * opt.chunks *
@@ -174,7 +176,16 @@ ProfileResult run_profile(const ProfileOptions& opt) {
   if (opt.strategy == "fpdt") {
     core::FpdtConfig fcfg;
     fcfg.chunks_per_rank = opt.chunks;
-    fpdt = std::make_unique<core::FpdtTrainer>(model, opt.world, fcfg);
+    fcfg.offload = opt.offload;
+    fcfg.double_buffer = opt.double_buffer;
+    // A resident store migrates nothing; keep the stream engine off with it.
+    fcfg.stream_prefetch = opt.offload;
+    fcfg.cache_forward_outputs = opt.cache_fwd;
+    fcfg.ffn_chunk_multiplier = opt.ffn_chunk_multiplier;
+    fcfg.lm_head_chunks = opt.lm_head_chunks;
+    fcfg.zero_stage = opt.zero_stage;
+    fpdt = std::make_unique<core::FpdtTrainer>(model, opt.world, fcfg,
+                                               opt.hbm_capacity_bytes);
     env = &fpdt->env();
   } else {
     parallel::BaselineKind kind;
@@ -189,7 +200,8 @@ ProfileResult run_profile(const ProfileOptions& opt) {
       throw FpdtError("unknown profile strategy: " + opt.strategy +
                       " (try fpdt, ulysses, megatron-sp, ring)");
     }
-    baseline = std::make_unique<parallel::BaselineTrainer>(model, opt.world, kind);
+    baseline = std::make_unique<parallel::BaselineTrainer>(
+        model, opt.world, kind, opt.hbm_capacity_bytes, opt.zero_stage);
     env = &baseline->env();
   }
   env->set_stream_rates(sim::stream_rates(cm));
@@ -197,7 +209,14 @@ ProfileResult run_profile(const ProfileOptions& opt) {
   std::int64_t n_params = 0;
   model.visit_params([&](nn::Param& p) { n_params += p.value.numel(); });
 
+  // zero_stage >= 0 routes the update through the ZeRO sharded optimizer
+  // (stage 0 delegates to the same replicated Adam, so every stage's loss
+  // stays bit-identical to the seed path — tests/test_zero.cpp's contract).
   nn::Adam adam(1e-3);
+  std::unique_ptr<zero::ShardedOptimizer> zopt;
+  if (opt.zero_stage >= 0) {
+    zopt = std::make_unique<zero::ShardedOptimizer>(*env, zero::ZeroConfig{opt.zero_stage});
+  }
   data::SyntheticCorpus corpus(cfg.vocab, 7);
   StepProfiler profiler(*env);
 
@@ -208,7 +227,12 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     profiler.begin_step();
     const double loss = fpdt ? fpdt->train_step_grads(tokens)
                              : baseline->train_step_grads(tokens);
-    adam.step([&](const nn::ParamVisitor& v) { model.visit_params(v); });
+    const auto walk = [&](const nn::ParamVisitor& v) { model.visit_params(v); };
+    if (zopt) {
+      zopt->step(walk);
+    } else {
+      adam.step(walk);
+    }
     // Model the optimizer sweep (~10 flops/param) as a compute-stream span
     // per rank so it shows in the step's timeline and phase breakdown.
     for (int r = 0; r < env->world(); ++r) {

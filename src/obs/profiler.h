@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/fpdt_env.h"
+#include "nn/model_config.h"
 #include "runtime/stream.h"
 
 namespace fpdt::obs {
@@ -83,6 +84,26 @@ struct ProfileOptions {
   bool trace = true;
   std::string trace_path = "trace.json";
   std::string metrics_path = "metrics.json";
+
+  // Model under profile. Defaults to the tiny GPT every smoke/bench uses;
+  // the tuner (src/tune/) passes its request's model through here.
+  nn::ModelConfig model = nn::tiny_gpt(64, 2, 4, 96);
+
+  // FPDT execution knobs forwarded into core::FpdtConfig (strategy "fpdt";
+  // the defaults reproduce FpdtConfig's own defaults bit-for-bit).
+  bool offload = true;
+  bool double_buffer = true;
+  bool cache_fwd = true;
+  std::int64_t ffn_chunk_multiplier = 2;
+  std::int64_t lm_head_chunks = 0;  // <= 0: the vocab/hidden*2 rule
+
+  // ZeRO stage: -1 = seed behavior (replicated nn::Adam, no model-state
+  // accounting); 0-3 attach the ZeroEngine and run the ShardedOptimizer, so
+  // hbm_peak_bytes includes the stage's measured model-state residency.
+  int zero_stage = -1;
+
+  // Per-device HBM capacity in bytes; < 0 = unlimited (the default).
+  std::int64_t hbm_capacity_bytes = -1;
 };
 
 struct ProfileResult {

@@ -1,0 +1,52 @@
+#include "tune/planner.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "perfmodel/memory_model.h"
+
+namespace fpdt::tune {
+
+std::int64_t memory_floor(const nn::ModelConfig& model, const perfmodel::Strategy& strategy,
+                          int world, std::int64_t s_global) {
+  const perfmodel::MemoryBreakdown mb =
+      perfmodel::estimate_memory(model, strategy, world, s_global);
+  const std::int64_t model_state = mb.params + mb.grads + mb.optimizer;
+  // 5% slack keeps the bound below the measured residency even though the
+  // analytic parameter count omits biases (measured runs ~1% *above* the
+  // estimate; see `fpdt footprint`'s delta column).
+  return model_state - model_state / 20;
+}
+
+std::vector<PlannedCandidate> Planner::plan() const {
+  const std::int64_t budget = req_.budget();
+  std::vector<PlannedCandidate> out;
+  for (const Candidate& c : req_.space.enumerate(req_.world, req_.s_global)) {
+    PlannedCandidate pc;
+    pc.cand = c;
+    pc.modeled = perfmodel::evaluate(req_.model, c.strategy, req_.world, req_.s_global, req_.hw);
+    pc.floor_bytes = memory_floor(req_.model, c.strategy, req_.world, req_.s_global);
+    pc.modeled_fits = pc.modeled.memory.device_total() <= budget;
+    if (pc.floor_bytes > budget) {
+      pc.pruned = true;
+      pc.prune_reason = "model-state floor " + format_bytes(pc.floor_bytes) +
+                        " exceeds budget " + format_bytes(budget);
+    }
+    out.push_back(std::move(pc));
+  }
+  std::sort(out.begin(), out.end(), [](const PlannedCandidate& a, const PlannedCandidate& b) {
+    if (a.pruned != b.pruned) return !a.pruned;
+    if (!a.pruned) {
+      // Spend the Runner's top-K slots on candidates the model predicts to
+      // fit the budget before chasing raw modeled speed: the modeled-fastest
+      // points are typically the memory-heaviest (resident store, cached
+      // forward), and executing only those can leave the report winnerless.
+      if (a.modeled_fits != b.modeled_fits) return a.modeled_fits;
+      if (a.modeled.step_s != b.modeled.step_s) return a.modeled.step_s < b.modeled.step_s;
+    }
+    return a.cand.label < b.cand.label;
+  });
+  return out;
+}
+
+}  // namespace fpdt::tune

@@ -1,0 +1,76 @@
+// Model-guided candidate planning for `fpdt tune`.
+//
+// The planner prices every SearchSpace candidate with the analytic
+// memory+latency model (perfmodel::evaluate) and prunes *conservatively*:
+// a candidate is discarded only when a provable lower bound on its measured
+// HBM peak — the ZeRO-partitioned model-state bytes, which the executable
+// engine's differential oracle (tests/test_zero.cpp) pins to the analytic
+// estimate within 2% — already exceeds the budget. Activation and
+// working-set terms are deliberately excluded from the bound: the analytic
+// model prices them at paper-pipeline granularity and may overestimate an
+// executed laptop-scale step, which would make pruning unsound. The
+// prune-soundness contract (tests/test_tune.cpp): no pruned candidate ever
+// measures as fitting the budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+#include "sim/hardware.h"
+#include "tune/search_space.h"
+
+namespace fpdt::tune {
+
+struct TuneRequest {
+  nn::ModelConfig model = nn::tiny_gpt(64, 2, 4, 96);
+  int world = 2;
+  std::int64_t s_global = 512;        // tokens per training step
+  std::int64_t hbm_budget_bytes = 0;  // <= 0: the hardware's usable HBM
+  int top_k = 6;                      // surviving candidates to execute
+  int steps = 1;                      // profiled steps per executed candidate
+  std::uint64_t seed = 1234;
+  SearchSpace space;
+  sim::HardwareSpec hw = sim::a100_80g_node();
+  std::string cache_path;             // Runner result cache; empty = in-memory only
+
+  std::int64_t budget() const {
+    return hbm_budget_bytes > 0 ? hbm_budget_bytes : hw.usable_hbm();
+  }
+};
+
+// Conservative lower bound (bytes) on the measured HBM peak of `strategy`:
+// the stage's resident model-state estimate with a 5% slack for the bias
+// parameters and shard padding the analytic count omits.
+std::int64_t memory_floor(const nn::ModelConfig& model, const perfmodel::Strategy& strategy,
+                          int world, std::int64_t s_global);
+
+struct PlannedCandidate {
+  Candidate cand;
+  perfmodel::Evaluation modeled;   // analytic memory + step time for this point
+  std::int64_t floor_bytes = 0;    // memory_floor() — the pruning bound
+  bool modeled_fits = false;       // modeled device total within the budget
+  bool pruned = false;             // floor over budget: provably cannot fit
+  std::string prune_reason;        // empty unless pruned
+};
+
+class Planner {
+ public:
+  explicit Planner(TuneRequest req) : req_(std::move(req)) {}
+
+  // Enumerate -> analytic evaluation -> conservative memory pruning.
+  // Survivors come first — candidates the model predicts to fit the budget
+  // ahead of the rest, fastest-modeled within each group, label tie-break —
+  // so the Runner's top-K execution slots go to the configurations most
+  // likely to both fit and win. Pruned candidates follow in label order.
+  std::vector<PlannedCandidate> plan() const;
+
+  const TuneRequest& request() const { return req_; }
+
+ private:
+  TuneRequest req_;
+};
+
+}  // namespace fpdt::tune

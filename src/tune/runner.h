@@ -1,0 +1,63 @@
+// Deterministic candidate execution for `fpdt tune`.
+//
+// Each candidate runs as real profiled training steps through
+// obs::run_profile (same tiny-model executed path as `fpdt profile`), with
+// the request's seed, so a (request, candidate) pair always measures the
+// same numbers. Results are cached under a canonical key — model geometry,
+// world, sequence, steps, seed, and FpdtConfig::canonical() — hashed with
+// FNV-1a; with TuneRequest::cache_path set the cache persists across
+// processes, so re-tuning after a knob or budget change only executes the
+// configurations it has never seen. Doubles are serialized as IEEE-754 bit
+// patterns, which is what makes a warm-cache TuneReport bit-identical to
+// the cold one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tune/planner.h"
+
+namespace fpdt::tune {
+
+// One executed (or cache-recalled) candidate measurement, all on the
+// emulated runtime's virtual clock; the final profiled step's stats.
+struct Measurement {
+  double virtual_step_s = 0.0;
+  double tokens_per_s = 0.0;
+  double overlap_ratio = 0.0;
+  std::int64_t hbm_peak_bytes = 0;
+  double loss = 0.0;
+  bool from_cache = false;  // transient; not serialized
+};
+
+class Runner {
+ public:
+  // Loads cache_path when set (a missing file is an empty cache, not an
+  // error; a corrupt line invalidates only that line).
+  explicit Runner(TuneRequest req);
+
+  // Cache hit or execute-and-remember. Persists the cache file after every
+  // executed candidate when cache_path is set (crash-cheap: re-tuning after
+  // an interrupt resumes where it stopped).
+  Measurement run(const Candidate& c);
+
+  // Canonical cache key for a candidate under this request.
+  std::string cache_key(const Candidate& c) const;
+
+  static std::uint64_t fnv1a(const std::string& s);
+
+  int cache_hits() const { return hits_; }
+  int executed() const { return executed_; }
+
+ private:
+  void load_cache();
+  void save_cache() const;
+
+  TuneRequest req_;
+  std::map<std::string, Measurement> cache_;
+  int hits_ = 0;
+  int executed_ = 0;
+};
+
+}  // namespace fpdt::tune

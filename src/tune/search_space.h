@@ -1,0 +1,52 @@
+// FPDT tuning-knob grid (§5.3 chunk size, §5.4 FFN/loss-head chunking, the
+// ZeRO/offload/double-buffer/cache composition of Table 3) plus the
+// constraint predicates that make a grid point executable at a given
+// (world, s_global): rank-ordinal sharding needs s_global divisible by
+// world·u (data/rank_ordinal.h), and equivalent knob settings collapse to
+// one canonical candidate so the planner never scores duplicates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fpdt_config.h"
+#include "perfmodel/strategy.h"
+
+namespace fpdt::tune {
+
+// One grid point, in both vocabularies: the executable core::FpdtConfig the
+// Runner hands to the trainer, and the analytic perfmodel::Strategy the
+// Planner prices. Keeping the pair together is what makes per-candidate
+// modeled-vs-measured deltas possible.
+struct Candidate {
+  core::FpdtConfig cfg;
+  perfmodel::Strategy strategy;
+  std::string label;  // deterministic short name, e.g. "u4-z3-off+db+cf-ffn2-lm0"
+};
+
+// Maps an executable config onto the analytic model's vocabulary at
+// (world, s_global) and stamps the canonical label.
+Candidate make_candidate(core::FpdtConfig cfg, int world, std::int64_t s_global);
+
+struct SearchSpace {
+  std::vector<std::int64_t> chunks_per_rank{1, 2, 4, 8};       // u
+  std::vector<int> zero_stages{0, 1, 2, 3};
+  std::vector<std::int64_t> ffn_chunk_multipliers{1, 2};       // §5.4: 2x suffices
+  std::vector<std::int64_t> lm_head_chunks{0};                 // 0 = vocab/hidden*2 rule
+  std::vector<bool> offload{true, false};
+  std::vector<bool> double_buffer{true, false};
+  std::vector<bool> cache_fwd{true, false};
+
+  // Rank-ordinal divisibility: every rank holds u chunks of equal size, so
+  // s_global must divide by world·u with at least one token per chunk.
+  static bool divisible(int world, std::int64_t s_global, std::int64_t u);
+
+  // Every valid, canonical candidate at (world, s_global), in a
+  // deterministic order. Canonicalization: without offload there is no
+  // migration, so double_buffer/stream_prefetch are forced off and those
+  // grid axes collapse.
+  std::vector<Candidate> enumerate(int world, std::int64_t s_global) const;
+};
+
+}  // namespace fpdt::tune

@@ -1,0 +1,115 @@
+#include "tune/sweep.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/units.h"
+#include "nn/model_config.h"
+#include "perfmodel/evaluate.h"
+
+namespace fpdt::tune {
+
+std::vector<ChunkSweepRow> chunk_sweep(std::int64_t s_global) {
+  const sim::HardwareSpec hw = sim::a100_80g_node();
+  struct ModelCase {
+    nn::ModelConfig cfg;
+    int world;
+  };
+  // As in the paper: 2.7B/6.7B on 4 GPUs; TP-free ZeRO-3 needs 8/16 GPUs to
+  // fit 13B/30B model state.
+  const ModelCase cases[] = {
+      {nn::gpt_2p7b(), 4},
+      {nn::gpt_6p7b(), 4},
+      {nn::gpt_13b(), 8},
+      {nn::gpt_30b(), 16},
+  };
+
+  std::vector<ChunkSweepRow> rows;
+  for (const ModelCase& mc : cases) {
+    for (std::int64_t chunk = 8 * 1024; chunk <= s_global; chunk *= 2) {
+      perfmodel::Strategy st = perfmodel::Strategy::fpdt();
+      st.fpdt_chunk_tokens = chunk;
+      const perfmodel::Evaluation ev =
+          perfmodel::evaluate(mc.cfg, st, mc.world, s_global, hw);
+      ChunkSweepRow r;
+      r.model = mc.cfg.name;
+      r.world = mc.world;
+      r.chunk_tokens = chunk;
+      r.chunks = s_global / chunk;
+      r.mfu = ev.mfu;
+      r.model_state = ev.memory.params + ev.memory.grads + ev.memory.optimizer +
+                      ev.memory.gathered_params;
+      r.hbm_total = ev.memory.device_total();
+      r.activations = r.hbm_total - r.model_state;
+      rows.push_back(std::move(r));
+    }
+  }
+  return rows;
+}
+
+TextTable chunk_sweep_table(const std::vector<ChunkSweepRow>& rows) {
+  TextTable t({"model", "gpus", "chunk", "chunks", "mfu", "hbm_total", "model_state",
+               "activations"});
+  for (const ChunkSweepRow& r : rows) {
+    t.add_row({r.model, std::to_string(r.world), format_token_count(r.chunk_tokens),
+               std::to_string(r.chunks), cell_pct(r.mfu), format_bytes(r.hbm_total),
+               format_bytes(r.model_state), format_bytes(r.activations)});
+  }
+  return t;
+}
+
+bool check_chunk_curve(const std::vector<ChunkSweepRow>& rows, std::string* why,
+                       double flat_tol) {
+  // Group into per-model series, preserving chunk order.
+  std::map<std::string, std::vector<const ChunkSweepRow*>> series;
+  for (const ChunkSweepRow& r : rows) series[r.model].push_back(&r);
+
+  std::ostringstream err;
+  for (const auto& [model, pts] : series) {
+    double max_mfu = 0.0;
+    for (const ChunkSweepRow* p : pts) max_mfu = std::max(max_mfu, p->mfu);
+
+    std::size_t sweet = pts.size();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i]->mfu >= max_mfu - flat_tol) {
+        sweet = i;
+        break;
+      }
+    }
+    if (sweet == pts.size()) {
+      err << model << ": no sweet spot found\n";
+      continue;
+    }
+    const std::int64_t sweet_chunk = pts[sweet]->chunk_tokens;
+    if (sweet_chunk < 32 * 1024 || sweet_chunk > 128 * 1024) {
+      err << model << ": sweet spot " << format_token_count(sweet_chunk)
+          << " outside [32K, 128K] (paper models 64K)\n";
+    }
+    for (std::size_t i = 0; i + 1 <= sweet && i + 1 < pts.size(); ++i) {
+      if (pts[i + 1]->mfu <= pts[i]->mfu) {
+        err << model << ": MFU not strictly rising before the sweet spot ("
+            << format_token_count(pts[i]->chunk_tokens) << " -> "
+            << format_token_count(pts[i + 1]->chunk_tokens) << ")\n";
+      }
+    }
+    for (std::size_t i = sweet; i < pts.size(); ++i) {
+      if (pts[i]->mfu < max_mfu - flat_tol) {
+        err << model << ": MFU sags beyond the sweet spot at "
+            << format_token_count(pts[i]->chunk_tokens) << " (" << pts[i]->mfu << " vs max "
+            << max_mfu << ")\n";
+      }
+    }
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+      if (pts[i + 1]->hbm_total < pts[i]->hbm_total) {
+        err << model << ": HBM not monotone in chunk size ("
+            << format_token_count(pts[i]->chunk_tokens) << " -> "
+            << format_token_count(pts[i + 1]->chunk_tokens) << ")\n";
+      }
+    }
+  }
+  if (err.str().empty()) return true;
+  if (why != nullptr) *why = err.str();
+  return false;
+}
+
+}  // namespace fpdt::tune

@@ -1,0 +1,45 @@
+// `fpdt tune --sweep chunk`: the Fig. 12 chunk-size tradeoff curve (MFU and
+// HBM versus global chunk tokens at a fixed 256K sequence), regenerated from
+// the tuner's own analytic pricing instead of a hand-rolled bench loop, plus
+// the shape check CI holds the curve to: memory monotone in chunk size, MFU
+// rising strictly up to the modeled sweet spot and flat beyond it (§5.3's
+// "64K balances both").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace fpdt::tune {
+
+struct ChunkSweepRow {
+  std::string model;
+  int world = 0;
+  std::int64_t chunk_tokens = 0;  // global chunk size (§5.3)
+  std::int64_t chunks = 0;        // s_global / chunk_tokens
+  double mfu = 0.0;
+  std::int64_t hbm_total = 0;
+  std::int64_t model_state = 0;
+  std::int64_t activations = 0;
+};
+
+// The paper's four Fig. 12 model/world cases, chunk 8K..s_global doubling.
+std::vector<ChunkSweepRow> chunk_sweep(std::int64_t s_global = 256 * 1024);
+
+// Renders the rows in the exact bench_fig12 table/CSV format, so the CSV the
+// tuner writes is drop-in for the one the bench used to produce.
+TextTable chunk_sweep_table(const std::vector<ChunkSweepRow>& rows);
+
+// Monotone-then-flat contract, per model series:
+//   - hbm_total never decreases as the chunk grows;
+//   - the sweet spot (smallest chunk within `flat_tol` MFU of the series
+//     max) sits in [32K, 128K], around the paper's modeled 64K;
+//   - MFU strictly increases up to the sweet spot and stays within
+//     `flat_tol` of the max beyond it.
+// On failure returns false and explains in *why.
+bool check_chunk_curve(const std::vector<ChunkSweepRow>& rows, std::string* why,
+                       double flat_tol = 0.03);
+
+}  // namespace fpdt::tune

@@ -1,0 +1,168 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace fpdt::tune {
+
+namespace {
+
+std::string ratio_cell(double r) { return r > 0.0 ? cell_f2(r) + "x" : "-"; }
+
+}  // namespace
+
+core::FpdtConfig TuneReport::winning_config() const {
+  FPDT_CHECK_GE(winner, 0) << " no winning configuration (nothing executed fits the budget)";
+  return rows[static_cast<std::size_t>(winner)].planned.cand.cfg;
+}
+
+std::string TuneReport::table() const {
+  TextTable t({"#", "config", "step(model)", "hbm(model)", "floor", "step(meas)", "tok/s",
+               "hbm(meas)", "d-step", "d-hbm", "status"});
+  int rank = 0;
+  for (const TuneRow& r : rows) {
+    ++rank;
+    const perfmodel::MemoryBreakdown& mb = r.planned.modeled.memory;
+    t.add_row({std::to_string(rank), r.planned.cand.label,
+               format_seconds(r.planned.modeled.step_s), format_bytes(mb.device_total()),
+               format_bytes(r.planned.floor_bytes),
+               r.executed ? format_seconds(r.measured.virtual_step_s) : "-",
+               r.executed ? cell_f2(r.measured.tokens_per_s) : "-",
+               r.executed ? format_bytes(r.measured.hbm_peak_bytes) : "-",
+               ratio_cell(r.time_ratio), ratio_cell(r.mem_ratio), r.status});
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+std::string TuneReport::json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"model\":\"" << model << "\",\"world\":" << world << ",\"s_global\":" << s_global
+     << ",\"budget_bytes\":" << budget_bytes << ",\"top_k\":" << top_k << ",\"steps\":" << steps
+     << ",\"seed\":" << seed << ",\"enumerated\":" << enumerated
+     << ",\"pruned\":" << pruned_count << ",\"executed\":" << executed_count << ",\"winner\":"
+     << (winner >= 0 ? "\"" + rows[static_cast<std::size_t>(winner)].planned.cand.label + "\""
+                     : "null")
+     << ",\"candidates\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TuneRow& r = rows[i];
+    const core::FpdtConfig& cfg = r.planned.cand.cfg;
+    const perfmodel::MemoryBreakdown& mb = r.planned.modeled.memory;
+    if (i > 0) os << ",";
+    os << "{\"rank\":" << (i + 1) << ",\"label\":\"" << r.planned.cand.label << "\",\"status\":\""
+       << r.status << "\",\"executed\":" << (r.executed ? "true" : "false")
+       << ",\"pruned\":" << (r.planned.pruned ? "true" : "false") << ",\"config\":{"
+       << "\"chunks_per_rank\":" << cfg.chunks_per_rank
+       << ",\"chunk_tokens\":" << r.planned.cand.strategy.fpdt_chunk_tokens
+       << ",\"offload\":" << (cfg.offload ? "true" : "false")
+       << ",\"double_buffer\":" << (cfg.double_buffer ? "true" : "false")
+       << ",\"cache_fwd\":" << (cfg.cache_forward_outputs ? "true" : "false")
+       << ",\"ffn_chunk_multiplier\":" << cfg.ffn_chunk_multiplier
+       << ",\"lm_head_chunks\":" << cfg.lm_head_chunks << ",\"zero_stage\":" << cfg.zero_stage
+       << "},\"modeled\":{\"step_s\":" << r.planned.modeled.step_s
+       << ",\"mfu\":" << r.planned.modeled.mfu
+       << ",\"device_total_bytes\":" << mb.device_total()
+       << ",\"floor_bytes\":" << r.planned.floor_bytes
+       << ",\"fits_budget\":" << (r.planned.modeled_fits ? "true" : "false") << "}";
+    if (r.executed) {
+      os << ",\"measured\":{\"virtual_step_s\":" << r.measured.virtual_step_s
+         << ",\"tokens_per_s\":" << r.measured.tokens_per_s
+         << ",\"overlap_ratio\":" << r.measured.overlap_ratio
+         << ",\"hbm_peak_bytes\":" << r.measured.hbm_peak_bytes << ",\"loss\":" << r.measured.loss
+         << ",\"fits_budget\":" << (r.fits_budget ? "true" : "false")
+         << "},\"delta\":{\"time_ratio\":" << r.time_ratio << ",\"mem_ratio\":" << r.mem_ratio
+         << "}";
+    }
+    if (r.planned.pruned) os << ",\"prune_reason\":\"" << r.planned.prune_reason << "\"";
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+TuneReport tune(const TuneRequest& req) {
+  // The tuner executes real training steps; keep it honest about scale so a
+  // paper-size model spec fails fast instead of grinding forever.
+  FPDT_CHECK_LE(req.model.param_count(), 100LL * 1000 * 1000)
+      << " tune executes real steps; use a small model spec (the analytic-only"
+         " commands handle paper scale)";
+  FPDT_CHECK_LE(req.s_global, 1 << 20) << " tune sequence too large to execute";
+  FPDT_CHECK_GE(req.steps, 1) << " tune steps";
+  FPDT_CHECK_GE(req.top_k, 1) << " tune top_k";
+
+  const std::int64_t budget = req.budget();
+  Planner planner(req);
+  std::vector<PlannedCandidate> planned = planner.plan();
+
+  TuneReport rep;
+  rep.model = req.model.name;
+  rep.world = req.world;
+  rep.s_global = req.s_global;
+  rep.budget_bytes = budget;
+  rep.top_k = req.top_k;
+  rep.steps = req.steps;
+  rep.seed = req.seed;
+  rep.enumerated = static_cast<int>(planned.size());
+
+  Runner runner(req);
+  int executed = 0;
+  for (PlannedCandidate& pc : planned) {
+    TuneRow row;
+    row.planned = std::move(pc);
+    if (row.planned.pruned) {
+      ++rep.pruned_count;
+      row.status = "pruned";
+    } else if (executed < req.top_k) {
+      ++executed;
+      row.executed = true;
+      row.measured = runner.run(row.planned.cand);
+      row.fits_budget = row.measured.hbm_peak_bytes <= budget;
+      if (row.planned.modeled.step_s > 0.0) {
+        row.time_ratio = row.measured.virtual_step_s / row.planned.modeled.step_s;
+      }
+      if (row.planned.modeled.memory.device_total() > 0) {
+        row.mem_ratio = static_cast<double>(row.measured.hbm_peak_bytes) /
+                        static_cast<double>(row.planned.modeled.memory.device_total());
+      }
+      row.status = row.fits_budget ? "fits" : "over-budget";
+    } else {
+      row.status = "skipped";  // analytic-only: beyond top-K, never executed
+    }
+    rep.rows.push_back(std::move(row));
+  }
+  rep.executed_count = executed;
+  rep.cache_hits = runner.cache_hits();
+
+  // Final ranking: executed rows by measured throughput (the ground truth),
+  // then skipped rows by modeled step time, then pruned rows; every tie
+  // breaks on the label so the report is deterministic.
+  std::sort(rep.rows.begin(), rep.rows.end(), [](const TuneRow& a, const TuneRow& b) {
+    const int ka = a.executed ? 0 : (a.planned.pruned ? 2 : 1);
+    const int kb = b.executed ? 0 : (b.planned.pruned ? 2 : 1);
+    if (ka != kb) return ka < kb;
+    if (ka == 0 && a.measured.tokens_per_s != b.measured.tokens_per_s) {
+      return a.measured.tokens_per_s > b.measured.tokens_per_s;
+    }
+    if (ka == 1 && a.planned.modeled.step_s != b.planned.modeled.step_s) {
+      return a.planned.modeled.step_s < b.planned.modeled.step_s;
+    }
+    return a.planned.cand.label < b.planned.cand.label;
+  });
+
+  for (std::size_t i = 0; i < rep.rows.size(); ++i) {
+    if (rep.rows[i].executed && rep.rows[i].fits_budget) {
+      rep.winner = static_cast<int>(i);
+      rep.rows[i].status = "winner";
+      break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace fpdt::tune

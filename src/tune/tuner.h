@@ -1,0 +1,68 @@
+// `fpdt tune` driver: plan -> prune -> execute top-K -> ranked TuneReport.
+//
+// The winner is the fastest *measured* configuration whose *measured* HBM
+// peak fits the budget; the analytic model only decides what gets executed
+// (pruning + execution order), never the final ranking. Every executed row
+// carries its modeled-vs-measured deltas so model drift stays visible —
+// when the ratios wander, the cost model needs recalibration, not trust.
+//
+// Reports are bit-identical for identical requests, with the result cache
+// cold or warm: ranking ties break on candidate labels, cache entries
+// round-trip doubles exactly, and cache statistics are kept out of the
+// rendered table/JSON on purpose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tune/planner.h"
+#include "tune/runner.h"
+
+namespace fpdt::tune {
+
+struct TuneRow {
+  PlannedCandidate planned;
+  bool executed = false;
+  Measurement measured;      // valid only when executed
+  bool fits_budget = false;  // measured HBM peak <= budget
+  // Modeled-vs-measured drift, measured / modeled (0 when not executed):
+  double time_ratio = 0.0;  // virtual_step_s / modeled step_s
+  double mem_ratio = 0.0;   // hbm_peak_bytes / modeled device_total
+  std::string status;       // winner | fits | over-budget | skipped | pruned
+};
+
+struct TuneReport {
+  // Request echo.
+  std::string model;
+  int world = 0;
+  std::int64_t s_global = 0;
+  std::int64_t budget_bytes = 0;
+  int top_k = 0;
+  int steps = 0;
+  std::uint64_t seed = 0;
+
+  // Ranked rows: executed (fastest measured tok/s first), then skipped
+  // (fastest modeled first), then pruned (label order).
+  std::vector<TuneRow> rows;
+  int winner = -1;  // index into rows; -1 = nothing executed fits
+
+  int enumerated = 0;
+  int pruned_count = 0;
+  int executed_count = 0;
+  // Cache effectiveness of this run. Deliberately NOT rendered by table()/
+  // json(): identical requests must produce bit-identical reports whether
+  // the cache was cold or warm.
+  int cache_hits = 0;
+
+  const TuneRow* winning() const { return winner >= 0 ? &rows[static_cast<std::size_t>(winner)] : nullptr; }
+  // The knob set to train with; only valid when winner >= 0.
+  core::FpdtConfig winning_config() const;
+
+  std::string table() const;  // ranked ASCII table with per-row deltas
+  std::string json() const;   // machine-readable report (ci/tune_smoke.sh)
+};
+
+TuneReport tune(const TuneRequest& req);
+
+}  // namespace fpdt::tune

@@ -11,6 +11,8 @@
 //                [--metrics m.json]             executed-step profiler
 //   fpdt chaos [--spec S] [--steps N] [--gpus G]  fault-injected resilience run
 //   fpdt footprint [--gpus G] [--stage all|0..3]  measured vs modeled ZeRO bytes
+//   fpdt tune [--budget BYTES] [--top-k K]        cost-model-guided autotuner
+//             [--sweep chunk]                     (or: regenerate Fig. 12 curve)
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
@@ -20,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_args.h"
 #include "common/check.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -36,6 +39,8 @@
 #include "perfmodel/evaluate.h"
 #include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
+#include "tune/sweep.h"
+#include "tune/tuner.h"
 
 namespace {
 
@@ -64,13 +69,18 @@ int usage() {
                "  fpdt trace <model> <gpus> <chunk> <out.json>\n"
                "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64] [--trace out.json]\n"
                "  fpdt profile [--steps 2] [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
-               "               [--strategy fpdt|ulysses|megatron-sp|ring]\n"
+               "               [--strategy fpdt|ulysses|megatron-sp|ring] [--model tiny-gpt]\n"
+               "               [--zero-stage -1..3]\n"
                "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n"
                "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
                "             [--chunks 4] [--chunk-tokens 64] [--seed 1234]\n"
                "             [--ckpt fpdt_chaos.ckpt] [--no-verify] [--zero-stage 0..3]\n"
                "  fpdt footprint [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
-               "                 [--stage all|0|1|2|3]\n";
+               "                 [--stage all|0|1|2|3]\n"
+               "  fpdt tune [--model tiny-gpt] [--gpus 2] [--seq 512] [--budget 1450K]\n"
+               "            [--top-k 6] [--steps 1] [--seed 1234] [--cache tune.cache]\n"
+               "            [--json tune.json] [--max-chunks 8]\n"
+               "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n";
   return 2;
 }
 
@@ -215,28 +225,30 @@ int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens,
 
 int cmd_profile(int argc, char** argv, int base) {
   obs::ProfileOptions opt;
-  for (int i = base; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
-      return argv[++i];
-    };
-    if (a == "--steps") opt.steps = std::atoi(next("--steps"));
-    else if (a == "--gpus") opt.world = std::atoi(next("--gpus"));
-    else if (a == "--chunks") opt.chunks = std::atoll(next("--chunks"));
-    else if (a == "--chunk-tokens") opt.chunk_tokens = std::atoll(next("--chunk-tokens"));
-    else if (a == "--strategy") opt.strategy = next("--strategy");
-    else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
-    else if (a == "--trace") opt.trace_path = next("--trace");
-    else if (a == "--metrics") opt.metrics_path = next("--metrics");
-    else if (a == "--no-trace") opt.trace = false;
-    else throw FpdtError("unknown profile flag: " + a);
+  std::string model;
+  cli::FlagParser f("profile", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--steps", &opt.steps)) continue;
+    if (f.match("--gpus", &opt.world)) continue;
+    if (f.match("--chunks", &opt.chunks)) continue;
+    if (f.match("--chunk-tokens", &opt.chunk_tokens)) continue;
+    if (f.match("--strategy", &opt.strategy)) continue;
+    if (f.match("--model", &model)) continue;
+    if (f.match("--seed", &opt.seed)) continue;
+    if (f.match("--trace", &opt.trace_path)) continue;
+    if (f.match("--metrics", &opt.metrics_path)) continue;
+    if (f.match_set("--no-trace", &opt.trace, false)) continue;
+    if (f.match("--zero-stage", &opt.zero_stage)) continue;
+    f.unknown();
   }
+  if (!model.empty()) opt.model = nn::model_by_name(model);
 
   const obs::ProfileResult res = obs::run_profile(opt);
 
   std::cout << "profiled " << opt.steps << " " << opt.strategy << " steps, " << opt.world
-            << " GPUs, " << format_token_count(res.tokens_per_step) << " tokens/step\n";
+            << " GPUs, " << format_token_count(res.tokens_per_step) << " tokens/step";
+  if (opt.zero_stage >= 0) std::cout << ", zero-" << opt.zero_stage;
+  std::cout << "\n";
   TextTable t({"step", "loss", "virtual", "tok/s", "overlap", "exposed", "hbm peak"});
   for (const obs::StepStats& s : res.steps) {
     t.add_row({std::to_string(s.step), cell_f2(s.loss), format_seconds(s.virtual_step_s),
@@ -263,17 +275,13 @@ int cmd_footprint(int argc, char** argv, int base) {
   int gpus = 2;
   std::int64_t chunks = 4, chunk_tokens = 64;
   std::string stage_arg = "all";
-  for (int i = base; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
-      return argv[++i];
-    };
-    if (a == "--gpus") gpus = std::atoi(next("--gpus"));
-    else if (a == "--chunks") chunks = std::atoll(next("--chunks"));
-    else if (a == "--chunk-tokens") chunk_tokens = std::atoll(next("--chunk-tokens"));
-    else if (a == "--stage") stage_arg = next("--stage");
-    else throw FpdtError("unknown footprint flag: " + a);
+  cli::FlagParser f("footprint", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--gpus", &gpus)) continue;
+    if (f.match("--chunks", &chunks)) continue;
+    if (f.match("--chunk-tokens", &chunk_tokens)) continue;
+    if (f.match("--stage", &stage_arg)) continue;
+    f.unknown();
   }
   std::vector<int> stages;
   if (stage_arg == "all") stages = {0, 1, 2, 3};
@@ -331,22 +339,18 @@ int cmd_chaos(int argc, char** argv, int base) {
   // recovery path short of math degradation.
   if (const char* env = std::getenv("FPDT_FAULTS")) opt.spec = env;
   if (opt.spec.empty()) opt.spec = "h2d:p=0.05;d2h:p=0.05;collective:step=2";
-  for (int i = base; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      FPDT_CHECK_LT(i + 1, argc) << " missing value for " << flag;
-      return argv[++i];
-    };
-    if (a == "--spec") opt.spec = next("--spec");
-    else if (a == "--steps") opt.steps = std::atoi(next("--steps"));
-    else if (a == "--gpus") opt.world = std::atoi(next("--gpus"));
-    else if (a == "--chunks") opt.chunks = std::atoll(next("--chunks"));
-    else if (a == "--chunk-tokens") opt.chunk_tokens = std::atoll(next("--chunk-tokens"));
-    else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
-    else if (a == "--ckpt") opt.checkpoint_path = next("--ckpt");
-    else if (a == "--no-verify") opt.verify_against_clean = false;
-    else if (a == "--zero-stage") opt.zero_stage = std::atoi(next("--zero-stage"));
-    else throw FpdtError("unknown chaos flag: " + a);
+  cli::FlagParser f("chaos", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--spec", &opt.spec)) continue;
+    if (f.match("--steps", &opt.steps)) continue;
+    if (f.match("--gpus", &opt.world)) continue;
+    if (f.match("--chunks", &opt.chunks)) continue;
+    if (f.match("--chunk-tokens", &opt.chunk_tokens)) continue;
+    if (f.match("--seed", &opt.seed)) continue;
+    if (f.match("--ckpt", &opt.checkpoint_path)) continue;
+    if (f.match_set("--no-verify", &opt.verify_against_clean, false)) continue;
+    if (f.match("--zero-stage", &opt.zero_stage)) continue;
+    f.unknown();
   }
 
   fault::FaultInjector::instance().configure(opt.spec);
@@ -355,6 +359,93 @@ int cmd_chaos(int argc, char** argv, int base) {
   std::cout << res.report(opt.steps);
   if (!res.survived(opt.steps)) return 1;
   if (opt.verify_against_clean && !res.loss_bitwise_match && !res.math_degraded) return 1;
+  return 0;
+}
+
+// Cost-model-guided autotuner: enumerate the FPDT knob grid, prune with the
+// analytic memory+latency model, execute the top-K survivors as real
+// profiled training steps, and pick the fastest measured config that fits
+// the HBM budget. `--sweep chunk` instead regenerates the Fig. 12
+// chunk-tradeoff curve from the tuner's analytic pricing and shape-checks it.
+int cmd_tune(int argc, char** argv, int base) {
+  tune::TuneRequest req;
+  std::string model = "tiny-gpt", sweep, json_path;
+  std::string csv_path = "fig12_chunk_tradeoff.csv";
+  std::int64_t max_chunks = 0;
+  cli::FlagParser f("tune", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--model", &model)) continue;
+    if (f.match("--gpus", &req.world)) continue;
+    if (f.match_tokens("--seq", &req.s_global)) continue;
+    if (f.match_tokens("--budget", &req.hbm_budget_bytes)) continue;  // bytes; K/M suffix ok
+    if (f.match("--top-k", &req.top_k)) continue;
+    if (f.match("--steps", &req.steps)) continue;
+    if (f.match("--seed", &req.seed)) continue;
+    if (f.match("--cache", &req.cache_path)) continue;
+    if (f.match("--json", &json_path)) continue;
+    if (f.match("--sweep", &sweep)) continue;
+    if (f.match("--csv", &csv_path)) continue;
+    if (f.match("--max-chunks", &max_chunks)) continue;
+    f.unknown();
+  }
+
+  if (sweep == "chunk") {
+    const std::vector<tune::ChunkSweepRow> rows = tune::chunk_sweep();
+    TextTable t = tune::chunk_sweep_table(rows);
+    std::cout << "Figure 12 — MFU and HBM vs chunk size at 256K global sequence"
+                 " (tuner analytic sweep)\n";
+    t.print(std::cout);
+    t.write_csv(csv_path);
+    std::cout << "wrote " << csv_path << "\n";
+    std::string why;
+    if (!tune::check_chunk_curve(rows, &why)) {
+      std::cerr << "chunk curve shape check FAILED:\n" << why;
+      return 1;
+    }
+    std::cout << "curve shape: monotone-then-flat around the modeled sweet spot — OK\n";
+    return 0;
+  }
+  if (!sweep.empty()) throw FpdtError("unknown tune sweep: " + sweep + " (try chunk)");
+
+  req.model = nn::model_by_name(model);
+  if (max_chunks > 0) {
+    req.space.chunks_per_rank.clear();
+    for (std::int64_t u = 1; u <= max_chunks; u *= 2) req.space.chunks_per_rank.push_back(u);
+  }
+
+  const tune::TuneReport rep = tune::tune(req);
+  std::cout << "tune: " << rep.model << ", " << rep.world << " GPUs, seq "
+            << format_token_count(rep.s_global) << ", HBM budget "
+            << format_bytes(rep.budget_bytes) << "\n"
+            << "      enumerated " << rep.enumerated << ", pruned " << rep.pruned_count
+            << " (conservative model-state floor), executed " << rep.executed_count << " ("
+            << rep.cache_hits << " cache hit" << (rep.cache_hits == 1 ? "" : "s") << ")\n"
+            << rep.table();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << rep.json() << "\n";
+    FPDT_CHECK(out.good()) << " cannot write " << json_path;
+    std::cout << "wrote " << json_path << "\n";
+  }
+  const tune::TuneRow* w = rep.winning();
+  if (w == nullptr) {
+    std::cout << "no executed candidate fits the budget — raise --budget, widen --top-k, or"
+                 " shrink the model\n";
+    return 1;
+  }
+  const core::FpdtConfig cfg = rep.winning_config();
+  std::cout << "winner: " << w->planned.cand.label << " — measured "
+            << format_seconds(w->measured.virtual_step_s) << "/step, "
+            << cell_f2(w->measured.tokens_per_s) << " tok/s, hbm peak "
+            << format_bytes(w->measured.hbm_peak_bytes) << " (budget "
+            << format_bytes(rep.budget_bytes) << ")\n"
+            << "FpdtConfig: chunks_per_rank=" << cfg.chunks_per_rank
+            << " offload=" << (cfg.offload ? "true" : "false")
+            << " double_buffer=" << (cfg.double_buffer ? "true" : "false")
+            << " cache_forward_outputs=" << (cfg.cache_forward_outputs ? "true" : "false")
+            << " ffn_chunk_multiplier=" << cfg.ffn_chunk_multiplier
+            << " lm_head_chunks=" << cfg.lm_head_chunks << " zero_stage=" << cfg.zero_stage
+            << "\n";
   return 0;
 }
 
@@ -405,6 +496,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(argc, argv, 2);
     if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
+    if (cmd == "tune") return cmd_tune(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
