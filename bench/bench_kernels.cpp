@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "core/fpdt_block.h"
+#include "kernels/backend.h"
 #include "data/rank_ordinal.h"
 #include "nn/attention.h"
 #include "nn/lm_head.h"
@@ -34,6 +35,57 @@ void BM_MatmulNt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- backend-parameterized kernel benchmarks ------------------------------
+// Second benchmark arg selects the math backend (0 = scalar reference,
+// 1 = simd). Run side by side these put a number on the tentpole: how much
+// of the emulated step is GEMM/attention math the simd backend recovers.
+
+const char* backend_of(std::int64_t arg) { return arg == 0 ? "scalar" : "simd"; }
+
+void BM_GemmBackend(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  kernels::BackendScope scope(backend_of(state.range(1)));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetLabel(kernels::active_name());
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBackend)->Args({128, 0})->Args({128, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_AttentionBackend(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  kernels::BackendScope scope(backend_of(state.range(1)));
+  Rng rng(2);
+  Tensor q = Tensor::randn({s, 8, 64}, rng);
+  Tensor k = Tensor::randn({s, 2, 64}, rng);  // GQA group of 4
+  Tensor v = Tensor::randn({s, 2, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::reference_attention_forward(q, k, v, true));
+  }
+  state.SetLabel(kernels::active_name());
+}
+BENCHMARK(BM_AttentionBackend)->Args({256, 0})->Args({256, 1})->Args({1024, 0})->Args({1024, 1});
+
+void BM_OnlineAttnStepBackend(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  kernels::BackendScope scope(backend_of(state.range(1)));
+  Rng rng(3);
+  Tensor q = Tensor::randn({s, 8, 64}, rng);
+  Tensor k = Tensor::randn({s, 2, 64}, rng);
+  Tensor v = Tensor::randn({s, 2, 64}, rng);
+  for (auto _ : state) {
+    nn::OnlineAttnState st = nn::OnlineAttnState::create(s, 8, 64);
+    nn::online_attn_step(st, q, k, v, true, 0, 0);
+    benchmark::DoNotOptimize(nn::online_attn_finalize(st));
+  }
+  state.SetLabel(kernels::active_name());
+}
+BENCHMARK(BM_OnlineAttnStepBackend)->Args({512, 0})->Args({512, 1});
 
 void BM_ReferenceAttention(benchmark::State& state) {
   const std::int64_t s = state.range(0);

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Kernel-backend smoke lane: proves the simd backend actually pays for
+# itself on an existing build.
+#
+#   - `fpdt kernels` lists both registered backends with "scalar" active by
+#     default (the bit-exact reference is the default, always);
+#   - an attention-dominated `fpdt profile` runs under --backend scalar and
+#     --backend simd, with identical final losses (numerics hold end to end);
+#   - host math time (StepStats::cpu_s, process-CPU — NOT the emulated
+#     virtual_step_s, which is backend-invariant by design) must be >= 3x
+#     faster under simd when the AVX2 path is compiled in and detected; on
+#     portable-fallback hosts the ratio is reported but not gated. The gate
+#     uses CPU seconds rather than wall_s so a loaded CI box (the two runs
+#     are sequential and contend with whatever else is scheduled) can't
+#     flake it; the wall-clock ratio is reported alongside.
+#
+# The measured ratio is recorded in the "kernel_smoke" section of
+# bench_snapshot.txt so perf history travels with the repo.
+#
+#   ci/kernel_smoke.sh [build_dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "kernel_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+# --- registry sanity --------------------------------------------------------
+kernels_out="$("$FPDT" kernels)"
+echo "$kernels_out"
+grep -q 'scalar' <<< "$kernels_out" || { echo "kernel_smoke: no scalar backend" >&2; exit 1; }
+grep -q 'simd' <<< "$kernels_out" || { echo "kernel_smoke: no simd backend" >&2; exit 1; }
+# Default active backend must be the bit-exact reference.
+"$FPDT" kernels | awk '$1 == "scalar" { found = ($2 == "yes" || $2 == "*") } END { exit !found }' \
+  || { echo "kernel_smoke: scalar is not the default active backend" >&2; exit 1; }
+
+if grep -q 'avx2+fma' <<< "$kernels_out"; then
+  avx2=1
+  echo "kernel_smoke: simd backend dispatches to avx2"
+else
+  avx2=0
+  echo "kernel_smoke: simd backend is the portable fallback (no avx2) — ratio not gated"
+fi
+
+# --- attention-dominated profile under both backends ------------------------
+# 4 chunks x 256 tokens = 1K tokens/rank/step keeps attention (the O(s^2)
+# part) dominant so the flash-attention + GEMM paths carry the wall time.
+run_profile() {
+  local backend="$1" wd="$2"
+  (cd "$wd" && "$FPDT" profile --steps 3 --gpus 2 --chunks 4 --chunk-tokens 256 \
+      --backend "$backend" > profile.txt)
+}
+
+wd_scalar="$(mktemp -d)"
+wd_simd="$(mktemp -d)"
+trap 'rm -rf "$wd_scalar" "$wd_simd"' EXIT
+run_profile scalar "$wd_scalar"
+run_profile simd "$wd_simd"
+
+ratio_line="$(python3 - "$wd_scalar" "$wd_simd" "$avx2" <<'EOF'
+import json, sys
+
+def load(wd):
+    steps = json.load(open(f"{wd}/metrics.json"))["step_stats"]
+    # Skip the first step: it pays one-time allocation/page-fault warmup
+    # that would dilute the kernel-speedup signal.
+    cpu = sum(s["cpu_s"] for s in steps[1:])
+    wall = sum(s["wall_s"] for s in steps[1:])
+    assert cpu > 0, f"{wd}: no cpu time recorded"
+    # Virtual time must be backend-invariant: the emulated stream makespan
+    # models A100 silicon, not host math speed.
+    virt = tuple(s["virtual_step_s"] for s in steps)
+    loss = tuple(s["loss"] for s in steps)
+    return cpu, wall, virt, loss
+
+scalar_cpu, scalar_wall, scalar_virt, scalar_loss = load(sys.argv[1])
+simd_cpu, simd_wall, simd_virt, simd_loss = load(sys.argv[2])
+avx2 = sys.argv[3] == "1"
+
+assert scalar_virt == simd_virt, \
+    f"virtual clock moved with the backend: {scalar_virt} vs {simd_virt}"
+for a, b in zip(scalar_loss, simd_loss):
+    assert abs(a - b) < 1e-3, f"losses diverged across backends: {a} vs {b}"
+
+ratio = scalar_cpu / simd_cpu
+wall_ratio = scalar_wall / simd_wall if simd_wall > 0 else float("nan")
+print(f"kernel_smoke: scalar {scalar_cpu:.3f}s cpu, simd {simd_cpu:.3f}s cpu, "
+      f"speedup {ratio:.2f}x cpu / {wall_ratio:.2f}x wall "
+      f"(avx2={'yes' if avx2 else 'no'})")
+if avx2:
+    assert ratio >= 3.0, \
+        f"simd speedup {ratio:.2f}x below the 3x acceptance gate"
+EOF
+)"
+echo "$ratio_line"
+
+# --- record the measured ratio in bench_snapshot.txt ------------------------
+snapshot=bench_snapshot.txt
+marker="===== kernel_smoke ====="
+tmp="$(mktemp)"
+if [[ -f "$snapshot" ]]; then
+  # Drop any previous kernel_smoke section (up to the next section marker).
+  awk -v m="$marker" '
+    $0 == m { skip = 1; next }
+    skip && /^===== / { skip = 0 }
+    !skip { print }
+  ' "$snapshot" > "$tmp"
+else
+  : > "$tmp"
+fi
+{
+  echo "$marker"
+  echo "$ratio_line"
+} >> "$tmp"
+mv "$tmp" "$snapshot"
+echo "kernel_smoke: ratio recorded in $snapshot"

@@ -23,6 +23,16 @@ run_lane() {
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
     -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner'
+  # Kernel-backend matrix: the math-kernel suites must hold under both the
+  # scalar reference and the simd backend. The simd lane is the one that can
+  # race — its GEMM/attention forks rows across the thread pool — so TSan
+  # over these suites with FPDT_KERNEL_BACKEND=simd is the real target;
+  # scalar pins the reference semantics under the same sanitizer.
+  for kb in scalar simd; do
+    echo "--- kernel lane: FPDT_KERNEL_BACKEND=$kb ---"
+    FPDT_KERNEL_BACKEND="$kb" ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
+      -R 'Kernel|Gemm|Simd|ScalarBitIdentity|ActiveBackend|Attention|Tensor|Softmax|Norm|Activation'
+  done
   # ZeRO stage matrix: one footprint run per stage exercises the sharded
   # residency charges, the gather/scatter collectives and the sharded
   # optimizer under the sanitizer, and asserts the measured-vs-modeled

@@ -19,9 +19,18 @@ int g_workers = []() {
   return std::clamp<int>(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
 }();
 
+thread_local int g_parallel_depth = 0;
+
+struct ParallelRegionScope {
+  ParallelRegionScope() { ++g_parallel_depth; }
+  ~ParallelRegionScope() { --g_parallel_depth; }
+};
+
 }  // namespace
 
 int parallel_workers() { return g_workers; }
+
+bool in_parallel_region() { return g_parallel_depth > 0; }
 
 void set_parallel_workers(int workers) {
   FPDT_CHECK_GE(workers, 1) << " worker count";
@@ -32,6 +41,7 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
   if (n <= 1 || g_workers <= 1) {
     for (int i = 0; i < n; ++i) {
       RankScope rank_scope(i);
+      ParallelRegionScope region;
       fn(i);
     }
     return;
@@ -54,6 +64,7 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
         // The loop body *is* emulated rank i: tag the thread so log lines
         // and trace scopes carry the rank without plumbing it through.
         RankScope rank_scope(i);
+        ParallelRegionScope region;
         fn(i);
       } catch (...) {
         cancelled.store(true, std::memory_order_release);

@@ -26,4 +26,10 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn);
 int parallel_workers();
 void set_parallel_workers(int workers);
 
+// True while the calling thread is inside a parallel_for_ranks body
+// (including the serial fallback). Kernel backends use this to fork only
+// from the top level — a nested fork inside a rank body would oversubscribe
+// the machine instead of speeding anything up.
+bool in_parallel_region();
+
 }  // namespace fpdt

@@ -57,16 +57,26 @@ struct FpdtConfig {
   //       stage is bit-identical to stage 0 (tests/test_zero.cpp).
   int zero_stage = -1;
 
+  // Math-kernel backend for the run (kernels/backend.h): "scalar" (the
+  // bit-exact reference), "simd" (AVX2/FMA with portable fallback), or ""
+  // (the default) to inherit the process default — FPDT_KERNEL_BACKEND or
+  // "scalar". Applied by FpdtEnv for its lifetime; the env var, like
+  // FPDT_FAULTS, wins over per-env config.
+  std::string kernel_backend;
+
   // Canonical encoding of every execution-behavior knob above, one string
-  // per distinct behavior ("u=4;off=1;db=1;sp=1;ffn=2;lm=0;cf=1;z=3").
+  // per distinct behavior ("u=4;off=1;db=1;sp=1;ffn=2;lm=0;cf=1;z=3;kb=scalar").
   // src/tune/ keys its result cache on it; fault_spec is deliberately
-  // excluded (the tuner never injects faults into candidate runs).
+  // excluded (the tuner never injects faults into candidate runs). The
+  // kernel backend is included: backends differ in float accumulation
+  // order, so measurements under different backends are distinct results.
   std::string canonical() const {
     return "u=" + std::to_string(chunks_per_rank) + ";off=" + (offload ? "1" : "0") +
            ";db=" + (double_buffer ? "1" : "0") + ";sp=" + (stream_prefetch ? "1" : "0") +
            ";ffn=" + std::to_string(ffn_chunk_multiplier) +
            ";lm=" + std::to_string(lm_head_chunks) +
-           ";cf=" + (cache_forward_outputs ? "1" : "0") + ";z=" + std::to_string(zero_stage);
+           ";cf=" + (cache_forward_outputs ? "1" : "0") + ";z=" + std::to_string(zero_stage) +
+           ";kb=" + (kernel_backend.empty() ? "scalar" : kernel_backend);
   }
 
   // Deterministic fault-injection spec (fault/fault_injector.h), e.g.

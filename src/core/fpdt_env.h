@@ -2,6 +2,7 @@
 // process group, one emulated device per rank, and the node's host memory.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/logging.h"
 #include "core/fpdt_config.h"
 #include "fault/fault_injector.h"
+#include "kernels/backend.h"
 #include "runtime/device.h"
 
 namespace fpdt::core {
@@ -20,7 +22,14 @@ class FpdtEnv {
   // make OOM observable (capacity experiments).
   FpdtEnv(int world, FpdtConfig cfg, std::int64_t hbm_capacity_bytes = -1,
           std::int64_t host_capacity_bytes = -1)
-      : pg_(world), host_(host_capacity_bytes), cfg_(cfg) {
+      : pg_(world),
+        host_(host_capacity_bytes),
+        cfg_(cfg),
+        kernel_scope_(std::getenv("FPDT_KERNEL_BACKEND") != nullptr ? std::string()
+                                                                    : cfg_.kernel_backend) {
+    // ^ cfg.kernel_backend selects the math-kernel backend for this env's
+    // lifetime; like FPDT_FAULTS, the FPDT_KERNEL_BACKEND env var wins over
+    // per-env config (it already decided the process default at startup).
     init_logging_from_env();  // honor FPDT_LOG_LEVEL for everything downstream
     devices_.reserve(static_cast<std::size_t>(world));
     for (int r = 0; r < world; ++r) {
@@ -106,6 +115,7 @@ class FpdtEnv {
   std::vector<std::unique_ptr<runtime::Device>> devices_;
   runtime::Host host_;
   FpdtConfig cfg_;
+  kernels::BackendScope kernel_scope_;
 };
 
 }  // namespace fpdt::core

@@ -1,0 +1,184 @@
+// Pluggable math-kernel backends.
+//
+// Every hot-path numeric primitive in the repo — the GEMM family behind
+// matmul/matmul_nt/matmul_tn, the attention kernels (naive reference and
+// the online-softmax chunked form FPDT schedules), and the rowwise
+// softmax/norm/activation reductions — is expressed against this interface
+// and dispatched through a process-wide registry, the execution-provider
+// pattern (cf. onnxruntime's custom EPs):
+//
+//   * "scalar" — the seed's naive FP32 loops, extracted verbatim. This is
+//     the bit-exact reference every other backend is pinned against; it is
+//     the default, so a build that never selects a backend behaves exactly
+//     like the seed.
+//   * "simd"   — blocked, cache-tiled, runtime-dispatched AVX2/FMA kernels
+//     with a portable fallback, optionally forked across
+//     common/thread_pool worker threads. Matches "scalar" within
+//     tolerance (tests/test_kernels.cpp pins it), not bitwise: vector
+//     accumulation reassociates sums.
+//
+// Selection (weakest to strongest): FPDT_KERNEL_BACKEND env decides the
+// process default at first use; core::FpdtConfig::kernel_backend switches
+// it for the lifetime of an FpdtEnv (unless the env var is set, which
+// wins over config); an explicit set_active()/BackendScope — what the
+// `--backend` CLI flag and the tuner use — always applies.
+//
+// Ops take raw row-major float buffers, not Tensors, so the kernels
+// library sits *below* src/tensor in the dependency order and both the
+// tensor free functions and the nn layers can dispatch through it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpdt::kernels {
+
+// Shapes of one attention call: q is [sq, h, d], k/v are [sk, hk, d] with
+// h % hk == 0 (grouped-query attention; query head i reads kv head
+// i / group, group = h / hk).
+struct AttnDims {
+  std::int64_t sq = 0;
+  std::int64_t sk = 0;
+  std::int64_t h = 0;
+  std::int64_t hk = 0;
+  std::int64_t d = 0;
+  std::int64_t group = 1;
+};
+
+// Number of unmasked leading key columns for the query at global position
+// `qpos` against a KV chunk starting at global position `k_pos0`. The
+// causal mask over a contiguous chunk is always a prefix in chunk-local
+// coordinates, so masking is tracked as an index bound — never by
+// comparing a score against a -inf sentinel, which would conflate the mask
+// with a genuine -inf logit produced by overflow.
+inline std::int64_t causal_bound(bool causal, std::int64_t qpos, std::int64_t k_pos0,
+                                 std::int64_t sk) {
+  if (!causal) return sk;
+  const std::int64_t b = qpos - k_pos0 + 1;
+  if (b < 0) return 0;
+  return b > sk ? sk : b;
+}
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const char* name() const = 0;
+
+  // ---- GEMM family --------------------------------------------------------
+
+  // C[m,n] += A[m,k] · B[k,n].
+  virtual void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m,
+                           std::int64_t k, std::int64_t n) const = 0;
+
+  // C[m,n] = A[m,k] · B[n,k]ᵀ (B stored row-major [n,k]).
+  virtual void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                       std::int64_t n) const = 0;
+
+  // C[m,n] += A[k,m]ᵀ · B[k,n] (A stored row-major [k,m]).
+  virtual void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t k,
+                           std::int64_t m, std::int64_t n) const = 0;
+
+  // ---- Attention ----------------------------------------------------------
+  // All attention ops share the masking contract of causal_bound(): a query
+  // row whose bound is 0 (a KV chunk entirely in its causal future —
+  // legitimate under chunked prefill) yields the online-softmax identity
+  // element: a zero output row with lse = -inf. Genuine -inf logits from
+  // overflow are *not* treated as masked; they flow through the softmax
+  // (an all--inf row propagates NaN, matching 0/0).
+
+  // Materialised-scores forward: out [sq,h,d], lse [sq,h].
+  virtual void attn_forward(const float* q, const float* k, const float* v, float* out,
+                            float* lse, const AttnDims& dm, bool causal, std::int64_t q_pos0,
+                            std::int64_t k_pos0) const = 0;
+
+  // One online-softmax chunk step: folds (k, v) into the running
+  // (acc [sq,h,d], m [sq,h], l [sq,h]) state.
+  virtual void online_attn_step(float* acc, float* row_max, float* row_sum, const float* q,
+                                const float* k, const float* v, const AttnDims& dm, bool causal,
+                                std::int64_t q_pos0, std::int64_t k_pos0) const = 0;
+
+  // One (q chunk, kv chunk) backward step: recomputes probabilities from
+  // lse, accumulates dq [sq,h,d], dk/dv [sk,hk,d] in place.
+  virtual void online_attn_backward_step(const float* q, const float* k, const float* v,
+                                         const float* dout, const float* lse, const float* D,
+                                         const AttnDims& dm, bool causal, std::int64_t q_pos0,
+                                         std::int64_t k_pos0, float* dq, float* dk,
+                                         float* dv) const = 0;
+
+  // ---- Rowwise reductions -------------------------------------------------
+
+  // In-place numerically-stable softmax over each row of x [rows, cols].
+  virtual void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) const = 0;
+
+  // LayerNorm over the last dim: y = (x - mean) * rstd * gamma + beta,
+  // saving per-row mean/rstd for backward.
+  virtual void layernorm_forward(const float* x, const float* gamma, const float* beta, float* y,
+                                 float* mean, float* rstd, std::int64_t rows, std::int64_t n,
+                                 float eps) const = 0;
+  virtual void layernorm_backward(const float* x, const float* dy, const float* gamma,
+                                  const float* mean, const float* rstd, float* dx, float* dgamma,
+                                  float* dbeta, std::int64_t rows, std::int64_t n) const = 0;
+
+  // RMSNorm over the last dim: y = x * rstd * gamma, rstd saved.
+  virtual void rmsnorm_forward(const float* x, const float* gamma, float* y, float* rstd,
+                               std::int64_t rows, std::int64_t n, float eps) const = 0;
+  virtual void rmsnorm_backward(const float* x, const float* dy, const float* gamma,
+                                const float* rstd, float* dx, float* dgamma, std::int64_t rows,
+                                std::int64_t n) const = 0;
+
+  // ---- Pointwise activations ---------------------------------------------
+
+  // y = act(x) over n elements; *_backward_mul computes dx = dy * act'(x)
+  // in place in dx (callers pass dx pre-filled with dy).
+  virtual void gelu_forward(const float* x, float* y, std::int64_t n) const = 0;
+  virtual void gelu_backward_mul(const float* x, float* dx, std::int64_t n) const = 0;
+  virtual void silu_forward(const float* x, float* y, std::int64_t n) const = 0;
+  virtual void silu_backward_mul(const float* x, float* dx, std::int64_t n) const = 0;
+};
+
+// ---- Registry -------------------------------------------------------------
+
+// The process-wide active backend. First use initialises the registry with
+// the built-in backends and picks the default from FPDT_KERNEL_BACKEND
+// (unset or empty means "scalar"). Reads are lock-free (relaxed atomic):
+// rank worker threads dispatch through this on every op.
+const Backend& active();
+std::string active_name();
+
+// Lookup by name; throws FpdtError on unknown names, listing what exists.
+const Backend& backend(const std::string& name);
+
+// Switches the active backend; throws on unknown names. Process-global,
+// like the fault injector: call between steps, not from rank workers.
+void set_active(const std::string& name);
+
+// Registered backend names, in registration order ("scalar" first).
+std::vector<std::string> available();
+
+// True when the "simd" backend will dispatch to runtime-detected AVX2/FMA
+// kernels (false = portable fallback). Informational, for CLI/CI output.
+bool simd_uses_avx2();
+
+// RAII selection: switches on construction (empty name = no-op), restores
+// the previous backend on destruction. What run_profile and tests use so a
+// backend choice cannot leak across runs.
+class BackendScope {
+ public:
+  explicit BackendScope(const std::string& name) {
+    if (!name.empty() && name != active_name()) {
+      previous_ = active_name();
+      set_active(name);
+    }
+  }
+  ~BackendScope() {
+    if (!previous_.empty()) set_active(previous_);
+  }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace fpdt::kernels

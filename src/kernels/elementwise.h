@@ -1,0 +1,38 @@
+// Scalar definitions of the pointwise activations (tanh-approximation GELU
+// as used by GPT; SiLU for Llama's SwiGLU) with exact derivatives. These
+// are the single source of truth for the math: the scalar backend loops
+// over them verbatim, the simd backend loops over them in a
+// vectorizer-friendly form, and nn/activation.h re-exports them for
+// callers that want the per-element functions directly.
+#pragma once
+
+#include <cmath>
+
+namespace fpdt::kernels {
+
+inline float gelu_scalar(float x) {
+  const float k = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = k * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  const float k = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = k * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+inline float silu_scalar(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return x * s;
+}
+
+inline float silu_grad_scalar(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+}  // namespace fpdt::kernels

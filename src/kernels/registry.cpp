@@ -1,0 +1,66 @@
+#include "kernels/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace fpdt::kernels {
+
+std::unique_ptr<Backend> make_scalar_backend();  // scalar_backend.cpp
+std::unique_ptr<Backend> make_simd_backend();    // simd_backend.cpp
+
+namespace {
+
+struct Registry {
+  std::vector<std::unique_ptr<Backend>> backends;  // registration order
+  std::atomic<const Backend*> active{nullptr};
+
+  Registry() {
+    backends.push_back(make_scalar_backend());
+    backends.push_back(make_simd_backend());
+    const char* env = std::getenv("FPDT_KERNEL_BACKEND");
+    const std::string want = (env != nullptr && env[0] != '\0') ? env : "scalar";
+    active.store(find(want), std::memory_order_release);
+  }
+
+  const Backend* find(const std::string& name) const {
+    for (const auto& b : backends) {
+      if (name == b->name()) return b.get();
+    }
+    std::string known;
+    for (const auto& b : backends) {
+      if (!known.empty()) known += ", ";
+      known += b->name();
+    }
+    throw FpdtError("unknown kernel backend: " + name + " (registered: " + known + ")");
+  }
+};
+
+Registry& registry() {
+  static Registry r;  // constructed on first use; env var read exactly once
+  return r;
+}
+
+}  // namespace
+
+const Backend& active() { return *registry().active.load(std::memory_order_acquire); }
+
+std::string active_name() { return active().name(); }
+
+const Backend& backend(const std::string& name) { return *registry().find(name); }
+
+void set_active(const std::string& name) {
+  Registry& r = registry();
+  r.active.store(r.find(name), std::memory_order_release);
+}
+
+std::vector<std::string> available() {
+  std::vector<std::string> names;
+  for (const auto& b : registry().backends) names.emplace_back(b->name());
+  return names;
+}
+
+}  // namespace fpdt::kernels

@@ -1,0 +1,335 @@
+// The "scalar" reference backend: the seed's naive FP32 loops, extracted
+// verbatim from src/tensor/tensor.cpp and src/nn/{attention,norm}.cpp so
+// that a run which never selects a backend is bit-identical to the seed.
+//
+// Three latent numerics bugs of the seed are fixed here (and regression-
+// tested in tests/test_kernels.cpp); each fix only changes behavior on
+// inputs the seed got wrong, so finite-input results stay bit-identical:
+//
+//  1. The GEMM rank-1 loops skipped zero A-elements (`if (av == 0.0f)
+//     continue;`). That silently dropped IEEE non-finite propagation —
+//     0 · Inf must be NaN — making matmul_tn disagree with a
+//     transpose-then-matmul oracle on Inf/NaN-laced operands. The
+//     short-circuit is gone; for finite inputs adding the 0 · b terms
+//     leaves every accumulator bit-unchanged.
+//
+//  2. A fully causally-masked query row (a KV chunk entirely in the
+//     query's future — legitimate under chunked prefill) hard-aborted in
+//     reference_attention_forward. It now yields the online-softmax
+//     identity element: a zero output row with lse = -inf.
+//
+//  3. Masked scores were detected by comparing against the -inf sentinel
+//     (`s == kNegInf`), conflating the mask with a genuine -inf logit from
+//     overflow. Masking is now an index bound (kernels::causal_bound) and
+//     genuine -inf logits flow through the softmax — an all--inf row
+//     propagates NaN instead of being silently treated as masked.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "kernels/backend.h"
+#include "kernels/elementwise.h"
+
+namespace fpdt::kernels {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  // Core 2-D GEMM: C[m,n] += A[m,k] · B[k,n]; ikj loop order keeps B row
+  // access contiguous.
+  void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                   std::int64_t n) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      const float* a_row = a + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        const float* b_row = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+
+  void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+               std::int64_t n) const override {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c[i * n + j] = acc;
+      }
+    }
+  }
+
+  // Accumulate rank-1 updates; keeps both A and B row access contiguous.
+  void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t k, std::int64_t m,
+                   std::int64_t n) const override {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* a_row = a + p * m;
+      const float* b_row = b + p * n;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float av = a_row[i];
+        float* c_row = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+
+  void attn_forward(const float* q, const float* k, const float* v, float* out, float* lse,
+                    const AttnDims& dm, bool causal, std::int64_t q_pos0,
+                    std::int64_t k_pos0) const override {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
+    std::vector<float> scores(static_cast<std::size_t>(dm.sk));
+    for (std::int64_t hd = 0; hd < dm.h; ++hd) {
+      const std::int64_t kv_head = hd / dm.group;
+      for (std::int64_t i = 0; i < dm.sq; ++i) {
+        const float* qrow = q + (i * dm.h + hd) * dm.d;
+        float* orow = out + (i * dm.h + hd) * dm.d;
+        const std::int64_t jn = causal_bound(causal, q_pos0 + i, k_pos0, dm.sk);
+        for (std::int64_t p = 0; p < dm.d; ++p) orow[p] = 0.0f;
+        if (jn == 0) {
+          // Fully masked row: the online-softmax identity element.
+          lse[i * dm.h + hd] = kNegInf;
+          continue;
+        }
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const float* krow = k + (j * dm.hk + kv_head) * dm.d;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < dm.d; ++p) acc += qrow[p] * krow[p];
+          scores[static_cast<std::size_t>(j)] = acc * scale;
+        }
+        float m = kNegInf;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          m = std::max(m, scores[static_cast<std::size_t>(j)]);
+        }
+        float z = 0.0f;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          float& s = scores[static_cast<std::size_t>(j)];
+          s = std::exp(s - m);
+          z += s;
+        }
+        const float inv = 1.0f / z;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const float w = scores[static_cast<std::size_t>(j)] * inv;
+          if (w == 0.0f) continue;
+          const float* vrow = v + (j * dm.hk + kv_head) * dm.d;
+          for (std::int64_t p = 0; p < dm.d; ++p) orow[p] += w * vrow[p];
+        }
+        lse[i * dm.h + hd] = m + std::log(z);
+      }
+    }
+  }
+
+  void online_attn_step(float* acc, float* row_max, float* row_sum, const float* q,
+                        const float* k, const float* v, const AttnDims& dm, bool causal,
+                        std::int64_t q_pos0, std::int64_t k_pos0) const override {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
+    std::vector<float> scores(static_cast<std::size_t>(dm.sk));
+    for (std::int64_t hd = 0; hd < dm.h; ++hd) {
+      const std::int64_t kv_head = hd / dm.group;
+      for (std::int64_t i = 0; i < dm.sq; ++i) {
+        const float* qrow = q + (i * dm.h + hd) * dm.d;
+        const std::int64_t jn = causal_bound(causal, q_pos0 + i, k_pos0, dm.sk);
+        if (jn == 0) continue;  // fully masked pair for this row
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const float* krow = k + (j * dm.hk + kv_head) * dm.d;
+          float dot = 0.0f;
+          for (std::int64_t p = 0; p < dm.d; ++p) dot += qrow[p] * krow[p];
+          scores[static_cast<std::size_t>(j)] = dot * scale;
+        }
+        float block_max = kNegInf;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          block_max = std::max(block_max, scores[static_cast<std::size_t>(j)]);
+        }
+        float& m_run = row_max[i * dm.h + hd];
+        float& l_run = row_sum[i * dm.h + hd];
+        const float m_new = std::max(m_run, block_max);
+        const float rescale = (l_run > 0.0f) ? std::exp(m_run - m_new) : 0.0f;
+        float* arow = acc + (i * dm.h + hd) * dm.d;
+        if (rescale != 1.0f) {
+          for (std::int64_t p = 0; p < dm.d; ++p) arow[p] *= rescale;
+        }
+        float block_sum = 0.0f;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const float w = std::exp(scores[static_cast<std::size_t>(j)] - m_new);
+          block_sum += w;
+          const float* vrow = v + (j * dm.hk + kv_head) * dm.d;
+          for (std::int64_t p = 0; p < dm.d; ++p) arow[p] += w * vrow[p];
+        }
+        l_run = l_run * rescale + block_sum;
+        m_run = m_new;
+      }
+    }
+  }
+
+  void online_attn_backward_step(const float* q, const float* k, const float* v,
+                                 const float* dout, const float* lse, const float* D,
+                                 const AttnDims& dm, bool causal, std::int64_t q_pos0,
+                                 std::int64_t k_pos0, float* dq, float* dk,
+                                 float* dv) const override {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
+    std::vector<float> scores(static_cast<std::size_t>(dm.sk));
+    for (std::int64_t hd = 0; hd < dm.h; ++hd) {
+      const std::int64_t kv_head = hd / dm.group;
+      for (std::int64_t i = 0; i < dm.sq; ++i) {
+        const float* qrow = q + (i * dm.h + hd) * dm.d;
+        const std::int64_t jn = causal_bound(causal, q_pos0 + i, k_pos0, dm.sk);
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const float* krow = k + (j * dm.hk + kv_head) * dm.d;
+          float dot = 0.0f;
+          for (std::int64_t p = 0; p < dm.d; ++p) dot += qrow[p] * krow[p];
+          scores[static_cast<std::size_t>(j)] = dot * scale;
+        }
+        const float row_lse = lse[i * dm.h + hd];
+        const float Drow = D[i * dm.h + hd];
+        const float* grow = dout + (i * dm.h + hd) * dm.d;
+        float* dqrow = dq + (i * dm.h + hd) * dm.d;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          // True probability of this (i, j) pair over the *full* row.
+          const float prob = std::exp(scores[static_cast<std::size_t>(j)] - row_lse);
+          const float* vrow = v + (j * dm.hk + kv_head) * dm.d;
+          const float* krow = k + (j * dm.hk + kv_head) * dm.d;
+          float* dvrow = dv + (j * dm.hk + kv_head) * dm.d;
+          float* dkrow = dk + (j * dm.hk + kv_head) * dm.d;
+          // dP_ij = <dout_i, v_j>; dS_ij = P_ij (dP_ij - D_i).
+          float dp_ij = 0.0f;
+          for (std::int64_t p = 0; p < dm.d; ++p) dp_ij += grow[p] * vrow[p];
+          const float ds = prob * (dp_ij - Drow) * scale;
+          for (std::int64_t p = 0; p < dm.d; ++p) {
+            dvrow[p] += prob * grow[p];
+            dqrow[p] += ds * krow[p];
+            dkrow[p] += ds * qrow[p];
+          }
+        }
+      }
+    }
+  }
+
+  void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) const override {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* row = x + r * cols;
+      float m = row[0];
+      for (std::int64_t j = 1; j < cols; ++j) m = std::max(m, row[j]);
+      float z = 0.0f;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        row[j] = std::exp(row[j] - m);
+        z += row[j];
+      }
+      const float inv = 1.0f / z;
+      for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+    }
+  }
+
+  void layernorm_forward(const float* x, const float* gamma, const float* beta, float* y,
+                         float* mean, float* rstd, std::int64_t rows, std::int64_t n,
+                         float eps) const override {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* row = x + r * n;
+      float mu = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) mu += row[j];
+      mu /= static_cast<float>(n);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float d = row[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      mean[r] = mu;
+      rstd[r] = rs;
+      float* out = y + r * n;
+      for (std::int64_t j = 0; j < n; ++j) out[j] = (row[j] - mu) * rs * gamma[j] + beta[j];
+    }
+  }
+
+  void layernorm_backward(const float* x, const float* dy, const float* gamma, const float* mean,
+                          const float* rstd, float* dx, float* dgamma, float* dbeta,
+                          std::int64_t rows, std::int64_t n) const override {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float mu = mean[r];
+      const float rs = rstd[r];
+      const float* xr = x + r * n;
+      const float* dyr = dy + r * n;
+      float* dxr = dx + r * n;
+      // xhat_j = (x_j - mean) * rstd; dxhat_j = dy_j * gamma_j.
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xr[j] - mu) * rs;
+        const float dxhat = dyr[j] * gamma[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        dgamma[j] += dyr[j] * xhat;
+        dbeta[j] += dyr[j];
+      }
+      const float inv_n = 1.0f / static_cast<float>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xr[j] - mu) * rs;
+        const float dxhat = dyr[j] * gamma[j];
+        dxr[j] = rs * (dxhat - inv_n * sum_dxhat - xhat * inv_n * sum_dxhat_xhat);
+      }
+    }
+  }
+
+  void rmsnorm_forward(const float* x, const float* gamma, float* y, float* rstd,
+                       std::int64_t rows, std::int64_t n, float eps) const override {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* row = x + r * n;
+      float ms = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) ms += row[j] * row[j];
+      ms /= static_cast<float>(n);
+      const float rs = 1.0f / std::sqrt(ms + eps);
+      rstd[r] = rs;
+      float* out = y + r * n;
+      for (std::int64_t j = 0; j < n; ++j) out[j] = row[j] * rs * gamma[j];
+    }
+  }
+
+  void rmsnorm_backward(const float* x, const float* dy, const float* gamma, const float* rstd,
+                        float* dx, float* dgamma, std::int64_t rows,
+                        std::int64_t n) const override {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float rs = rstd[r];
+      const float* xr = x + r * n;
+      const float* dyr = dy + r * n;
+      float* dxr = dx + r * n;
+      float sum_dg_x = 0.0f;  // Σ dy_j * gamma_j * x_j
+      for (std::int64_t j = 0; j < n; ++j) {
+        sum_dg_x += dyr[j] * gamma[j] * xr[j];
+        dgamma[j] += dyr[j] * xr[j] * rs;
+      }
+      const float kf = sum_dg_x * rs * rs * rs / static_cast<float>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        dxr[j] = dyr[j] * gamma[j] * rs - xr[j] * kf;
+      }
+    }
+  }
+
+  void gelu_forward(const float* x, float* y, std::int64_t n) const override {
+    for (std::int64_t i = 0; i < n; ++i) y[i] = gelu_scalar(x[i]);
+  }
+  void gelu_backward_mul(const float* x, float* dx, std::int64_t n) const override {
+    for (std::int64_t i = 0; i < n; ++i) dx[i] *= gelu_grad_scalar(x[i]);
+  }
+  void silu_forward(const float* x, float* y, std::int64_t n) const override {
+    for (std::int64_t i = 0; i < n; ++i) y[i] = silu_scalar(x[i]);
+  }
+  void silu_backward_mul(const float* x, float* dx, std::int64_t n) const override {
+    for (std::int64_t i = 0; i < n; ++i) dx[i] *= silu_grad_scalar(x[i]);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_scalar_backend() { return std::make_unique<ScalarBackend>(); }
+
+}  // namespace fpdt::kernels

@@ -1,0 +1,63 @@
+// AVX2/FMA kernel entry points for the "simd" backend.
+//
+// These are defined in simd_avx2.cpp, which CMake compiles with
+// -mavx2 -mfma on x86-64 when the compiler supports it (and defines
+// FPDT_KERNEL_AVX2 on the kernels target). simd_backend.cpp calls them only
+// after __builtin_cpu_supports confirms the CPU actually has AVX2+FMA, so
+// the rest of the library stays runnable on any machine the baseline
+// compiler flags target.
+//
+// Numerics contract: identical masking/identity-element semantics to the
+// scalar backend (kernels/backend.h), but vector accumulation reassociates
+// sums, so results match "scalar" within tolerance rather than bitwise.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/backend.h"
+
+#if defined(FPDT_KERNEL_AVX2)
+
+namespace fpdt::kernels::avx2 {
+
+// GEMM family: same shapes/semantics as Backend::gemm_*.
+void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n);
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n);
+void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t k, std::int64_t m,
+                 std::int64_t n);
+
+// Attention: same semantics as Backend::attn_* / Backend::online_attn_*.
+void attn_forward(const float* q, const float* k, const float* v, float* out, float* lse,
+                  const AttnDims& dm, bool causal, std::int64_t q_pos0, std::int64_t k_pos0);
+void online_attn_step(float* acc, float* row_max, float* row_sum, const float* q, const float* k,
+                      const float* v, const AttnDims& dm, bool causal, std::int64_t q_pos0,
+                      std::int64_t k_pos0);
+void online_attn_backward_step(const float* q, const float* k, const float* v, const float* dout,
+                               const float* lse, const float* D, const AttnDims& dm, bool causal,
+                               std::int64_t q_pos0, std::int64_t k_pos0, float* dq, float* dk,
+                               float* dv);
+
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols);
+
+// Norms and pointwise activations: same shapes/semantics as the Backend
+// methods. The transcendentals (tanh/sigmoid/exp) run through the same
+// vector exp as the attention kernels.
+void layernorm_forward(const float* x, const float* gamma, const float* beta, float* y,
+                       float* mean, float* rstd, std::int64_t rows, std::int64_t n, float eps);
+void layernorm_backward(const float* x, const float* dy, const float* gamma, const float* mean,
+                        const float* rstd, float* dx, float* dgamma, float* dbeta,
+                        std::int64_t rows, std::int64_t n);
+void rmsnorm_forward(const float* x, const float* gamma, float* y, float* rstd, std::int64_t rows,
+                     std::int64_t n, float eps);
+void rmsnorm_backward(const float* x, const float* dy, const float* gamma, const float* rstd,
+                      float* dx, float* dgamma, std::int64_t rows, std::int64_t n);
+void gelu_forward(const float* x, float* y, std::int64_t n);
+void gelu_backward_mul(const float* x, float* dx, std::int64_t n);
+void silu_forward(const float* x, float* y, std::int64_t n);
+void silu_backward_mul(const float* x, float* dx, std::int64_t n);
+
+}  // namespace fpdt::kernels::avx2
+
+#endif  // FPDT_KERNEL_AVX2

@@ -1,64 +1,42 @@
 // Pointwise activations with exact derivatives (tanh-approximation GELU as
-// used by GPT; SiLU for Llama's SwiGLU).
+// used by GPT; SiLU for Llama's SwiGLU). The per-element math lives in
+// kernels/elementwise.h (shared with the kernel backends); the Tensor-level
+// wrappers dispatch through the active backend.
 #pragma once
 
-#include <cmath>
-
+#include "kernels/backend.h"
+#include "kernels/elementwise.h"
 #include "tensor/tensor.h"
 
 namespace fpdt::nn {
 
-inline float gelu(float x) {
-  const float k = 0.7978845608028654f;  // sqrt(2/pi)
-  const float inner = k * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
-inline float gelu_grad(float x) {
-  const float k = 0.7978845608028654f;
-  const float x3 = x * x * x;
-  const float inner = k * (x + 0.044715f * x3);
-  const float t = std::tanh(inner);
-  const float sech2 = 1.0f - t * t;
-  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
-}
-
-inline float silu(float x) {
-  const float s = 1.0f / (1.0f + std::exp(-x));
-  return x * s;
-}
-
-inline float silu_grad(float x) {
-  const float s = 1.0f / (1.0f + std::exp(-x));
-  return s * (1.0f + x * (1.0f - s));
-}
+inline float gelu(float x) { return kernels::gelu_scalar(x); }
+inline float gelu_grad(float x) { return kernels::gelu_grad_scalar(x); }
+inline float silu(float x) { return kernels::silu_scalar(x); }
+inline float silu_grad(float x) { return kernels::silu_grad_scalar(x); }
 
 inline Tensor gelu_forward(const Tensor& x) {
-  Tensor y = x.clone();
-  for (float& v : y.span()) v = gelu(v);
+  Tensor y(x.shape());
+  kernels::active().gelu_forward(x.data(), y.data(), x.numel());
   return y;
 }
 
 // dx = dy * gelu'(x); x is the saved pre-activation.
 inline Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   Tensor dx = dy.clone();
-  float* dp = dx.data();
-  const float* xp = x.data();
-  for (std::int64_t i = 0; i < dx.numel(); ++i) dp[i] *= gelu_grad(xp[i]);
+  kernels::active().gelu_backward_mul(x.data(), dx.data(), dx.numel());
   return dx;
 }
 
 inline Tensor silu_forward(const Tensor& x) {
-  Tensor y = x.clone();
-  for (float& v : y.span()) v = silu(v);
+  Tensor y(x.shape());
+  kernels::active().silu_forward(x.data(), y.data(), x.numel());
   return y;
 }
 
 inline Tensor silu_backward(const Tensor& dy, const Tensor& x) {
   Tensor dx = dy.clone();
-  float* dp = dx.data();
-  const float* xp = x.data();
-  for (std::int64_t i = 0; i < dx.numel(); ++i) dp[i] *= silu_grad(xp[i]);
+  kernels::active().silu_backward_mul(x.data(), dx.data(), dx.numel());
   return dx;
 }
 

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <vector>
 
 #include "common/check.h"
+#include "kernels/backend.h"
 
 namespace fpdt::nn {
 
@@ -12,13 +12,9 @@ namespace {
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
-struct Dims {
-  std::int64_t sq, sk, h, hk, d, group;
-};
-
-Dims check_dims(const Tensor& q, const Tensor& k, const Tensor& v) {
+kernels::AttnDims check_dims(const Tensor& q, const Tensor& k, const Tensor& v) {
   FPDT_CHECK(q.ndim() == 3 && k.ndim() == 3 && v.ndim() == 3) << " attention expects [s,h,d]";
-  Dims dm{};
+  kernels::AttnDims dm{};
   dm.sq = q.dim(0);
   dm.h = q.dim(1);
   dm.d = q.dim(2);
@@ -32,67 +28,20 @@ Dims check_dims(const Tensor& q, const Tensor& k, const Tensor& v) {
   return dm;
 }
 
-// Computes the scaled, masked logits row for query row i / head hd:
-// scores[j] = scale * <q_i, k_j> or -inf where masked.
-void logits_row(const float* qrow, const Tensor& k, std::int64_t kv_head, float scale,
-                bool causal, std::int64_t qpos, std::int64_t k_pos0, std::vector<float>& scores) {
-  const std::int64_t sk = k.dim(0);
-  const std::int64_t hk = k.dim(1);
-  const std::int64_t d = k.dim(2);
-  const float* kp = k.data();
-  for (std::int64_t j = 0; j < sk; ++j) {
-    if (causal && k_pos0 + j > qpos) {
-      scores[static_cast<std::size_t>(j)] = kNegInf;
-      continue;
-    }
-    const float* krow = kp + (j * hk + kv_head) * d;
-    float acc = 0.0f;
-    for (std::int64_t p = 0; p < d; ++p) acc += qrow[p] * krow[p];
-    scores[static_cast<std::size_t>(j)] = acc * scale;
-  }
-}
-
 }  // namespace
 
 AttentionOutput reference_attention_forward(const Tensor& q, const Tensor& k, const Tensor& v,
                                             bool causal, std::int64_t q_pos0,
                                             std::int64_t k_pos0) {
-  const Dims dm = check_dims(q, k, v);
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
+  const kernels::AttnDims dm = check_dims(q, k, v);
   AttentionOutput result;
   result.out = Tensor({dm.sq, dm.h, dm.d});
   result.lse = Tensor({dm.sq, dm.h});
-  std::vector<float> scores(static_cast<std::size_t>(dm.sk));
-  const float* qp = q.data();
-  const float* vp = v.data();
-  float* op = result.out.data();
-  float* lp = result.lse.data();
-  for (std::int64_t hd = 0; hd < dm.h; ++hd) {
-    const std::int64_t kv_head = hd / dm.group;
-    for (std::int64_t i = 0; i < dm.sq; ++i) {
-      const float* qrow = qp + (i * dm.h + hd) * dm.d;
-      logits_row(qrow, k, kv_head, scale, causal, q_pos0 + i, k_pos0, scores);
-      float m = kNegInf;
-      for (std::int64_t j = 0; j < dm.sk; ++j) m = std::max(m, scores[static_cast<std::size_t>(j)]);
-      FPDT_CHECK(m != kNegInf) << " fully masked attention row (q " << i << ")";
-      float z = 0.0f;
-      for (std::int64_t j = 0; j < dm.sk; ++j) {
-        float& s = scores[static_cast<std::size_t>(j)];
-        s = (s == kNegInf) ? 0.0f : std::exp(s - m);
-        z += s;
-      }
-      float* orow = op + (i * dm.h + hd) * dm.d;
-      for (std::int64_t p = 0; p < dm.d; ++p) orow[p] = 0.0f;
-      const float inv = 1.0f / z;
-      for (std::int64_t j = 0; j < dm.sk; ++j) {
-        const float w = scores[static_cast<std::size_t>(j)] * inv;
-        if (w == 0.0f) continue;
-        const float* vrow = vp + (j * dm.hk + kv_head) * dm.d;
-        for (std::int64_t p = 0; p < dm.d; ++p) orow[p] += w * vrow[p];
-      }
-      lp[i * dm.h + hd] = m + std::log(z);
-    }
-  }
+  // A fully causally-masked query row (a KV chunk entirely in its future —
+  // legitimate under chunked prefill) comes back as a zero output row with
+  // lse = -inf, the online-softmax identity element.
+  kernels::active().attn_forward(q.data(), k.data(), v.data(), result.out.data(),
+                                 result.lse.data(), dm, causal, q_pos0, k_pos0);
   return result;
 }
 
@@ -125,47 +74,11 @@ OnlineAttnState OnlineAttnState::create(std::int64_t sq, std::int64_t h, std::in
 
 void online_attn_step(OnlineAttnState& state, const Tensor& q, const Tensor& k, const Tensor& v,
                       bool causal, std::int64_t q_pos0, std::int64_t k_pos0) {
-  const Dims dm = check_dims(q, k, v);
+  const kernels::AttnDims dm = check_dims(q, k, v);
   FPDT_CHECK(state.acc.dim(0) == dm.sq && state.acc.dim(1) == dm.h && state.acc.dim(2) == dm.d)
       << " online state shape";
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
-  std::vector<float> scores(static_cast<std::size_t>(dm.sk));
-  const float* qp = q.data();
-  const float* vp = v.data();
-  float* accp = state.acc.data();
-  float* mp = state.m.data();
-  float* lp = state.l.data();
-  for (std::int64_t hd = 0; hd < dm.h; ++hd) {
-    const std::int64_t kv_head = hd / dm.group;
-    for (std::int64_t i = 0; i < dm.sq; ++i) {
-      const float* qrow = qp + (i * dm.h + hd) * dm.d;
-      logits_row(qrow, k, kv_head, scale, causal, q_pos0 + i, k_pos0, scores);
-      float block_max = kNegInf;
-      for (std::int64_t j = 0; j < dm.sk; ++j) {
-        block_max = std::max(block_max, scores[static_cast<std::size_t>(j)]);
-      }
-      if (block_max == kNegInf) continue;  // fully masked pair for this row
-      float& m_run = mp[i * dm.h + hd];
-      float& l_run = lp[i * dm.h + hd];
-      const float m_new = std::max(m_run, block_max);
-      const float rescale = (l_run > 0.0f) ? std::exp(m_run - m_new) : 0.0f;
-      float* arow = accp + (i * dm.h + hd) * dm.d;
-      if (rescale != 1.0f) {
-        for (std::int64_t p = 0; p < dm.d; ++p) arow[p] *= rescale;
-      }
-      float block_sum = 0.0f;
-      for (std::int64_t j = 0; j < dm.sk; ++j) {
-        const float s = scores[static_cast<std::size_t>(j)];
-        if (s == kNegInf) continue;
-        const float w = std::exp(s - m_new);
-        block_sum += w;
-        const float* vrow = vp + (j * dm.hk + kv_head) * dm.d;
-        for (std::int64_t p = 0; p < dm.d; ++p) arow[p] += w * vrow[p];
-      }
-      l_run = l_run * rescale + block_sum;
-      m_run = m_new;
-    }
-  }
+  kernels::active().online_attn_step(state.acc.data(), state.m.data(), state.l.data(), q.data(),
+                                     k.data(), v.data(), dm, causal, q_pos0, k_pos0);
 }
 
 AttentionOutput online_attn_finalize(const OnlineAttnState& state) {
@@ -182,7 +95,15 @@ AttentionOutput online_attn_finalize(const OnlineAttnState& state) {
   float* lsep = result.lse.data();
   for (std::int64_t r = 0; r < sq * h; ++r) {
     const float l = lp[r];
-    FPDT_CHECK(l > 0.0f) << " finalize on row that attended to nothing (row " << r << ")";
+    if (l == 0.0f) {
+      // The row attended to nothing across every folded chunk (fully
+      // causally masked): emit the online-softmax identity element rather
+      // than aborting. A NaN l (from a genuine all--inf logit row) takes
+      // the division path below and propagates.
+      for (std::int64_t p = 0; p < d; ++p) op[r * d + p] = 0.0f;
+      lsep[r] = kNegInf;
+      continue;
+    }
     const float inv = 1.0f / l;
     for (std::int64_t p = 0; p < d; ++p) op[r * d + p] = accp[r * d + p] * inv;
     lsep[r] = mp[r] + std::log(l);
@@ -210,50 +131,12 @@ void online_attn_backward_step(const Tensor& q, const Tensor& k, const Tensor& v
                                const Tensor& dout, const Tensor& lse, const Tensor& D,
                                bool causal, std::int64_t q_pos0, std::int64_t k_pos0, Tensor& dq,
                                Tensor& dk, Tensor& dv) {
-  const Dims dm = check_dims(q, k, v);
+  const kernels::AttnDims dm = check_dims(q, k, v);
   FPDT_CHECK(dq.shape() == q.shape() && dk.shape() == k.shape() && dv.shape() == v.shape())
       << " backward accumulator shapes";
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dm.d));
-  std::vector<float> scores(static_cast<std::size_t>(dm.sk));
-  const float* qp = q.data();
-  const float* kp = k.data();
-  const float* vp = v.data();
-  const float* gp = dout.data();
-  const float* lsep = lse.data();
-  const float* Dp = D.data();
-  float* dqp = dq.data();
-  float* dkp = dk.data();
-  float* dvp = dv.data();
-  for (std::int64_t hd = 0; hd < dm.h; ++hd) {
-    const std::int64_t kv_head = hd / dm.group;
-    for (std::int64_t i = 0; i < dm.sq; ++i) {
-      const float* qrow = qp + (i * dm.h + hd) * dm.d;
-      logits_row(qrow, k, kv_head, scale, causal, q_pos0 + i, k_pos0, scores);
-      const float row_lse = lsep[i * dm.h + hd];
-      const float Drow = Dp[i * dm.h + hd];
-      const float* grow = gp + (i * dm.h + hd) * dm.d;
-      float* dqrow = dqp + (i * dm.h + hd) * dm.d;
-      for (std::int64_t j = 0; j < dm.sk; ++j) {
-        const float s = scores[static_cast<std::size_t>(j)];
-        if (s == kNegInf) continue;
-        // True probability of this (i, j) pair over the *full* row.
-        const float prob = std::exp(s - row_lse);
-        const float* vrow = vp + (j * dm.hk + kv_head) * dm.d;
-        const float* krow = kp + (j * dm.hk + kv_head) * dm.d;
-        float* dvrow = dvp + (j * dm.hk + kv_head) * dm.d;
-        float* dkrow = dkp + (j * dm.hk + kv_head) * dm.d;
-        // dP_ij = <dout_i, v_j>; dS_ij = P_ij (dP_ij - D_i).
-        float dp_ij = 0.0f;
-        for (std::int64_t p = 0; p < dm.d; ++p) dp_ij += grow[p] * vrow[p];
-        const float ds = prob * (dp_ij - Drow) * scale;
-        for (std::int64_t p = 0; p < dm.d; ++p) {
-          dvrow[p] += prob * grow[p];
-          dqrow[p] += ds * krow[p];
-          dkrow[p] += ds * qrow[p];
-        }
-      }
-    }
-  }
+  kernels::active().online_attn_backward_step(q.data(), k.data(), v.data(), dout.data(),
+                                              lse.data(), D.data(), dm, causal, q_pos0, k_pos0,
+                                              dq.data(), dk.data(), dv.data());
 }
 
 }  // namespace fpdt::nn

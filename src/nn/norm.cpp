@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "kernels/backend.h"
 
 namespace fpdt::nn {
 
@@ -17,27 +18,8 @@ Tensor LayerNorm::forward(const Tensor& x, NormStats& stats) const {
   Tensor y(x.shape());
   stats.mean = Tensor({rows});
   stats.rstd = Tensor({rows});
-  const float* xp = x.data();
-  float* yp = y.data();
-  const float* g = gamma_.value.data();
-  const float* b = beta_.value.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = xp + r * n;
-    float mean = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) mean += row[j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    const float rstd = 1.0f / std::sqrt(var + eps_);
-    stats.mean.data()[r] = mean;
-    stats.rstd.data()[r] = rstd;
-    float* out = yp + r * n;
-    for (std::int64_t j = 0; j < n; ++j) out[j] = (row[j] - mean) * rstd * g[j] + b[j];
-  }
+  kernels::active().layernorm_forward(x.data(), gamma_.value.data(), beta_.value.data(), y.data(),
+                                      stats.mean.data(), stats.rstd.data(), rows, n, eps_);
   return y;
 }
 
@@ -46,36 +28,9 @@ Tensor LayerNorm::backward(const Tensor& dy, const Tensor& x, const NormStats& s
   const std::int64_t rows = x.numel() / n;
   FPDT_CHECK_EQ(dy.numel(), x.numel()) << " layernorm backward";
   Tensor dx(x.shape());
-  const float* xp = x.data();
-  const float* dyp = dy.data();
-  float* dxp = dx.data();
-  const float* g = gamma_.value.data();
-  float* dg = gamma_.grad.data();
-  float* db = beta_.grad.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float mean = stats.mean.data()[r];
-    const float rstd = stats.rstd.data()[r];
-    const float* xr = xp + r * n;
-    const float* dyr = dyp + r * n;
-    float* dxr = dxp + r * n;
-    // xhat_j = (x_j - mean) * rstd; dxhat_j = dy_j * gamma_j.
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_xhat = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (xr[j] - mean) * rstd;
-      const float dxhat = dyr[j] * g[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xhat;
-      dg[j] += dyr[j] * xhat;
-      db[j] += dyr[j];
-    }
-    const float inv_n = 1.0f / static_cast<float>(n);
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float xhat = (xr[j] - mean) * rstd;
-      const float dxhat = dyr[j] * g[j];
-      dxr[j] = rstd * (dxhat - inv_n * sum_dxhat - xhat * inv_n * sum_dxhat_xhat);
-    }
-  }
+  kernels::active().layernorm_backward(x.data(), dy.data(), gamma_.value.data(),
+                                       stats.mean.data(), stats.rstd.data(), dx.data(),
+                                       gamma_.grad.data(), beta_.grad.data(), rows, n);
   return dx;
 }
 
@@ -88,19 +43,8 @@ Tensor RmsNorm::forward(const Tensor& x, NormStats& stats) const {
   const std::int64_t rows = x.numel() / n;
   Tensor y(x.shape());
   stats.rstd = Tensor({rows});
-  const float* xp = x.data();
-  float* yp = y.data();
-  const float* g = gamma_.value.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = xp + r * n;
-    float ms = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) ms += row[j] * row[j];
-    ms /= static_cast<float>(n);
-    const float rstd = 1.0f / std::sqrt(ms + eps_);
-    stats.rstd.data()[r] = rstd;
-    float* out = yp + r * n;
-    for (std::int64_t j = 0; j < n; ++j) out[j] = row[j] * rstd * g[j];
-  }
+  kernels::active().rmsnorm_forward(x.data(), gamma_.value.data(), y.data(), stats.rstd.data(),
+                                    rows, n, eps_);
   return y;
 }
 
@@ -108,26 +52,8 @@ Tensor RmsNorm::backward(const Tensor& dy, const Tensor& x, const NormStats& sta
   const std::int64_t n = x.dim(-1);
   const std::int64_t rows = x.numel() / n;
   Tensor dx(x.shape());
-  const float* xp = x.data();
-  const float* dyp = dy.data();
-  float* dxp = dx.data();
-  const float* g = gamma_.value.data();
-  float* dg = gamma_.grad.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float rstd = stats.rstd.data()[r];
-    const float* xr = xp + r * n;
-    const float* dyr = dyp + r * n;
-    float* dxr = dxp + r * n;
-    float sum_dg_x = 0.0f;  // Σ dy_j * gamma_j * x_j
-    for (std::int64_t j = 0; j < n; ++j) {
-      sum_dg_x += dyr[j] * g[j] * xr[j];
-      dg[j] += dyr[j] * xr[j] * rstd;
-    }
-    const float k = sum_dg_x * rstd * rstd * rstd / static_cast<float>(n);
-    for (std::int64_t j = 0; j < n; ++j) {
-      dxr[j] = dyr[j] * g[j] * rstd - xr[j] * k;
-    }
-  }
+  kernels::active().rmsnorm_backward(x.data(), dy.data(), gamma_.value.data(),
+                                     stats.rstd.data(), dx.data(), gamma_.grad.data(), rows, n);
   return dx;
 }
 

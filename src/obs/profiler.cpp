@@ -1,11 +1,14 @@
 #include "obs/profiler.h"
 
+#include <chrono>
 #include <cmath>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <sstream>
 
 #include "common/check.h"
+#include "kernels/backend.h"
 #include "core/fpdt_trainer.h"
 #include "data/synthetic_corpus.h"
 #include "nn/adam.h"
@@ -56,6 +59,7 @@ std::string StepStats::json() const {
   os.precision(12);
   os << "{\"step\":" << step << ",\"tokens\":" << tokens << ",\"loss\":" << finite(loss)
      << ",\"virtual_step_s\":" << finite(virtual_step_s)
+     << ",\"wall_s\":" << finite(wall_s) << ",\"cpu_s\":" << finite(cpu_s)
      << ",\"tokens_per_s\":" << finite(tokens_per_s)
      << ",\"compute_busy_s\":" << finite(compute_busy_s)
      << ",\"h2d_busy_s\":" << finite(h2d_busy_s) << ",\"d2h_busy_s\":" << finite(d2h_busy_s)
@@ -155,6 +159,10 @@ ProfileResult run_profile(const ProfileOptions& opt) {
   FPDT_CHECK_GE(opt.steps, 1) << " profile needs at least one step";
   FPDT_CHECK_GE(opt.world, 1) << " profile world size";
 
+  // Select the math-kernel backend for the whole run (model init included);
+  // restored on return. Empty = inherit the process default.
+  kernels::BackendScope kernel_scope(opt.kernel_backend);
+
   Tracer& tracer = Tracer::instance();
   if (opt.trace) {
     tracer.clear();
@@ -184,6 +192,7 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     fcfg.ffn_chunk_multiplier = opt.ffn_chunk_multiplier;
     fcfg.lm_head_chunks = opt.lm_head_chunks;
     fcfg.zero_stage = opt.zero_stage;
+    fcfg.kernel_backend = opt.kernel_backend;
     fpdt = std::make_unique<core::FpdtTrainer>(model, opt.world, fcfg,
                                                opt.hbm_capacity_bytes);
     env = &fpdt->env();
@@ -225,6 +234,8 @@ ProfileResult run_profile(const ProfileOptions& opt) {
   for (int step = 0; step < opt.steps; ++step) {
     const std::vector<std::int32_t> tokens = corpus.sample(s_global + 1);
     profiler.begin_step();
+    const auto wall_begin = std::chrono::steady_clock::now();
+    const std::clock_t cpu_begin = std::clock();
     const double loss = fpdt ? fpdt->train_step_grads(tokens)
                              : baseline->train_step_grads(tokens);
     const auto walk = [&](const nn::ParamVisitor& v) { model.visit_params(v); };
@@ -233,6 +244,10 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     } else {
       adam.step(walk);
     }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+    const double cpu_s =
+        static_cast<double>(std::clock() - cpu_begin) / static_cast<double>(CLOCKS_PER_SEC);
     // Model the optimizer sweep (~10 flops/param) as a compute-stream span
     // per rank so it shows in the step's timeline and phase breakdown.
     for (int r = 0; r < env->world(); ++r) {
@@ -240,7 +255,10 @@ ProfileResult run_profile(const ProfileOptions& opt) {
       dev.compute_stream().enqueue("optimizer",
                                    dev.rates().gemm_time(10.0 * static_cast<double>(n_params)));
     }
-    result.steps.push_back(profiler.end_step(step, s_global, loss));
+    StepStats st = profiler.end_step(step, s_global, loss);
+    st.wall_s = wall_s;
+    st.cpu_s = cpu_s;
+    result.steps.push_back(st);
     result.final_loss = loss;
   }
 

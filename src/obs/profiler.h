@@ -34,6 +34,17 @@ struct StepStats {
   double loss = 0.0;
   double virtual_step_s = 0.0;  // rank-0 stream makespan
   double tokens_per_s = 0.0;    // tokens / virtual_step_s (0 when degenerate)
+  double wall_s = 0.0;          // host wall-clock for the step (steady_clock).
+                                // The virtual clock prices the *emulated*
+                                // accelerator and is invariant to how fast
+                                // the host math runs; wall_s/cpu_s are what
+                                // the kernel backends actually change.
+  double cpu_s = 0.0;           // host process-CPU for the step (std::clock,
+                                // summed over threads). Immune to other
+                                // processes on the machine, so this is what
+                                // ci/kernel_smoke.sh gates its backend
+                                // speedup ratio on; wall_s is reported too
+                                // but loaded CI boxes make it noisy.
   double compute_busy_s = 0.0;
   double h2d_busy_s = 0.0;
   double d2h_busy_s = 0.0;
@@ -104,6 +115,11 @@ struct ProfileOptions {
 
   // Per-device HBM capacity in bytes; < 0 = unlimited (the default).
   std::int64_t hbm_capacity_bytes = -1;
+
+  // Math-kernel backend ("scalar", "simd"); empty inherits the process
+  // default (FPDT_KERNEL_BACKEND or "scalar"). Applied for the duration of
+  // the profile run via kernels::BackendScope and restored afterwards.
+  std::string kernel_backend;
 };
 
 struct ProfileResult {

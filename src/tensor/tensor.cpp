@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "kernels/backend.h"
+
 namespace fpdt {
 
 std::int64_t Tensor::shape_numel(const std::vector<std::int64_t>& shape) {
@@ -205,20 +207,11 @@ std::string Tensor::shape_str() const {
 
 namespace {
 
-// Core 2-D GEMM: C[m,n] += A[m,k] · B[k,n]; ikj loop order keeps B row
-// access contiguous.
+// Core 2-D GEMM: C[m,n] += A[m,k] · B[k,n], dispatched through the active
+// kernel backend (kernels/backend.h).
 void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
                  std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* c_row = c + i * n;
-    const float* a_row = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
+  kernels::active().gemm_nn_acc(a, b, c, m, k, n);
 }
 
 }  // namespace
@@ -261,18 +254,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   FPDT_CHECK_EQ(k, b.dim(1)) << " matmul_nt inner dim";
   const std::int64_t n = b.dim(0);
   Tensor out({m, n});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = ad + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = bd + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      cd[i * n + j] = acc;
-    }
-  }
+  kernels::active().gemm_nt(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -283,20 +265,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   FPDT_CHECK_EQ(k, b.dim(0)) << " matmul_tn inner dim";
   const std::int64_t n = b.dim(1);
   Tensor out({m, n});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = out.data();
-  // Accumulate rank-1 updates; keeps both A and B row access contiguous.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* a_row = ad + p * m;
-    const float* b_row = bd + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = a_row[i];
-      if (av == 0.0f) continue;
-      float* c_row = cd + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
+  // Accumulates rank-1 updates into the zero-initialised output. The seed
+  // skipped updates whose A element was exactly 0.0f; that silently dropped
+  // IEEE non-finite propagation (0 · Inf must be NaN), so the backends
+  // apply every update — bit-identical for finite operands.
+  kernels::active().gemm_tn_acc(a.data(), b.data(), out.data(), k, m, n);
   return out;
 }
 
@@ -402,19 +375,7 @@ Tensor row_sum(const Tensor& x) {
 void softmax_rows_(Tensor& x) {
   const std::int64_t cols = x.dim(-1);
   const std::int64_t rows = x.numel() / cols;
-  float* xd = x.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = xd + r * cols;
-    float m = row[0];
-    for (std::int64_t j = 1; j < cols; ++j) m = std::max(m, row[j]);
-    float z = 0.0f;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      row[j] = std::exp(row[j] - m);
-      z += row[j];
-    }
-    const float inv = 1.0f / z;
-    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
-  }
+  kernels::active().softmax_rows(x.data(), rows, cols);
 }
 
 Tensor transpose_last2(const Tensor& x) {

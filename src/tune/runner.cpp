@@ -86,6 +86,7 @@ Measurement Runner::run(const Candidate& c) {
   opt.ffn_chunk_multiplier = c.cfg.ffn_chunk_multiplier;
   opt.lm_head_chunks = c.cfg.lm_head_chunks;
   opt.zero_stage = c.cfg.zero_stage;
+  opt.kernel_backend = c.cfg.kernel_backend;
 
   const obs::ProfileResult res = obs::run_profile(opt);
   FPDT_CHECK(!res.steps.empty()) << " candidate " << c.label << " produced no steps";

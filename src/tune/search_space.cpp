@@ -20,6 +20,11 @@ std::string label_of(const core::FpdtConfig& cfg) {
   if (cfg.cache_forward_outputs) s += "+cf";
   s += "-ffn" + std::to_string(cfg.ffn_chunk_multiplier) + "-lm" +
        std::to_string(cfg.lm_head_chunks);
+  // Non-default math-kernel backend is part of the candidate's identity
+  // (distinct float accumulation order => distinct measurement).
+  if (!cfg.kernel_backend.empty() && cfg.kernel_backend != "scalar") {
+    s += "-" + cfg.kernel_backend;
+  }
   return s;
 }
 
@@ -63,17 +68,20 @@ std::vector<Candidate> SearchSpace::enumerate(int world, std::int64_t s_global) 
           for (bool off : offload) {
             for (bool db : double_buffer) {
               for (bool cf : cache_fwd) {
-                core::FpdtConfig cfg;
-                cfg.chunks_per_rank = u;
-                cfg.zero_stage = stage;
-                cfg.ffn_chunk_multiplier = ffn;
-                cfg.lm_head_chunks = lm;
-                cfg.offload = off;
-                cfg.double_buffer = off && db;
-                cfg.stream_prefetch = off;
-                cfg.cache_forward_outputs = cf;
-                if (!seen.insert(cfg.canonical()).second) continue;
-                out.push_back(make_candidate(cfg, world, s_global));
+                for (const std::string& kb : kernel_backends) {
+                  core::FpdtConfig cfg;
+                  cfg.chunks_per_rank = u;
+                  cfg.zero_stage = stage;
+                  cfg.ffn_chunk_multiplier = ffn;
+                  cfg.lm_head_chunks = lm;
+                  cfg.offload = off;
+                  cfg.double_buffer = off && db;
+                  cfg.stream_prefetch = off;
+                  cfg.cache_forward_outputs = cf;
+                  cfg.kernel_backend = kb;
+                  if (!seen.insert(cfg.canonical()).second) continue;
+                  out.push_back(make_candidate(cfg, world, s_global));
+                }
               }
             }
           }

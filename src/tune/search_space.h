@@ -38,6 +38,13 @@ struct SearchSpace {
   std::vector<bool> double_buffer{true, false};
   std::vector<bool> cache_fwd{true, false};
 
+  // Math-kernel backends to sweep (kernels/backend.h). Defaults to the
+  // single process-default entry ("" = inherit) so the grid size is
+  // unchanged unless a sweep opts in (e.g. {"scalar", "simd"}). Backends
+  // change host wall time, not the emulated virtual clock the planner
+  // prices, so the default sweep would measure duplicates.
+  std::vector<std::string> kernel_backends{""};
+
   // Rank-ordinal divisibility: every rank holds u chunks of equal size, so
   // s_global must divide by world·u with at least one token per chunk.
   static bool divisible(int world, std::int64_t s_global, std::int64_t u);

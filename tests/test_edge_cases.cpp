@@ -3,6 +3,8 @@
 // optimizer state isolation, and the smaller utilities.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <sstream>
 
 #include "comm/process_group.h"
@@ -137,9 +139,17 @@ TEST(AttentionEdgeTest, MismatchedShapesRejected) {
   EXPECT_THROW(nn::reference_attention_forward(q, k_bad_heads, v2, true), FpdtError);
 }
 
-TEST(AttentionEdgeTest, FinalizeWithoutAnyStepThrows) {
+TEST(AttentionEdgeTest, FinalizeWithoutAnyStepYieldsIdentityElement) {
+  // A row that attended to nothing (no step folded, or every folded chunk
+  // fully causally masked — legitimate under chunked prefill) finalises to
+  // the online-softmax identity element instead of aborting: zero output
+  // row with lse = -inf.
   nn::OnlineAttnState st = nn::OnlineAttnState::create(2, 1, 4);
-  EXPECT_THROW(nn::online_attn_finalize(st), FpdtError);
+  nn::AttentionOutput out = nn::online_attn_finalize(st);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(out.lse.at({r, 0}), -std::numeric_limits<float>::infinity());
+    for (std::int64_t p = 0; p < 4; ++p) EXPECT_EQ(out.out.at({r, 0, p}), 0.0f);
+  }
 }
 
 // ---- Adam state isolation -----------------------------------------------------

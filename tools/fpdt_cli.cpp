@@ -30,6 +30,7 @@
 #include "data/synthetic_corpus.h"
 #include "fault/fault_injector.h"
 #include "fault/resilient_trainer.h"
+#include "kernels/backend.h"
 #include "nn/model_config.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -70,8 +71,9 @@ int usage() {
                "  fpdt overlap [gpus=2] [chunks=4] [chunk_tokens=64] [--trace out.json]\n"
                "  fpdt profile [--steps 2] [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
                "               [--strategy fpdt|ulysses|megatron-sp|ring] [--model tiny-gpt]\n"
-               "               [--zero-stage -1..3]\n"
+               "               [--zero-stage -1..3] [--backend scalar|simd]\n"
                "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n"
+               "  fpdt kernels                                list math-kernel backends\n"
                "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
                "             [--chunks 4] [--chunk-tokens 64] [--seed 1234]\n"
                "             [--ckpt fpdt_chaos.ckpt] [--no-verify] [--zero-stage 0..3]\n"
@@ -79,7 +81,7 @@ int usage() {
                "                 [--stage all|0|1|2|3]\n"
                "  fpdt tune [--model tiny-gpt] [--gpus 2] [--seq 512] [--budget 1450K]\n"
                "            [--top-k 6] [--steps 1] [--seed 1234] [--cache tune.cache]\n"
-               "            [--json tune.json] [--max-chunks 8]\n"
+               "            [--json tune.json] [--max-chunks 8] [--backend scalar|simd]\n"
                "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n";
   return 2;
 }
@@ -239,6 +241,7 @@ int cmd_profile(int argc, char** argv, int base) {
     if (f.match("--metrics", &opt.metrics_path)) continue;
     if (f.match_set("--no-trace", &opt.trace, false)) continue;
     if (f.match("--zero-stage", &opt.zero_stage)) continue;
+    if (f.match("--backend", &opt.kernel_backend)) continue;
     f.unknown();
   }
   if (!model.empty()) opt.model = nn::model_by_name(model);
@@ -248,11 +251,13 @@ int cmd_profile(int argc, char** argv, int base) {
   std::cout << "profiled " << opt.steps << " " << opt.strategy << " steps, " << opt.world
             << " GPUs, " << format_token_count(res.tokens_per_step) << " tokens/step";
   if (opt.zero_stage >= 0) std::cout << ", zero-" << opt.zero_stage;
+  std::cout << ", kernels "
+            << (opt.kernel_backend.empty() ? kernels::active_name() : opt.kernel_backend);
   std::cout << "\n";
-  TextTable t({"step", "loss", "virtual", "tok/s", "overlap", "exposed", "hbm peak"});
+  TextTable t({"step", "loss", "virtual", "wall", "tok/s", "overlap", "exposed", "hbm peak"});
   for (const obs::StepStats& s : res.steps) {
     t.add_row({std::to_string(s.step), cell_f2(s.loss), format_seconds(s.virtual_step_s),
-               cell_f2(s.tokens_per_s), cell_pct(s.overlap_ratio),
+               format_seconds(s.wall_s), cell_f2(s.tokens_per_s), cell_pct(s.overlap_ratio),
                format_seconds(s.exposed_transfer_s), format_bytes(s.hbm_peak_bytes)});
   }
   t.print(std::cout);
@@ -369,7 +374,7 @@ int cmd_chaos(int argc, char** argv, int base) {
 // chunk-tradeoff curve from the tuner's analytic pricing and shape-checks it.
 int cmd_tune(int argc, char** argv, int base) {
   tune::TuneRequest req;
-  std::string model = "tiny-gpt", sweep, json_path;
+  std::string model = "tiny-gpt", sweep, json_path, backend;
   std::string csv_path = "fig12_chunk_tradeoff.csv";
   std::int64_t max_chunks = 0;
   cli::FlagParser f("tune", argc, argv, base);
@@ -386,7 +391,12 @@ int cmd_tune(int argc, char** argv, int base) {
     if (f.match("--sweep", &sweep)) continue;
     if (f.match("--csv", &csv_path)) continue;
     if (f.match("--max-chunks", &max_chunks)) continue;
+    if (f.match("--backend", &backend)) continue;
     f.unknown();
+  }
+  if (!backend.empty()) {
+    kernels::backend(backend);  // fail fast on unknown names
+    req.space.kernel_backends = {backend};
   }
 
   if (sweep == "chunk") {
@@ -449,6 +459,26 @@ int cmd_tune(int argc, char** argv, int base) {
   return 0;
 }
 
+// Lists the registered math-kernel backends, which one is active for this
+// process (FPDT_KERNEL_BACKEND or "scalar"), and whether "simd" dispatches
+// to runtime-detected AVX2/FMA or the portable fallback. ci/kernel_smoke.sh
+// greps this before asserting a speedup.
+int cmd_kernels() {
+  TextTable t({"backend", "active", "notes"});
+  for (const std::string& name : kernels::available()) {
+    std::string notes;
+    if (name == "scalar") {
+      notes = "bit-exact reference";
+    } else if (name == "simd") {
+      notes = kernels::simd_uses_avx2() ? "avx2+fma (runtime-detected)"
+                                        : "portable fallback (no avx2)";
+    }
+    t.add_row({name, name == kernels::active_name() ? "*" : "", notes});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -493,6 +523,7 @@ int main(int argc, char** argv) {
       }
       return cmd_overlap(gpus, chunks, chunk_tokens, trace_path);
     }
+    if (cmd == "kernels") return cmd_kernels();
     if (cmd == "profile") return cmd_profile(argc, argv, 2);
     if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
