@@ -10,12 +10,22 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "nn/model_config.h"
+#include "obs/bench.h"
 #include "perfmodel/evaluate.h"
 
 using namespace fpdt;
 using perfmodel::Strategy;
 
 int main() {
+  // Same guard as fig01: the figure's MFU denominator (train_flops_per_token)
+  // must stay consistent with the executed per-op workmeter accounting.
+  double ratio = 0.0;
+  if (!obs::accounting_consistent(nn::gpt_2p7b(), 32768, &ratio)) {
+    std::cerr << "accounting drift: per-op workmeter FLOPs / train_flops_per_token = "
+              << ratio << " on gpt-2.7b @ 32768 (expected within [0.85, 1.30])\n";
+    return 1;
+  }
+
   const sim::HardwareSpec hw = sim::a100_80g_node();
   struct ModelCase {
     nn::ModelConfig cfg;

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Perf-snapshot CI lane: runs `fpdt bench` on an existing build, validates
+# the schema-versioned snapshot document, asserts the accounting invariants
+# the workmeter design promises, and diffs the deterministic (virtual-clock)
+# fields against the committed baseline:
+#   - schema is exactly fpdt-bench/1 with every field present per suite;
+#   - 0 < MFU <= 1 and flops/op_bytes/peak_hbm > 0 on every row;
+#   - scalar and simd report bit-identical FLOP/byte counts, virtual time,
+#     MFU and loss per suite (work is charged analytically from shapes, so
+#     the backend must not change the accounting);
+#   - deterministic fields match bench/baselines/BENCH_0001.json within
+#     tolerance (integers exact, floats 1e-6 relative). Host clocks
+#     (wall_s, cpu_s, parallel_efficiency) and git_rev/threads are
+#     machine-dependent and never gated.
+#
+# On a legitimate perf-trajectory change, regenerate the baseline:
+#   build/tools/fpdt bench --steps 1 --out-dir bench/baselines
+# then replace BENCH_0001.json with the new snapshot and commit it.
+#
+#   ci/bench_smoke.sh [build_dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "bench_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && "$FPDT" bench --steps 1 --out-dir .)
+
+snapshot="$(ls "$workdir"/BENCH_*.json | head -n1)"
+python3 -m json.tool "$snapshot" > /dev/null
+echo "bench_smoke: snapshot is valid JSON"
+
+python3 - "$snapshot" bench/baselines/BENCH_0001.json <<'EOF'
+import json, sys
+
+snapshot_path, baseline_path = sys.argv[1], sys.argv[2]
+doc = json.load(open(snapshot_path))
+
+assert doc["schema"] == "fpdt-bench/1", f"unknown schema {doc['schema']!r}"
+required = {"suite", "backend", "config", "wall_s", "cpu_s",
+            "parallel_efficiency", "virtual_step_s", "mfu", "achieved_gbps",
+            "arith_intensity", "overlap", "flops", "op_bytes", "peak_hbm",
+            "loss"}
+for row in doc["suites"]:
+    missing = required - set(row)
+    assert not missing, f"{row.get('suite')}/{row.get('backend')} missing {missing}"
+
+# Physical invariants: every suite did work and its utilization is a
+# fraction of the roofline peak.
+for row in doc["suites"]:
+    who = f"{row['suite']}/{row['backend']}"
+    assert 0.0 < row["mfu"] <= 1.0, f"{who}: mfu {row['mfu']} outside (0, 1]"
+    assert row["flops"] > 0, f"{who}: zero flops"
+    assert row["op_bytes"] > 0, f"{who}: zero op bytes"
+    assert row["peak_hbm"] > 0, f"{who}: zero peak hbm"
+    assert row["virtual_step_s"] > 0, f"{who}: zero virtual step"
+    assert 0.0 <= row["overlap"] <= 1.0, f"{who}: overlap {row['overlap']}"
+
+# Backend invariance: the workmeter charges analytic shape costs, so the
+# same suite on scalar vs simd must account identical work and identical
+# virtual-clock results — only host clocks may differ.
+by_suite = {}
+for row in doc["suites"]:
+    by_suite.setdefault(row["suite"], {})[row["backend"]] = row
+for suite, rows in by_suite.items():
+    if {"scalar", "simd"} <= set(rows):
+        sc, sd = rows["scalar"], rows["simd"]
+        for f in ("flops", "op_bytes", "virtual_step_s", "mfu", "peak_hbm"):
+            assert sc[f] == sd[f], \
+                f"{suite}: scalar/simd disagree on {f}: {sc[f]} vs {sd[f]}"
+        # Loss is NOT bit-identical across backends (the AVX2 path uses FMA
+        # and different summation order) — only numerically close.
+        assert abs(sc["loss"] - sd["loss"]) <= 1e-6 * max(abs(sc["loss"]), 1e-30), \
+            f"{suite}: scalar/simd losses diverge: {sc['loss']} vs {sd['loss']}"
+        if doc["avx2"]:
+            # Gross-regression tripwire only — host timing is noisy, so the
+            # vectorized backend merely must not be grossly slower than the
+            # scalar reference on the compute-bound suites.
+            assert sd["cpu_s"] <= 2.0 * sc["cpu_s"], \
+                f"{suite}: simd cpu {sd['cpu_s']}s vs scalar {sc['cpu_s']}s"
+
+# Baseline diff on the deterministic fields.
+base = json.load(open(baseline_path))
+assert base["schema"] == doc["schema"], "baseline schema mismatch"
+base_rows = {(r["suite"], r["backend"]): r for r in base["suites"]}
+new_rows = {(r["suite"], r["backend"]): r for r in doc["suites"]}
+assert set(base_rows) == set(new_rows), \
+    f"suite/backend set changed: {set(base_rows) ^ set(new_rows)}"
+
+INT_FIELDS = ("flops", "op_bytes", "peak_hbm")
+FLOAT_FIELDS = ("virtual_step_s", "mfu", "achieved_gbps", "arith_intensity",
+                "overlap", "loss")
+REL_TOL = 1e-6
+diffs = []
+for key in sorted(base_rows):
+    b, n = base_rows[key], new_rows[key]
+    if b["config"] != n["config"]:
+        diffs.append((key, "config", b["config"], n["config"]))
+    for f in INT_FIELDS:
+        if b[f] != n[f]:
+            diffs.append((key, f, b[f], n[f]))
+    for f in FLOAT_FIELDS:
+        tol = REL_TOL * max(abs(b[f]), abs(n[f]), 1e-30)
+        if abs(b[f] - n[f]) > tol:
+            diffs.append((key, f, b[f], n[f]))
+
+if diffs:
+    widths = (22, 16, 24, 24)
+    header = ("suite/backend", "field", "baseline", "current")
+    print("bench_smoke: deterministic fields drifted from baseline "
+          f"({baseline_path}):", file=sys.stderr)
+    line = "  " + "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line, file=sys.stderr)
+    print("  " + "-" * (sum(widths) + 6), file=sys.stderr)
+    for (suite, backend), field, old, new in diffs:
+        row = (f"{suite}/{backend}", field, str(old), str(new))
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)),
+              file=sys.stderr)
+    print("bench_smoke: if intentional, regenerate the baseline "
+          "(see ci/bench_smoke.sh header)", file=sys.stderr)
+    sys.exit(1)
+
+print("bench_smoke: schema, invariants, backend-invariance and baseline all hold")
+EOF

@@ -56,6 +56,11 @@ run_lane() {
   # winner that measurably fits the budget and byte-identical cold/warm
   # reports.
   ci/tune_smoke.sh "$dir"
+  # Perf-snapshot smoke under the sanitizer: the workmeter's accounting
+  # invariants (0 < MFU <= 1, scalar/simd bit-identical FLOP counts) and the
+  # deterministic-field baseline diff must survive instrumented builds —
+  # only host clocks are allowed to move.
+  ci/bench_smoke.sh "$dir"
 }
 
 lanes=("$@")

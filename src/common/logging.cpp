@@ -13,6 +13,7 @@ namespace {
 std::atomic<int> g_threshold{-1};
 std::mutex g_emit_mutex;
 thread_local int t_current_rank = -1;
+thread_local int t_work_phase = 0;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -80,6 +81,14 @@ void set_current_rank(int rank) { t_current_rank = rank; }
 RankScope::RankScope(int rank) : prev_(t_current_rank) { t_current_rank = rank; }
 
 RankScope::~RankScope() { t_current_rank = prev_; }
+
+int current_work_phase() { return t_work_phase; }
+
+void set_current_work_phase(int phase_id) { t_work_phase = phase_id; }
+
+WorkPhaseTag::WorkPhaseTag(int phase_id) : prev_(t_work_phase) { t_work_phase = phase_id; }
+
+WorkPhaseTag::~WorkPhaseTag() { t_work_phase = prev_; }
 
 namespace detail {
 

@@ -47,6 +47,29 @@ class RankScope {
   int prev_;
 };
 
+// ---- Per-phase work context -------------------------------------------------
+// Thread-local interned phase id for the work-accounting layer
+// (obs/workmeter.h owns the id <-> name mapping; 0 = unattributed). It lives
+// here, next to the rank context, for the same reason: parallel_for_ranks
+// must propagate it into worker threads without depending on obs.
+int current_work_phase();
+void set_current_work_phase(int phase_id);
+
+// RAII phase context (mirrors RankScope; used by obs::TraceScope and the
+// thread-pool fork so kernel work charged inside a phase span — on any
+// worker thread — lands in that phase's accumulator).
+class WorkPhaseTag {
+ public:
+  explicit WorkPhaseTag(int phase_id);
+  ~WorkPhaseTag();
+
+  WorkPhaseTag(const WorkPhaseTag&) = delete;
+  WorkPhaseTag& operator=(const WorkPhaseTag&) = delete;
+
+ private:
+  int prev_;
+};
+
 namespace detail {
 
 class LogLine {

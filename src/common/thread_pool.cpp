@@ -38,6 +38,10 @@ void set_parallel_workers(int workers) {
 }
 
 void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
+  // Worker threads are fresh OS threads with default-initialised thread
+  // locals; capture the caller's work-phase context so kernel FLOPs charged
+  // inside a rank body land in the phase span that forked it.
+  const int phase = current_work_phase();
   if (n <= 1 || g_workers <= 1) {
     for (int i = 0; i < n; ++i) {
       RankScope rank_scope(i);
@@ -64,6 +68,7 @@ void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
         // The loop body *is* emulated rank i: tag the thread so log lines
         // and trace scopes carry the rank without plumbing it through.
         RankScope rank_scope(i);
+        WorkPhaseTag phase_tag(phase);
         ParallelRegionScope region;
         fn(i);
       } catch (...) {

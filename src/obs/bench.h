@@ -1,0 +1,114 @@
+// `fpdt bench` — canonical perf-snapshot suite with a schema-versioned
+// JSON artifact, the repo's perf trajectory currency (BENCH_<n>.json).
+//
+// Each suite is one pinned executed configuration profiled through
+// obs::run_profile with work metering on, so every row carries the same
+// numbers `fpdt profile` reports: virtual-clock MFU / achieved-GB/s /
+// arithmetic intensity (deterministic, backend-invariant) next to host
+// wall/cpu seconds (what a kernel backend actually changes). Compute
+// suites run on every registered kernel backend; because work is charged
+// analytically from shapes (kernels/op_cost.h), scalar and simd must
+// report bit-identical FLOP/byte counts — ci/bench_smoke.sh gates on it.
+//
+// Suites:
+//   attn       attention-dominated step (long chunks, small model width);
+//   gemm       GEMM-dominated step (short sequence, wide FFN);
+//   overlap    prefetch/offload overlap path (double-buffered streaming);
+//   tune-warm  `fpdt tune` warm-cache path: a cold tune populates a result
+//              cache, the timed run replays it warm; wall/cpu measure the
+//              warm tune() call, the roofline fields come from one profiled
+//              step of the winning configuration.
+//
+// Layering: needs run_profile (fpdt_profile) and tune() (fpdt_tune), so
+// this lives in its own fpdt_bench library above both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model_config.h"
+
+namespace fpdt::obs {
+
+// Schema version of the snapshot document. Bump on any field change;
+// ci/bench_smoke.sh refuses snapshots whose schema it does not know.
+inline constexpr const char* kBenchSchema = "fpdt-bench/1";
+
+// One (suite, backend) measurement.
+struct BenchSuiteResult {
+  std::string suite;    // attn | gemm | overlap | tune-warm
+  std::string backend;  // kernel backend the math ran on
+  std::string config;   // core::FpdtConfig::canonical() of the executed run
+
+  // Host clocks (nondeterministic, machine-dependent).
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  double parallel_efficiency = 0.0;
+
+  // Virtual-clock measurements (deterministic for a pinned suite).
+  double virtual_step_s = 0.0;
+  double mfu = 0.0;
+  double achieved_gbps = 0.0;
+  double arith_intensity = 0.0;
+  double overlap_ratio = 0.0;
+  std::int64_t flops = 0;
+  std::int64_t op_bytes = 0;
+  std::int64_t hbm_peak_bytes = 0;
+  double loss = 0.0;
+};
+
+struct BenchReport {
+  std::string schema = kBenchSchema;
+  std::string git_rev = "unknown";
+  int world = 0;
+  int threads = 0;     // host thread-pool workers
+  bool avx2 = false;   // simd backend dispatches real AVX2/FMA kernels
+  std::vector<BenchSuiteResult> suites;
+
+  std::string json() const;
+  // Human TextTable: one row per (suite, backend).
+  std::string table() const;
+};
+
+struct BenchOptions {
+  int steps = 2;              // profiled steps per suite (last step reported)
+  std::uint64_t seed = 1234;
+  bool all_backends = true;   // false: active backend only (faster smoke)
+  // Snapshot destination directory; the file name is BENCH_<n>.json with n
+  // = 1 + the highest existing snapshot number in the directory. Empty =
+  // don't write, return the report only.
+  std::string out_dir;
+};
+
+// Runs the canonical suite; returns the report and (when out_dir is set)
+// writes the auto-numbered snapshot, echoing the path via report_path.
+BenchReport run_bench(const BenchOptions& opt, std::string* report_path = nullptr);
+
+// ---- Shared analytic accounting -------------------------------------------
+
+// Model-level work of ONE training step (forward + backward) of `cfg` over a
+// sequence of `s` tokens, accumulated in double from the same per-op
+// formulas (kernels/op_cost.h) the executed workmeter charges — embedding
+// lookups excluded (no FLOPs), LM head included. This is the model-scale
+// projection of the executed accounting: figure benches cross-check it
+// against nn::ModelConfig::train_flops_per_token so the two conventions
+// cannot silently drift (the Megatron convention does not discount the
+// causal mask, so compare with causal=false).
+struct ModelWork {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+ModelWork analytic_model_work(const nn::ModelConfig& cfg, std::int64_t s, bool causal);
+
+// Pins the two accountings together on one shape: per-op FLOPs (non-causal,
+// matching the convention's no-mask-discount) must land within [0.85, 1.30]
+// of train_flops_per_token(s)·s — the conventions differ by design in the
+// attention backward constant (10d+ε vs 8d) and the embedding lookup (a
+// copy per-op, 6·vocab·d under 6N), so exact equality is wrong, but a
+// formula regression in either shows up as a band violation. The figure
+// benches assert this at startup; `ratio` (per-op / convention) is written
+// when non-null.
+bool accounting_consistent(const nn::ModelConfig& cfg, std::int64_t s, double* ratio = nullptr);
+
+}  // namespace fpdt::obs

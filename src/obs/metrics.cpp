@@ -24,6 +24,7 @@ void Histogram::observe(double x) {
     bucket = std::min(kBuckets - 1, 1 + static_cast<int>(std::floor(std::log2(x))));
   }
   ++buckets_[bucket];
+  if (samples_.size() < kMaxExactSamples) samples_.push_back(x);
 }
 
 std::int64_t Histogram::count() const {
@@ -54,6 +55,49 @@ double Histogram::mean() const {
 std::vector<std::int64_t> Histogram::buckets() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::vector<std::int64_t>(buckets_, buckets_ + kBuckets);
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the smallest observation with at least ceil(q·count)
+  // observations at or below it (rank 1 for q -> 0).
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_))));
+  if (count_ <= static_cast<std::int64_t>(samples_.size())) {
+    // Exact path: all observations retained.
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[static_cast<std::size_t>(rank - 1)];
+  }
+  // Overflow fallback: linear interpolation inside the pow2 bucket holding
+  // the rank, clamped to the observed extrema.
+  std::int64_t seen = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    if (buckets_[k] == 0) continue;
+    if (seen + buckets_[k] >= rank) {
+      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, k - 1);
+      const double hi = k == 0 ? 1.0 : std::ldexp(1.0, k);
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(buckets_[k]);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    seen += buckets_[k];
+  }
+  return max_;
+}
+
+std::string Histogram::bucket_label(int k) {
+  if (k <= 0) return "[0,1)";
+  const auto bound = [](int exp) {
+    // Exact integers stay readable up to 2^20; beyond that, power notation.
+    return exp <= 20 ? std::to_string(1LL << exp) : "2^" + std::to_string(exp);
+  };
+  // The top bucket absorbs everything from 2^(kBuckets-2) up: its upper edge
+  // is open, not 2^(kBuckets-1).
+  if (k >= kBuckets - 1) return "[" + bound(kBuckets - 2) + ",+inf)";
+  return "[" + bound(k - 1) + "," + bound(k) + ")";
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -119,6 +163,14 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
     e.min = h->min();
     e.max = h->max();
     e.mean = h->mean();
+    e.p50 = h->percentile(0.50);
+    e.p95 = h->percentile(0.95);
+    e.p99 = h->percentile(0.99);
+    const std::vector<std::int64_t> counts = h->buckets();
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      if (counts[static_cast<std::size_t>(k)] != 0)
+        e.hist_buckets.emplace_back(k, counts[static_cast<std::size_t>(k)]);
+    }
     out.push_back(std::move(e));
   }
   return out;
@@ -153,7 +205,16 @@ std::string MetricsRegistry::json() const {
        << "\",\"type\":\"" << e.type << "\"";
     if (e.type == "histogram") {
       os << ",\"count\":" << e.count << ",\"sum\":" << finite(e.value) << ",\"min\":"
-         << finite(e.min) << ",\"max\":" << finite(e.max) << ",\"mean\":" << finite(e.mean);
+         << finite(e.min) << ",\"max\":" << finite(e.max) << ",\"mean\":" << finite(e.mean)
+         << ",\"p50\":" << finite(e.p50) << ",\"p95\":" << finite(e.p95)
+         << ",\"p99\":" << finite(e.p99) << ",\"buckets\":[";
+      bool bfirst = true;
+      for (const auto& [k, n] : e.hist_buckets) {
+        if (!bfirst) os << ",";
+        bfirst = false;
+        os << "{\"range\":\"" << Histogram::bucket_label(k) << "\",\"count\":" << n << "}";
+      }
+      os << "]";
     } else {
       os << ",\"value\":" << finite(e.value);
     }
@@ -164,11 +225,12 @@ std::string MetricsRegistry::json() const {
 }
 
 void MetricsRegistry::print_table(std::ostream& os) const {
-  TextTable t({"metric", "labels", "type", "value", "count", "mean"});
+  TextTable t({"metric", "labels", "type", "value", "count", "mean", "p50", "p95", "p99"});
   for (const Entry& e : snapshot()) {
+    const bool h = e.type == "histogram";
     t.add_row({e.name, e.labels.empty() ? "-" : e.labels, e.type, cell_f2(e.value),
-               e.type == "histogram" ? std::to_string(e.count) : "-",
-               e.type == "histogram" ? cell_f2(e.mean) : "-"});
+               h ? std::to_string(e.count) : "-", h ? cell_f2(e.mean) : "-",
+               h ? cell_f2(e.p50) : "-", h ? cell_f2(e.p95) : "-", h ? cell_f2(e.p99) : "-"});
   }
   t.print(os);
 }

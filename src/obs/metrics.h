@@ -47,11 +47,20 @@ class Gauge {
 
 // Summary histogram: count/sum/min/max plus power-of-two magnitude buckets
 // (bucket k counts observations in [2^(k-1), 2^k), with bucket 0 catching
-// everything below 1). Enough to see latency distributions without a full
-// HDR structure.
+// everything below 1 and the top bucket open-ended). Enough to see latency
+// distributions without a full HDR structure.
+//
+// Percentiles: the first kMaxExactSamples observations are also retained
+// verbatim, so percentile() is *exact* (nearest-rank over the sorted
+// samples) for every realistic window in this repo — profiling runs record
+// hundreds of observations, not millions. Past the cap the readout degrades
+// to linear interpolation inside the pow2 bucket holding the rank (clamped
+// to the observed min/max), which is the standard Prometheus-style
+// estimate.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
+  static constexpr std::size_t kMaxExactSamples = 1u << 16;
 
   void observe(double x);
 
@@ -60,7 +69,14 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;
   double mean() const;
+  // Nearest-rank percentile, q in (0, 1] (0.5 = median); 0 when empty.
+  double percentile(double q) const;
   std::vector<std::int64_t> buckets() const;
+
+  // Human label of bucket k: "[0,1)", "[2^(k-1),2^k)" rendered with exact
+  // integer bounds up to 2^20 then power notation, and an open "[2^62,+inf)"
+  // for the top bucket (it has no finite upper edge).
+  static std::string bucket_label(int k);
 
  private:
   mutable std::mutex mutex_;
@@ -69,6 +85,7 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   std::int64_t buckets_[kBuckets] = {};
+  std::vector<double> samples_;  // first kMaxExactSamples observations
 };
 
 class MetricsRegistry {
@@ -95,6 +112,10 @@ class MetricsRegistry {
     double value = 0.0;       // counter/gauge value, histogram sum
     std::int64_t count = 0;   // histogram only
     double min = 0.0, max = 0.0, mean = 0.0;  // histogram only
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;   // histogram only
+    // Non-empty pow2 buckets as (bucket index, count); histogram only.
+    // Render indices with Histogram::bucket_label().
+    std::vector<std::pair<int, std::int64_t>> hist_buckets;
   };
   std::vector<Entry> snapshot() const;
 

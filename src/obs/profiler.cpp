@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "kernels/backend.h"
 #include "core/fpdt_trainer.h"
 #include "data/synthetic_corpus.h"
@@ -54,6 +55,13 @@ std::string phase_of(const std::string& label) {
   return "other";
 }
 
+void StepStats::set_host_times(double wall, double cpu) {
+  wall_s = wall;
+  cpu_s = cpu;
+  const double denom = wall * static_cast<double>(parallel_workers());
+  parallel_efficiency = denom > 0.0 ? cpu / denom : 0.0;
+}
+
 std::string StepStats::json() const {
   std::ostringstream os;
   os.precision(12);
@@ -67,18 +75,37 @@ std::string StepStats::json() const {
      << ",\"exposed_transfer_s\":" << finite(exposed_transfer_s)
      << ",\"overlap_ratio\":" << finite(overlap_ratio) << ",\"h2d_bytes\":" << h2d_bytes
      << ",\"d2h_bytes\":" << d2h_bytes << ",\"all2all_bytes\":" << all2all_bytes
-     << ",\"hbm_peak_bytes\":" << hbm_peak_bytes << ",\"phase_s\":{";
+     << ",\"hbm_peak_bytes\":" << hbm_peak_bytes
+     << ",\"flops\":" << flops << ",\"op_bytes\":" << op_bytes
+     << ",\"mfu\":" << finite(mfu) << ",\"achieved_gbps\":" << finite(achieved_gbps)
+     << ",\"arith_intensity\":" << finite(arith_intensity)
+     << ",\"parallel_efficiency\":" << finite(parallel_efficiency) << ",\"phase_s\":{";
   bool first = true;
   for (const auto& [phase, seconds] : phase_s) {
     if (!first) os << ",";
     first = false;
     os << "\"" << phase << "\":" << finite(seconds);
   }
+  os << "},\"phase_flops\":{";
+  first = true;
+  for (const auto& [phase, f] : phase_flops) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << phase << "\":" << f;
+  }
+  os << "},\"phase_mfu\":{";
+  first = true;
+  for (const auto& [phase, m] : phase_mfu) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << phase << "\":" << finite(m);
+  }
   os << "}}";
   return os.str();
 }
 
-StepProfiler::StepProfiler(core::FpdtEnv& env) : env_(&env) {}
+StepProfiler::StepProfiler(core::FpdtEnv& env, sim::HardwareSpec hw)
+    : env_(&env), hw_(hw) {}
 
 void StepProfiler::begin_step() {
   env_->reset_stream_timelines();  // synchronizes first
@@ -86,6 +113,7 @@ void StepProfiler::begin_step() {
   h2d_base_ = env_->device(0).transfers().h2d_bytes;
   d2h_base_ = env_->device(0).transfers().d2h_bytes;
   a2a_base_ = env_->pg().stats().all_to_all_bytes;
+  work_base_ = Workmeter::instance().snapshot();
 }
 
 StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
@@ -119,6 +147,26 @@ StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
     st.phase_s[phase_of(s.label)] += s.duration();
   }
 
+  // Work accounting: whole-group workmeter delta over the step, evaluated
+  // against the per-device roofline (one device's share of the work over
+  // the step's virtual makespan).
+  const WorkSnapshot work = Workmeter::instance().snapshot().since(work_base_);
+  st.flops = work.total_flops();
+  st.op_bytes = work.total_bytes();
+  const double world = static_cast<double>(env_->world());
+  const sim::RooflinePoint roof = sim::roofline_eval(
+      hw_, static_cast<double>(st.flops) / world, static_cast<double>(st.op_bytes) / world,
+      st.virtual_step_s);
+  st.mfu = roof.mfu;
+  st.achieved_gbps = roof.achieved_gbps;
+  st.arith_intensity = roof.intensity;
+  const double step_peak_flops = st.virtual_step_s * world * hw_.peak_flops;
+  for (const auto& [phase, w] : work.phase) {
+    st.phase_flops[phase] = w.flops;
+    if (step_peak_flops > 0.0)
+      st.phase_mfu[phase] = static_cast<double>(w.flops) / step_peak_flops;
+  }
+
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.counter("steps").add(1);
   reg.counter("tokens").add(tokens);
@@ -133,6 +181,32 @@ StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
   reg.gauge("transfer.exposed_s", "rank=0").set(st.exposed_transfer_s);
   for (const auto& [phase, seconds] : st.phase_s) {
     reg.histogram("phase.seconds", "phase=" + phase).observe(seconds);
+  }
+  if (st.flops > 0) {
+    reg.histogram("step.mfu").observe(st.mfu);
+    reg.histogram("step.achieved_gbps").observe(st.achieved_gbps);
+    reg.gauge("roofline.intensity").set(st.arith_intensity);
+    reg.counter("work.flops").add(st.flops);
+    reg.counter("work.bytes").add(st.op_bytes);
+    for (int k = 0; k < kOpKinds; ++k) {
+      if (work.kind[k].flops == 0) continue;
+      const std::string labels = std::string("kind=") + op_kind_name(static_cast<OpKind>(k));
+      reg.counter("work.flops", labels).add(work.kind[k].flops);
+      reg.counter("work.calls", labels).add(work.calls[k]);
+    }
+    for (const auto& [phase, m] : st.phase_mfu) {
+      reg.gauge("phase.mfu", "phase=" + phase).set(m);
+    }
+  }
+  // Perfetto counter tracks on rank 0's clock (now = end of step): one
+  // sample per step, so the trace shows the MFU/bandwidth trajectory next
+  // to the spans that produced it.
+  if (tracing_enabled() && st.flops > 0) {
+    Tracer& tracer = Tracer::instance();
+    tracer.counter(kCatPerf, "mfu", 0, st.mfu);
+    tracer.counter(kCatPerf, "achieved_gbps", 0, st.achieved_gbps);
+    tracer.counter(kCatPerf, "arith_intensity", 0, st.arith_intensity);
+    tracer.counter(kCatPerf, "step_tflops", 0, static_cast<double>(st.flops) / 1e12);
   }
   return st;
 }
@@ -169,6 +243,12 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     tracer.set_enabled(true);
   }
   MetricsRegistry::global().reset();
+  // Work metering is on for every profile run: it is side-effect-free on the
+  // math (analytic integer charges only) and feeds StepStats' MFU/roofline
+  // fields. Reset so each run's deltas start from a clean meter.
+  Workmeter& meter = Workmeter::instance();
+  meter.reset();
+  meter.set_enabled(true);
 
   const nn::ModelConfig cfg = opt.model;
   nn::Model model(cfg, opt.seed);
@@ -206,6 +286,7 @@ ProfileResult run_profile(const ProfileOptions& opt) {
       kind = parallel::BaselineKind::kRing;
     } else {
       if (opt.trace) tracer.set_enabled(false);
+      meter.set_enabled(false);
       throw FpdtError("unknown profile strategy: " + opt.strategy +
                       " (try fpdt, ulysses, megatron-sp, ring)");
     }
@@ -256,12 +337,16 @@ ProfileResult run_profile(const ProfileOptions& opt) {
                                    dev.rates().gemm_time(10.0 * static_cast<double>(n_params)));
     }
     StepStats st = profiler.end_step(step, s_global, loss);
-    st.wall_s = wall_s;
-    st.cpu_s = cpu_s;
+    st.set_host_times(wall_s, cpu_s);
+    MetricsRegistry::global().gauge("host.parallel_efficiency").set(st.parallel_efficiency);
+    if (opt.trace) {
+      tracer.counter(kCatPerf, "parallel_efficiency", 0, st.parallel_efficiency);
+    }
     result.steps.push_back(st);
     result.final_loss = loss;
   }
 
+  meter.set_enabled(false);
   if (opt.trace && !opt.trace_path.empty()) tracer.write_chrome_trace(opt.trace_path);
   if (!opt.metrics_path.empty()) {
     std::ofstream out(opt.metrics_path);

@@ -16,7 +16,9 @@
 
 #include "core/fpdt_env.h"
 #include "nn/model_config.h"
+#include "obs/workmeter.h"
 #include "runtime/stream.h"
+#include "sim/hardware.h"
 
 namespace fpdt::obs {
 
@@ -57,6 +59,30 @@ struct StepStats {
   std::int64_t hbm_peak_bytes = 0;  // max over ranks
   std::map<std::string, double> phase_s;  // phase -> rank-0 compute seconds
 
+  // Work accounting (obs/workmeter.h deltas over the step; whole-group
+  // totals — every rank charges the same process-wide meter). Zero when
+  // metering was off for the step.
+  std::int64_t flops = 0;     // analytic kernel FLOPs
+  std::int64_t op_bytes = 0;  // analytic ideal kernel bytes
+  // Roofline on the virtual clock, per device: flops / world is what one
+  // emulated GPU did in virtual_step_s. Backend-invariant by construction
+  // (both numerator and denominator are analytic/deterministic).
+  double mfu = 0.0;              // (flops/world) / (virtual_step_s · peak_flops)
+  double achieved_gbps = 0.0;    // (op_bytes/world) / virtual_step_s / 1e9
+  double arith_intensity = 0.0;  // flops / op_bytes (FLOP/B)
+  // Host-side parallel efficiency: cpu_s / (wall_s · thread-pool workers).
+  // 1.0 = every worker fully busy for the whole step; set_host_times fills
+  // it together with wall_s/cpu_s.
+  double parallel_efficiency = 0.0;
+  // Phase breakdown from the FPDT_TRACE_SCOPE(kCatPhase, ...) spans (embed /
+  // blocks.forward / loss_head / ... vocabulary, distinct from phase_s's
+  // stream-span classification). phase_mfu is the phase's *contribution* to
+  // the step MFU (shares sum to the step total), not a per-phase roofline.
+  std::map<std::string, std::int64_t> phase_flops;
+  std::map<std::string, double> phase_mfu;
+
+  void set_host_times(double wall, double cpu);
+
   std::string json() const;
 };
 
@@ -68,7 +94,9 @@ struct StepStats {
 // TimelineReport::overlap_ratio() — one source of truth.
 class StepProfiler {
  public:
-  explicit StepProfiler(core::FpdtEnv& env);
+  // `hw` is the roofline denominator (peak FLOPs / HBM bandwidth); defaults
+  // to the paper's A100-80G testbed, matching sim::stream_rates pricing.
+  explicit StepProfiler(core::FpdtEnv& env, sim::HardwareSpec hw = sim::a100_80g_node());
 
   void begin_step();
   StepStats end_step(int step, std::int64_t tokens, double loss);
@@ -77,9 +105,11 @@ class StepProfiler {
 
  private:
   core::FpdtEnv* env_;
+  sim::HardwareSpec hw_;
   std::int64_t h2d_base_ = 0;
   std::int64_t d2h_base_ = 0;
   std::int64_t a2a_base_ = 0;
+  WorkSnapshot work_base_;
   runtime::TimelineReport last_report_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/workmeter.h"
 
 namespace fpdt::obs {
 
@@ -241,6 +243,14 @@ void Tracer::write_chrome_trace(const std::string& path) const {
 }
 
 TraceScope::TraceScope(const char* category, const char* name, int rank) {
+  // Work attribution first: a phase span tags the thread for the workmeter
+  // whenever metering is on, regardless of whether a trace is recording.
+  // strcmp (not pointer compare): callers may pass their own "phase" literal.
+  if (work_metering_enabled() && std::strcmp(category, kCatPhase) == 0) {
+    phase_tagged_ = true;
+    prev_phase_ = current_work_phase();
+    set_current_work_phase(Workmeter::instance().intern_phase(name));
+  }
   if (!tracing_enabled()) return;
   active_ = true;
   category_ = category;
@@ -250,6 +260,7 @@ TraceScope::TraceScope(const char* category, const char* name, int rank) {
 }
 
 TraceScope::~TraceScope() {
+  if (phase_tagged_) set_current_work_phase(prev_phase_);
   if (!active_ || !tracing_enabled()) return;
   Tracer& tracer = Tracer::instance();
   const double end = tracer.clock(rank_);

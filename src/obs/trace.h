@@ -46,6 +46,7 @@ inline constexpr const char* kCatChunk = "chunk";
 inline constexpr const char* kCatComm = "comm";
 inline constexpr const char* kCatMemory = "memory";
 inline constexpr const char* kCatPhase = "phase";
+inline constexpr const char* kCatPerf = "perf";  // roofline counter tracks (mfu, gbps, ...)
 
 // Rank id for node-level (not per-rank) events, e.g. the shared host pool.
 inline constexpr int kNodeRank = -1;
@@ -125,6 +126,13 @@ class Tracer {
 // drained through streams while the scope was open (0 for pure-CPU regions,
 // which still leaves a nesting instant marker in the trace). Constructing
 // with a disabled tracer is a branch and two stores — no strings, no lock.
+//
+// Phase spans (category == kCatPhase) double as work-attribution tags: when
+// the workmeter is enabled the scope also interns its name and installs the
+// thread-local work-phase id (common/logging.h), so kernel FLOPs dispatched
+// under the span — including inside parallel_for_ranks workers — are charged
+// to this phase. The tag is independent of the tracer: metering attributes
+// correctly even when no trace is being recorded, and vice versa.
 class TraceScope {
  public:
   TraceScope(const char* category, const char* name, int rank = kUseCurrentRank);
@@ -137,9 +145,11 @@ class TraceScope {
   static constexpr int kUseCurrentRank = INT32_MIN;
 
   bool active_ = false;
+  bool phase_tagged_ = false;
   const char* category_ = nullptr;
   const char* name_ = nullptr;
   int rank_ = 0;
+  int prev_phase_ = 0;
   double start_ = 0.0;
 };
 

@@ -1,0 +1,132 @@
+#include "obs/workmeter.h"
+
+#include "common/logging.h"
+
+namespace fpdt::obs {
+
+std::atomic<bool> g_work_meter_enabled{false};
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGemm:
+      return "gemm";
+    case OpKind::kAttention:
+      return "attention";
+    case OpKind::kSoftmax:
+      return "softmax";
+    case OpKind::kNorm:
+      return "norm";
+    case OpKind::kActivation:
+      return "activation";
+  }
+  return "?";
+}
+
+std::int64_t WorkSnapshot::total_flops() const {
+  std::int64_t t = 0;
+  for (int k = 0; k < kOpKinds; ++k) t += kind[k].flops;
+  return t;
+}
+
+std::int64_t WorkSnapshot::total_bytes() const {
+  std::int64_t t = 0;
+  for (int k = 0; k < kOpKinds; ++k) t += kind[k].bytes;
+  return t;
+}
+
+WorkSnapshot WorkSnapshot::since(const WorkSnapshot& base) const {
+  WorkSnapshot d;
+  for (int k = 0; k < kOpKinds; ++k) {
+    d.kind[k].flops = kind[k].flops - base.kind[k].flops;
+    d.kind[k].bytes = kind[k].bytes - base.kind[k].bytes;
+    d.calls[k] = calls[k] - base.calls[k];
+  }
+  for (const auto& [name, work] : phase) {
+    OpWork w = work;
+    const auto it = base.phase.find(name);
+    if (it != base.phase.end()) {
+      w.flops -= it->second.flops;
+      w.bytes -= it->second.bytes;
+    }
+    if (w.flops != 0 || w.bytes != 0) d.phase[name] = w;
+  }
+  return d;
+}
+
+Workmeter& Workmeter::instance() {
+  static Workmeter m;
+  return m;
+}
+
+void Workmeter::set_enabled(bool on) {
+  g_work_meter_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Workmeter::charge(OpKind kind, OpWork work) {
+  int phase = current_work_phase();
+  if (phase < 0 || phase >= kMaxPhases) phase = 0;
+  Cell& cell = cells_[phase][static_cast<int>(kind)];
+  cell.flops.fetch_add(work.flops, std::memory_order_relaxed);
+  cell.bytes.fetch_add(work.bytes, std::memory_order_relaxed);
+  cell.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+int Workmeter::intern_phase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(phase_mutex_);
+  const auto it = phase_ids_.find(name);
+  if (it != phase_ids_.end()) return it->second;
+  const int next = static_cast<int>(phase_ids_.size()) + 1;  // 0 is reserved
+  if (next >= kMaxPhases) return 0;  // overflow folds into "unattributed"
+  phase_ids_[name] = next;
+  return next;
+}
+
+WorkSnapshot Workmeter::snapshot() const {
+  // Copy the (few) interned names under the lock, then read the lock-free
+  // counters. Relaxed loads: a snapshot taken while kernels run is a
+  // momentary view, same contract as MetricsRegistry::snapshot().
+  std::map<std::string, int> names;
+  {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    names = phase_ids_;
+  }
+  WorkSnapshot s;
+  for (int p = 0; p < kMaxPhases; ++p) {
+    for (int k = 0; k < kOpKinds; ++k) {
+      const Cell& cell = cells_[p][k];
+      OpWork w{cell.flops.load(std::memory_order_relaxed),
+               cell.bytes.load(std::memory_order_relaxed)};
+      if (w.flops == 0 && w.bytes == 0) continue;
+      s.kind[k] += w;
+      s.calls[k] += cell.calls.load(std::memory_order_relaxed);
+      std::string phase_name = "unattributed";
+      for (const auto& [name, id] : names) {
+        if (id == p) {
+          phase_name = name;
+          break;
+        }
+      }
+      s.phase[phase_name] += w;
+    }
+  }
+  return s;
+}
+
+void Workmeter::reset() {
+  for (int p = 0; p < kMaxPhases; ++p) {
+    for (int k = 0; k < kOpKinds; ++k) {
+      cells_[p][k].flops.store(0, std::memory_order_relaxed);
+      cells_[p][k].bytes.store(0, std::memory_order_relaxed);
+      cells_[p][k].calls.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MeterPhase::MeterPhase(const std::string& name)
+    : prev_(current_work_phase()) {
+  set_current_work_phase(Workmeter::instance().intern_phase(name));
+}
+
+MeterPhase::~MeterPhase() { set_current_work_phase(prev_); }
+
+}  // namespace fpdt::obs

@@ -21,6 +21,10 @@ struct HardwareSpec {
   double attn_efficiency = 0.45;    // fused attention kernels
   double kernel_overhead_s = 12e-6;  // fixed launch/dispatch cost per kernel
 
+  // Memory bandwidth: HBM2e peak per GPU (2039 GB/s on the 80 GB SXM part,
+  // 1555 GB/s on the 40 GB). Denominator of the roofline's memory ceiling.
+  double hbm_bw = 2039e9;
+
   // Memory capacities.
   std::int64_t hbm_bytes = 80LL * kGiB;
   std::int64_t hbm_reserve_bytes = 4LL * kGiB;  // framework/fragmentation
@@ -54,7 +58,33 @@ inline HardwareSpec a100_80g_node() { return HardwareSpec{}; }
 inline HardwareSpec a100_40g_node() {
   HardwareSpec hw;
   hw.hbm_bytes = 40LL * kGiB;
+  hw.hbm_bw = 1555e9;
   return hw;
+}
+
+// ---- Roofline -------------------------------------------------------------
+// Utilization of one GPU-equivalent that performed `flops` FLOPs and moved
+// `bytes` ideal bytes over `seconds`: the numbers obs::StepProfiler and
+// `fpdt bench` report. All denominators are *per device*; callers divide
+// whole-group work by world size (or multiply seconds) before evaluating.
+struct RooflinePoint {
+  double mfu = 0.0;            // flops / (seconds · peak_flops)
+  double achieved_gbps = 0.0;  // bytes / seconds / 1e9
+  double intensity = 0.0;      // flops / bytes (FLOP/B)
+  bool memory_bound = false;   // intensity below the ridge point
+};
+
+inline RooflinePoint roofline_eval(const HardwareSpec& hw, double flops, double bytes,
+                                   double seconds) {
+  RooflinePoint p;
+  if (seconds > 0.0) {
+    p.mfu = flops / (seconds * hw.peak_flops);
+    p.achieved_gbps = bytes / seconds / 1e9;
+  }
+  if (bytes > 0.0) p.intensity = flops / bytes;
+  // Ridge point: intensity at which compute and memory ceilings meet.
+  p.memory_bound = p.intensity < hw.peak_flops / hw.hbm_bw;
+  return p;
 }
 
 }  // namespace fpdt::sim

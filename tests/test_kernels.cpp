@@ -20,6 +20,7 @@
 #include "core/fpdt_env.h"
 #include "kernels/backend.h"
 #include "nn/attention.h"
+#include "obs/workmeter.h"
 #include "tensor/tensor.h"
 #include "tests/test_util.h"
 
@@ -603,6 +604,70 @@ TEST(ActiveBackendTest, AttentionBackwardMatchesFiniteDifferences) {
   testing::expect_grad_matches(q, g.dq, loss, 6, rng, 2e-2, 5e-2);
   testing::expect_grad_matches(k, g.dk, loss, 6, rng, 2e-2, 5e-2);
   testing::expect_grad_matches(v, g.dv, loss, 6, rng, 2e-2, 5e-2);
+}
+
+// ---- work metering ----------------------------------------------------------
+
+TEST(WorkmeterBackendTest, ScalarAndSimdChargeBitIdenticalWork) {
+  // Work is charged analytically from shapes at the dispatch layer, so the
+  // same call sequence on the scalar reference and the simd backend must
+  // account bit-identical integer FLOP/byte/call totals in every op family
+  // — the invariant ci/bench_smoke.sh gates end to end.
+  obs::Workmeter& meter = obs::Workmeter::instance();
+
+  const auto run = [&](const char* name) {
+    const kernels::Backend& be = kernels::backend(name);
+    Rng rng(99);
+    const std::int64_t m = 5, k = 7, n = 9;
+    Tensor a = testing::random_tensor({m, k}, rng);
+    Tensor b = testing::random_tensor({n, k}, rng);
+    Tensor c = Tensor::full({m, n}, 0.0f);
+
+    kernels::AttnDims dm;
+    dm.sq = 4;
+    dm.sk = 6;
+    dm.h = 2;
+    dm.hk = 2;
+    dm.d = 8;
+    dm.group = 1;
+    Tensor q = testing::random_tensor({dm.sq, dm.h, dm.d}, rng);
+    Tensor kk = testing::random_tensor({dm.sk, dm.hk, dm.d}, rng);
+    Tensor v = testing::random_tensor({dm.sk, dm.hk, dm.d}, rng);
+    Tensor out = Tensor::full({dm.sq, dm.h, dm.d}, 0.0f);
+    Tensor lse = Tensor::full({dm.sq, dm.h}, 0.0f);
+
+    const std::int64_t rows = 3, cols = 17;
+    Tensor sm = testing::random_tensor({rows, cols}, rng);
+    Tensor gamma = testing::random_tensor({cols}, rng);
+    Tensor beta = testing::random_tensor({cols}, rng);
+    Tensor y = Tensor::full({rows, cols}, 0.0f);
+    Tensor mean = Tensor::full({rows}, 0.0f);
+    Tensor rstd = Tensor::full({rows}, 0.0f);
+
+    meter.reset();
+    meter.set_enabled(true);
+    be.gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+    be.attn_forward(q.data(), kk.data(), v.data(), out.data(), lse.data(), dm,
+                    /*causal=*/true, 0, 0);
+    be.softmax_rows(sm.data(), rows, cols);
+    be.layernorm_forward(sm.data(), gamma.data(), beta.data(), y.data(), mean.data(),
+                         rstd.data(), rows, cols, 1e-5f);
+    be.gelu_forward(sm.data(), y.data(), rows * cols);
+    meter.set_enabled(false);
+    return meter.snapshot();
+  };
+
+  const obs::WorkSnapshot scalar = run("scalar");
+  const obs::WorkSnapshot simd = run("simd");
+  for (int k = 0; k < obs::kOpKinds; ++k) {
+    const char* kind = obs::op_kind_name(static_cast<obs::OpKind>(k));
+    EXPECT_EQ(scalar.calls[k], 1) << kind;  // one call per family above
+    EXPECT_GT(scalar.kind[k].flops, 0) << kind;
+    EXPECT_GT(scalar.kind[k].bytes, 0) << kind;
+    EXPECT_EQ(scalar.kind[k].flops, simd.kind[k].flops) << kind;
+    EXPECT_EQ(scalar.kind[k].bytes, simd.kind[k].bytes) << kind;
+    EXPECT_EQ(scalar.calls[k], simd.calls[k]) << kind;
+  }
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include "fault/resilient_trainer.h"
 #include "kernels/backend.h"
 #include "nn/model_config.h"
+#include "obs/bench.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -82,7 +83,9 @@ int usage() {
                "  fpdt tune [--model tiny-gpt] [--gpus 2] [--seq 512] [--budget 1450K]\n"
                "            [--top-k 6] [--steps 1] [--seed 1234] [--cache tune.cache]\n"
                "            [--json tune.json] [--max-chunks 8] [--backend scalar|simd]\n"
-               "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n";
+               "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n"
+               "  fpdt bench [--out-dir DIR] [--steps 2] [--seed 1234] [--active-backend-only]\n"
+               "             [--json]                     canonical perf-snapshot suite\n";
   return 2;
 }
 
@@ -254,10 +257,12 @@ int cmd_profile(int argc, char** argv, int base) {
   std::cout << ", kernels "
             << (opt.kernel_backend.empty() ? kernels::active_name() : opt.kernel_backend);
   std::cout << "\n";
-  TextTable t({"step", "loss", "virtual", "wall", "tok/s", "overlap", "exposed", "hbm peak"});
+  TextTable t({"step", "loss", "virtual", "wall", "tok/s", "mfu", "par_eff", "overlap",
+               "exposed", "hbm peak"});
   for (const obs::StepStats& s : res.steps) {
     t.add_row({std::to_string(s.step), cell_f2(s.loss), format_seconds(s.virtual_step_s),
-               format_seconds(s.wall_s), cell_f2(s.tokens_per_s), cell_pct(s.overlap_ratio),
+               format_seconds(s.wall_s), cell_f2(s.tokens_per_s), cell_pct(s.mfu),
+               cell_pct(s.parallel_efficiency), cell_pct(s.overlap_ratio),
                format_seconds(s.exposed_transfer_s), format_bytes(s.hbm_peak_bytes)});
   }
   t.print(std::cout);
@@ -479,6 +484,35 @@ int cmd_kernels() {
   return 0;
 }
 
+// `fpdt bench` — the canonical perf-snapshot suite (obs/bench.h): prints
+// the human table and, with --out-dir, writes the auto-numbered
+// BENCH_<n>.json that ci/bench_smoke.sh gates against its baseline.
+int cmd_bench(int argc, char** argv, int base) {
+  obs::BenchOptions opt;
+  bool json_only = false;
+  bool active_only = false;
+  cli::FlagParser f("bench", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--out-dir", &opt.out_dir)) continue;
+    if (f.match("--steps", &opt.steps)) continue;
+    if (f.match("--seed", &opt.seed)) continue;
+    if (f.match_set("--active-backend-only", &active_only)) continue;
+    if (f.match_set("--json", &json_only)) continue;
+    f.unknown();
+  }
+  opt.all_backends = !active_only;
+
+  std::string path;
+  const obs::BenchReport rep = obs::run_bench(opt, &path);
+  if (json_only) {
+    std::cout << rep.json() << "\n";
+  } else {
+    std::cout << rep.table();
+  }
+  if (!path.empty()) std::cerr << "wrote bench snapshot to " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -528,6 +562,7 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
     if (cmd == "tune") return cmd_tune(argc, argv, 2);
+    if (cmd == "bench") return cmd_bench(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
