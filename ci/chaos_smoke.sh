@@ -51,8 +51,22 @@ print(f"chaos_smoke: survived {injected} injected faults "
       f"({retried} retried, {degraded} degraded), all recovered, loss bitwise-clean")
 EOF
 
+# Rank-loss scenario: a lost rank triggers the elastic reshard path, so the
+# surviving world is smaller and losses are verified approximately against the
+# clean twin (fpdt elastic / ci/elastic_smoke.sh owns the bitwise contract).
+lost="$workdir/chaos_ranklost.out"
+(cd "$workdir" && "$FPDT" chaos \
+    --spec 'ranklost:step=2,rank=1' --steps "$STEPS" \
+    --zero-stage "$ZERO_STAGE") | tee "$lost"
+grep -q "chaos: completed $STEPS/$STEPS steps" "$lost" \
+  || { echo "chaos_smoke: ranklost run did not complete all $STEPS steps" >&2; exit 1; }
+grep -q "chaos: rank loss re-sharded to a smaller world" "$lost" \
+  || { echo "chaos_smoke: rank loss did not engage the elastic reshard path" >&2; exit 1; }
+grep -q "chaos: final loss .* match approx" "$lost" \
+  || { echo "chaos_smoke: post-reshard loss does not approximately match the clean twin" >&2; exit 1; }
+
 # No checkpoint litter: the chaos driver removes its snapshot files.
-leftover="$(ls "$workdir" | grep -v '^chaos.out$' || true)"
+leftover="$(ls "$workdir" | grep -Ev '^chaos(_ranklost)?\.out$' || true)"
 if [[ -n "$leftover" ]]; then
   echo "chaos_smoke: leftover files in workdir: $leftover" >&2
   exit 1

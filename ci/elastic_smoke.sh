@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Elastic-membership smoke lane: runs `fpdt elastic` — a seeded rank-loss
+# during a real ZeRO-3 training run — on an existing build and asserts the
+# elastic contract:
+#   - the run survives every step at the shrunken world (completed N/N);
+#   - the optimizer shards were re-partitioned (a reshard line is present);
+#   - every post-reshard loss is bitwise identical to a fresh run at the
+#     reduced world restored from the re-sharded snapshot (the twin check);
+#   - the same seed reproduces the identical recovery transcript twice
+#     (only the recovery wall-clock line may differ between runs);
+#   - recovery stayed inside the wall-clock budget.
+#
+#   ci/elastic_smoke.sh [build_dir] [recovery_budget_s]   # defaults: build, 30
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BUDGET_S="${2:-30}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "elastic_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+STEPS=4
+run_elastic() {
+  (cd "$workdir" && "$FPDT" elastic \
+      --scenario 'ranklost:step=1,rank=1' --steps "$STEPS" \
+      --gpus 4 --chunks 2 --chunk-tokens 16 --zero-stage 3) | tee "$1"
+}
+
+out_a="$workdir/elastic_a.out"
+out_b="$workdir/elastic_b.out"
+run_elastic "$out_a"
+
+grep -q "elastic: completed $STEPS/$STEPS steps" "$out_a" \
+  || { echo "elastic_smoke: run did not complete all $STEPS steps" >&2; exit 1; }
+grep -q "elastic: reshard at step .* -> world" "$out_a" \
+  || { echo "elastic_smoke: rank loss did not trigger a reshard" >&2; exit 1; }
+grep -Eq "elastic: twin verified [0-9]+ step\(s\) .*: match bitwise" "$out_a" \
+  || { echo "elastic_smoke: post-reshard losses are not bitwise-identical to the reduced-world twin" >&2; exit 1; }
+
+# Determinism: the same seed must reproduce the identical recovery transcript
+# and losses. Only the recovery wall-clock line is allowed to move.
+run_elastic "$out_b" > /dev/null
+if ! diff <(grep -v 'recovery wall_s=' "$out_a") \
+          <(grep -v 'recovery wall_s=' "$out_b"); then
+  echo "elastic_smoke: two runs of the same seeded scenario diverged" >&2
+  exit 1
+fi
+
+# Recovery budget: quiesce + replan + reshard + restore must fit the budget.
+python3 - "$out_a" "$BUDGET_S" <<'EOF'
+import re, sys
+
+wall_line = next(l for l in open(sys.argv[1]) if "recovery wall_s=" in l)
+m = re.search(r"recovery wall_s=([0-9.eE+-]+)", wall_line)
+assert m, f"unparseable recovery line: {wall_line!r}"
+wall, budget = float(m.group(1)), float(sys.argv[2])
+assert wall > 0.0, "recovery time was not accounted"
+assert wall < budget, f"recovery took {wall:.3f}s, budget is {budget}s"
+print(f"elastic_smoke: reshard recovered in {wall:.3f}s (budget {budget}s), "
+      "transcript deterministic, twin bitwise-clean")
+EOF
+
+# No checkpoint litter: the elastic driver removes its snapshot files.
+leftover="$(ls "$workdir" | grep -Ev '^elastic_(a|b)\.out$' || true)"
+if [[ -n "$leftover" ]]; then
+  echo "elastic_smoke: leftover files in workdir: $leftover" >&2
+  exit 1
+fi

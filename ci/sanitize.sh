@@ -22,7 +22,7 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner|Elastic|Reshard|Collectives|GroupView'
   # Kernel-backend matrix: the math-kernel suites must hold under both the
   # scalar reference and the simd backend. The simd lane is the one that can
   # race — its GEMM/attention forks rows across the thread pool — so TSan
@@ -32,6 +32,11 @@ run_lane() {
     echo "--- kernel lane: FPDT_KERNEL_BACKEND=$kb ---"
     FPDT_KERNEL_BACKEND="$kb" ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
       -R 'Kernel|Gemm|Simd|ScalarBitIdentity|ActiveBackend|Attention|Tensor|Softmax|Norm|Activation'
+    # The elastic churn sweep re-runs full training twice per case (run +
+    # bitwise twin), so its math goes through whichever backend is active —
+    # the reshard/resume contract must hold under both.
+    FPDT_KERNEL_BACKEND="$kb" ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
+      -R 'Elastic'
   done
   # ZeRO stage matrix: one footprint run per stage exercises the sharded
   # residency charges, the gather/scatter collectives and the sharded
@@ -51,6 +56,11 @@ run_lane() {
   # Same contract with the ZeRO-3 sharded optimizer and FPDTZR01 snapshots
   # on the fault path.
   ci/chaos_smoke.sh "$dir" 3
+  # Elastic-membership smoke under the sanitizer: a seeded ZeRO-3 rank loss
+  # must quiesce, re-plan, re-shard the moment shards and resume bitwise
+  # identical to a fresh reduced-world run, with a deterministic transcript
+  # and the recovery inside its wall-clock budget.
+  ci/elastic_smoke.sh "$dir"
   # Autotuner smoke under the sanitizer: plans, prunes, executes top-K real
   # profiled steps and re-tunes against the warm result cache, asserting a
   # winner that measurably fits the budget and byte-identical cold/warm

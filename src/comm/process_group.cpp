@@ -1,5 +1,6 @@
 #include "comm/process_group.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
@@ -9,8 +10,43 @@
 
 namespace fpdt::comm {
 
+const char* errc_name(CommErrc code) {
+  switch (code) {
+    case CommErrc::kOk: return "ok";
+    case CommErrc::kRankLost: return "ranklost";
+    case CommErrc::kPartitioned: return "partitioned";
+    case CommErrc::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+std::string CommResult::to_string() const {
+  std::string s = errc_name(code);
+  if (rank >= 0) s += " rank=" + std::to_string(rank);
+  if (!detail.empty()) s += " (" + detail + ")";
+  return s;
+}
+
 ProcessGroup::ProcessGroup(int world_size) : world_size_(world_size) {
   FPDT_CHECK_GE(world_size, 1) << " process group size";
+}
+
+CommStats ProcessGroup::stats() const {
+  CommStats s;
+  s.all_to_all_bytes = stats_.all_to_all.load(std::memory_order_relaxed);
+  s.all_gather_bytes = stats_.all_gather.load(std::memory_order_relaxed);
+  s.reduce_scatter_bytes = stats_.reduce_scatter.load(std::memory_order_relaxed);
+  s.all_reduce_bytes = stats_.all_reduce.load(std::memory_order_relaxed);
+  s.p2p_bytes = stats_.p2p.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ProcessGroup::reset_stats() {
+  stats_.all_to_all.store(0, std::memory_order_relaxed);
+  stats_.all_gather.store(0, std::memory_order_relaxed);
+  stats_.reduce_scatter.store(0, std::memory_order_relaxed);
+  stats_.all_reduce.store(0, std::memory_order_relaxed);
+  stats_.p2p.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -50,10 +86,7 @@ void paste_head_block(const Tensor& src, Tensor& dst, std::int64_t h_begin) {
 void trace_collective(const char* name, int world, std::int64_t bytes_per_rank,
                       const CommStats& stats) {
   if (!obs::tracing_enabled()) return;
-  const std::int64_t cumulative = (stats.all_to_all_bytes + stats.all_gather_bytes +
-                                   stats.reduce_scatter_bytes + stats.all_reduce_bytes +
-                                   stats.p2p_bytes) /
-                                  world;
+  const std::int64_t cumulative = stats.total() / world;
   obs::Tracer& tracer = obs::Tracer::instance();
   for (int r = 0; r < world; ++r) {
     tracer.instant(obs::kCatComm, name, r, "comm", static_cast<double>(bytes_per_rank), true);
@@ -65,23 +98,38 @@ void trace_collective(const char* name, int world, std::int64_t bytes_per_rank,
 // before any tensor math, and the math runs exactly once after the draws
 // pass, so a recovered collective fault is invisible to results and byte
 // stats. Collectives run once per group on the driver thread, hence rank -1
-// (matches any rule rank pin). Exhausted retries are a hard failure — a real
-// NCCL abort — surfaced as FpdtError for step-level recovery.
-void survive_faults(const char* what) {
+// (matches any rule rank pin).
+//
+// Membership churn draws come first and are not retryable at this layer —
+// a dead rank does not come back because the collective is reissued, and a
+// partitioned fabric fails every retry inside the step. Both surface as
+// typed CommError (kRankLost names the victim; kPartitioned heals when the
+// step is replayed, because a step-pinned netpart rule fires once).
+// Exhausted transient retries — a real NCCL abort — surface as
+// CommError{kAborted} for step-level recovery.
+void survive_faults(const char* what, int world) {
   if (!fault::faults_enabled()) return;
+  fault::FaultInjector& inj = fault::FaultInjector::instance();
+  const int victim = inj.group_event(fault::Site::kRankLost, world - 1);
+  if (victim >= 0) {
+    throw CommError({CommErrc::kRankLost, victim, what});
+  }
+  if (inj.should_fail(fault::Site::kNetPart, -1)) {
+    throw CommError({CommErrc::kPartitioned, -1, what});
+  }
   const bool ok = fault::retry_transient(
       fault::BackoffPolicy{}, /*rank=*/-1, std::string("retry.") + what, [&] {
-        fault::FaultInjector::instance().maybe_throw(fault::Site::kCollective, -1, what);
+        inj.maybe_throw(fault::Site::kCollective, -1, what);
       });
   if (!ok) {
-    throw FpdtError(std::string("collective ") + what + " failed after retries (injected)");
+    throw CommError({CommErrc::kAborted, -1, std::string(what) + " failed after retries"});
   }
 }
 
 }  // namespace
 
 std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
-  survive_faults("a2a_heads_to_seq");
+  survive_faults("a2a_heads_to_seq", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_to_all input count";
   const std::int64_t s_local = local[0].dim(0);
@@ -107,13 +155,14 @@ std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor
     }
     out.push_back(std::move(gathered));
   }
-  stats_.all_to_all_bytes += P * s_local * h_global * d * 2;  // logical BF16 bytes
-  trace_collective("a2a heads_to_seq", P, s_local * h_global * d * 2, stats_);
+  stats_.all_to_all.fetch_add(P * s_local * h_global * d * 2,  // logical BF16 bytes
+                              std::memory_order_relaxed);
+  trace_collective("a2a heads_to_seq", P, s_local * h_global * d * 2, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor> global) const {
-  survive_faults("a2a_seq_to_heads");
+  survive_faults("a2a_seq_to_heads", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(global.size()), P) << " all_to_all input count";
   const std::int64_t s_global = global[0].dim(0);
@@ -136,13 +185,13 @@ std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor
     }
     out.push_back(std::move(scattered));
   }
-  stats_.all_to_all_bytes += P * s_local * h_global * d * 2;
-  trace_collective("a2a seq_to_heads", P, s_local * h_global * d * 2, stats_);
+  stats_.all_to_all.fetch_add(P * s_local * h_global * d * 2, std::memory_order_relaxed);
+  trace_collective("a2a seq_to_heads", P, s_local * h_global * d * 2, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) const {
-  survive_faults("all_gather");
+  survive_faults("all_gather", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_gather input count";
   Tensor full = concat0(local);
@@ -150,13 +199,13 @@ std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) cons
   out.reserve(static_cast<std::size_t>(P));
   out.push_back(std::move(full));
   for (int r = 1; r < P; ++r) out.push_back(out[0].clone());
-  stats_.all_gather_bytes += out[0].numel() * 2 * (P - 1);
-  trace_collective("all_gather", P, out[0].numel() * 2 * (P - 1) / P, stats_);
+  stats_.all_gather.fetch_add(out[0].numel() * 2 * (P - 1), std::memory_order_relaxed);
+  trace_collective("all_gather", P, out[0].numel() * 2 * (P - 1) / P, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) const {
-  survive_faults("reduce_scatter");
+  survive_faults("reduce_scatter", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(full.size()), P) << " reduce_scatter input count";
   Tensor sum = full[0].clone();
@@ -166,13 +215,13 @@ std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) c
   std::vector<Tensor> out;
   out.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) out.push_back(sum.slice0(r * shard, (r + 1) * shard).clone());
-  stats_.reduce_scatter_bytes += sum.numel() * 2 * (P - 1) / P * P;
-  trace_collective("reduce_scatter", P, sum.numel() * 2 * (P - 1) / P, stats_);
+  stats_.reduce_scatter.fetch_add(sum.numel() * 2 * (P - 1) / P * P, std::memory_order_relaxed);
+  trace_collective("reduce_scatter", P, sum.numel() * 2 * (P - 1) / P, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) const {
-  survive_faults("all_reduce");
+  survive_faults("all_reduce", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_reduce input count";
   Tensor sum = local[0].clone();
@@ -180,21 +229,74 @@ std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) cons
   std::vector<Tensor> out;
   out.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) out.push_back(sum.clone());
-  stats_.all_reduce_bytes += sum.numel() * 2 * 2 * (P - 1);
-  trace_collective("all_reduce", P, sum.numel() * 2 * 2 * (P - 1) / P, stats_);
+  stats_.all_reduce.fetch_add(sum.numel() * 2 * 2 * (P - 1), std::memory_order_relaxed);
+  trace_collective("all_reduce", P, sum.numel() * 2 * 2 * (P - 1) / P, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::ring_shift(std::span<const Tensor> local) const {
-  survive_faults("ring_shift");
+  survive_faults("ring_shift", world_size_);
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " ring_shift input count";
   std::vector<Tensor> out(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) {
     out[static_cast<std::size_t>((r + 1) % P)] = local[static_cast<std::size_t>(r)].clone();
-    stats_.p2p_bytes += local[static_cast<std::size_t>(r)].numel() * 2;
+    stats_.p2p.fetch_add(local[static_cast<std::size_t>(r)].numel() * 2,
+                         std::memory_order_relaxed);
   }
-  trace_collective("ring_shift", P, local[0].numel() * 2, stats_);
+  trace_collective("ring_shift", P, local[0].numel() * 2, stats());
+  return out;
+}
+
+// ---- GroupView -------------------------------------------------------------
+
+namespace {
+
+std::vector<int> checked_members(const ProcessGroup& parent, std::vector<int> members) {
+  FPDT_CHECK_GE(members.size(), 1u) << " group view needs at least one member";
+  std::sort(members.begin(), members.end());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    FPDT_CHECK(members[i] >= 0 && members[i] < parent.world_size())
+        << " group view member " << members[i] << " outside world " << parent.world_size();
+    if (i > 0) {
+      FPDT_CHECK_NE(members[i], members[i - 1]) << " duplicate group view member";
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+GroupView::GroupView(ProcessGroup& parent, std::vector<int> members)
+    : parent_(&parent),
+      sub_(static_cast<int>(checked_members(parent, members).size())),
+      members_(checked_members(parent, std::move(members))) {}
+
+int GroupView::global_rank(int ordinal) const {
+  FPDT_CHECK(ordinal >= 0 && ordinal < size()) << " group view ordinal " << ordinal;
+  return members_[static_cast<std::size_t>(ordinal)];
+}
+
+bool GroupView::contains(int global_rank) const {
+  return std::binary_search(members_.begin(), members_.end(), global_rank);
+}
+
+// The sub-group moves the data (and draws faults) at size() ranks; its byte
+// deltas are folded back into the parent's counters so fleet-level comm
+// accounting includes survivor-only coordination traffic.
+std::vector<Tensor> GroupView::all_gather(std::span<const Tensor> local) const {
+  const std::int64_t before = sub_.stats().all_gather_bytes;
+  std::vector<Tensor> out = sub_.all_gather(local);
+  parent_->stats_.all_gather.fetch_add(sub_.stats().all_gather_bytes - before,
+                                       std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<Tensor> GroupView::all_reduce(std::span<const Tensor> local) const {
+  const std::int64_t before = sub_.stats().all_reduce_bytes;
+  std::vector<Tensor> out = sub_.all_reduce(local);
+  parent_->stats_.all_reduce.fetch_add(sub_.stats().all_reduce_bytes - before,
+                                       std::memory_order_relaxed);
   return out;
 }
 

@@ -16,10 +16,13 @@
 // sequence pieces concatenated in rank order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "tensor/tensor.h"
 
 namespace fpdt::comm {
@@ -30,6 +33,51 @@ struct CommStats {
   std::int64_t reduce_scatter_bytes = 0;
   std::int64_t all_reduce_bytes = 0;
   std::int64_t p2p_bytes = 0;
+
+  std::int64_t total() const {
+    return all_to_all_bytes + all_gather_bytes + reduce_scatter_bytes + all_reduce_bytes +
+           p2p_bytes;
+  }
+};
+
+// ---- Typed collective failure ----------------------------------------------
+// A real NCCL communicator does not limp along after a rank dies or the
+// fabric partitions — the collective aborts with an error code the runtime
+// must interpret. The emulation mirrors that: instead of a bare FpdtError
+// (indistinguishable from any other step failure), a failed collective
+// carries a CommResult naming what broke and, for rank loss, *which* rank,
+// so the elastic membership layer can choose shrink vs heal vs replay.
+enum class CommErrc {
+  kOk,           // not an error (default-constructed CommResult)
+  kRankLost,     // a member died; `rank` names the victim — permanent
+  kPartitioned,  // the fabric split; heals on step replay — transient at step scope
+  kAborted,      // transient-retry budget exhausted (the old hard abort)
+};
+
+const char* errc_name(CommErrc code);
+
+struct CommResult {
+  CommErrc code = CommErrc::kOk;
+  int rank = -1;       // victim rank for kRankLost, else -1
+  std::string detail;  // collective name + context
+
+  bool ok() const { return code == CommErrc::kOk; }
+  std::string to_string() const;
+};
+
+// The exception form of a non-ok CommResult. Derives from FpdtError so
+// layers that only know the generic recovery ladder still degrade to
+// restore-and-replay; layers that know better (fault::ElasticWorldManager)
+// catch the typed form and read result().
+class CommError : public FpdtError {
+ public:
+  explicit CommError(CommResult result)
+      : FpdtError("collective failed: " + result.to_string()), result_(std::move(result)) {}
+
+  const CommResult& result() const { return result_; }
+
+ private:
+  CommResult result_;
 };
 
 class ProcessGroup {
@@ -37,8 +85,16 @@ class ProcessGroup {
   explicit ProcessGroup(int world_size);
 
   int world_size() const { return world_size_; }
-  CommStats& stats() { return stats_; }
-  const CommStats& stats() const { return stats_; }
+
+  // Snapshot of the byte counters. Accounting is atomic per counter:
+  // collectives may run concurrently from parallel_for_ranks callers (the
+  // sharded optimizer, gather groups), and each collective accumulates its
+  // contribution with one relaxed fetch_add — no data race, no lock on the
+  // hot path. The snapshot is a consistent-enough view for reports (each
+  // field is individually exact; cross-field skew is bounded by in-flight
+  // collectives).
+  CommStats stats() const;
+  void reset_stats();
 
   // Ulysses forward re-shard. Each rank holds [s_local, h_global, d] with
   // h_global divisible by P; returns per-rank [P*s_local, h_global/P, d].
@@ -65,8 +121,47 @@ class ProcessGroup {
   std::vector<Tensor> ring_shift(std::span<const Tensor> local) const;
 
  private:
-  mutable CommStats stats_;
+  friend class GroupView;
+
+  // One relaxed atomic per counter (collectives are const and concurrent).
+  struct AtomicStats {
+    std::atomic<std::int64_t> all_to_all{0};
+    std::atomic<std::int64_t> all_gather{0};
+    std::atomic<std::int64_t> reduce_scatter{0};
+    std::atomic<std::int64_t> all_reduce{0};
+    std::atomic<std::int64_t> p2p{0};
+  };
+
+  mutable AtomicStats stats_;
   int world_size_;
+};
+
+// ---- GroupView -------------------------------------------------------------
+// A communicator restricted to a healthy subset of a parent group's ranks —
+// the NCCL "shrunken communicator" the elastic layer rebuilds after rank
+// loss. Ordinals 0..size()-1 are dense over `members` (ascending global
+// rank); global_rank() maps back. Collectives run over the members only and
+// are charged to the *parent* group's byte counters, so `fpdt`'s comm
+// accounting stays whole-fleet even while a reshard coordinates over
+// survivors.
+class GroupView {
+ public:
+  // `members`: distinct ranks of `parent`, at least one. Kept sorted.
+  GroupView(ProcessGroup& parent, std::vector<int> members);
+
+  int size() const { return sub_.world_size(); }
+  int global_rank(int ordinal) const;
+  bool contains(int global_rank) const;
+  const std::vector<int>& members() const { return members_; }
+
+  // Collectives over the member subset (inputs/outputs in ordinal order).
+  std::vector<Tensor> all_gather(std::span<const Tensor> local) const;
+  std::vector<Tensor> all_reduce(std::span<const Tensor> local) const;
+
+ private:
+  ProcessGroup* parent_;
+  ProcessGroup sub_;  // does the actual data movement at size() ranks
+  std::vector<int> members_;
 };
 
 }  // namespace fpdt::comm

@@ -18,6 +18,9 @@ const char* site_name(Site site) {
     case Site::kCollective: return "collective";
     case Site::kStraggler: return "straggler";
     case Site::kCrash: return "crash";
+    case Site::kRankLost: return "ranklost";
+    case Site::kRankSlow: return "rankslow";
+    case Site::kNetPart: return "netpart";
   }
   return "unknown";
 }
@@ -44,8 +47,12 @@ Site site_by_name(const std::string& name) {
   if (name == "collective" || name == "coll") return Site::kCollective;
   if (name == "straggler" || name == "slow") return Site::kStraggler;
   if (name == "crash") return Site::kCrash;
+  if (name == "ranklost") return Site::kRankLost;
+  if (name == "rankslow") return Site::kRankSlow;
+  if (name == "netpart" || name == "partition") return Site::kNetPart;
   throw FpdtError("fault spec: unknown site '" + name +
-                  "' (try h2d, d2h, oom, collective, straggler, crash)");
+                  "' (try h2d, d2h, oom, collective, straggler, crash,"
+                  " ranklost, rankslow, netpart)");
 }
 
 double parse_double(const std::string& v, const std::string& key) {
@@ -190,6 +197,21 @@ void FaultInjector::maybe_throw(Site site, int rank, const std::string& what) {
                          " (rank " + std::to_string(rank) + ", step " +
                          std::to_string(step()) + ")");
   }
+}
+
+int FaultInjector::group_event(Site site, int fallback) {
+  if (!faults_enabled()) return -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    // The draw happens at the group level (rank -1 matches any pin); the
+    // *victim* is the rule's pinned rank, or the caller's fallback.
+    if (!rule.draw(step_, -1)) continue;
+    const int victim = rule.rank >= 0 ? rule.rank : fallback;
+    record_injection_locked(site, victim);
+    return victim;
+  }
+  return -1;
 }
 
 double FaultInjector::straggler_delay(int rank) {

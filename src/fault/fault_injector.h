@@ -14,11 +14,19 @@
 //   site:key=value,key=value
 //
 // with sites  h2d | d2h | oom | collective | straggler | crash
+//             | ranklost | rankslow | netpart          (membership churn)
 // and keys    p=<prob per draw>      step=<fire once at this step>
 //             rank=<only this rank>  count=<max injections from the rule>
 //             delay=<straggler seconds>  seed=<rule RNG seed>
 //
-// e.g. "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5".
+// e.g. "h2d:p=0.02,seed=7;collective:step=3,rank=1;oom:step=5" or
+// "ranklost:step=1,rank=1;netpart:step=3". The churn sites drive the
+// elastic membership layer (fault/elastic.h): ranklost permanently removes
+// a rank (the collective that detects it fails with a typed CommError and
+// ElasticWorldManager re-shards to a smaller world), rankslow makes a
+// rank's heartbeat go stale without killing it (the Watchdog must say
+// "slow", not "dead"), and netpart fails the step's collectives once and
+// heals on replay.
 //
 // Cost discipline mirrors obs::Tracer: the injector is off by default and
 // every injection point is gated on faults_enabled() — one relaxed atomic
@@ -59,6 +67,9 @@ enum class Site {
   kCollective,  // transient ProcessGroup collective failure
   kStraggler,   // latency spike charged to a stream task's virtual time
   kCrash,       // unrecoverable step failure (exercises restore-and-replay)
+  kRankLost,    // permanent rank death detected at the next collective
+  kRankSlow,    // stale heartbeat: the rank lags but is alive (Watchdog: slow)
+  kNetPart,     // network partition: collectives fail this step, heal on replay
 };
 
 const char* site_name(Site site);
@@ -100,6 +111,12 @@ class FaultInjector {
 
   // should_fail + throw TransientError naming the site and `what`.
   void maybe_throw(Site site, int rank, const std::string& what);
+
+  // Group-level draw for membership events (ranklost/netpart): returns the
+  // victim rank of the first firing rule — its rank= pin, or `fallback`
+  // when unpinned — or -1 when no rule fires. Counted as one injection at
+  // the victim rank.
+  int group_event(Site site, int fallback);
 
   // Extra virtual seconds a straggler rule adds to the current stream task
   // (0 when none fires). Counted as an injection.

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <sstream>
 
+#include "comm/process_group.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "core/chunk_schedule.h"
+#include "fault/elastic.h"
 #include "fault/watchdog.h"
 #include "nn/checkpoint_io.h"
 #include "nn/model_config.h"
@@ -19,15 +21,21 @@ ResilientTrainer::ResilientTrainer(const ResilientOptions& opt)
     : opt_(opt),
       s_global_(static_cast<std::int64_t>(opt.world) * opt.cfg.chunks_per_rank *
                 opt.chunk_tokens),
-      model_(std::make_unique<nn::Model>(nn::tiny_gpt(), opt.model_seed)),
+      model_(std::make_unique<nn::Model>(opt.model, opt.model_seed)),
       adam_(opt.lr),
-      corpus_(nn::tiny_gpt().vocab, opt.data_seed) {
+      corpus_(opt.model.vocab, opt.data_seed) {
   FPDT_CHECK_GE(opt_.max_step_retries, 1) << " resilient step retry budget";
   rebuild_trainer();
+  // The elastic twin starts from a frozen reshard restore point rather than
+  // fresh initialization.
+  if (!opt_.restore_from.empty()) restore_snapshot(opt_.restore_from);
+  if (opt_.elastic) elastic_ = std::make_unique<ElasticWorldManager>(*this, opt_.rejoin_at);
   // Seed snapshot: restore-and-replay must work even when the very first
   // step dies.
   if (!opt_.checkpoint_path.empty()) save_snapshot(opt_.checkpoint_path);
 }
+
+ResilientTrainer::~ResilientTrainer() = default;
 
 void ResilientTrainer::rebuild_trainer() {
   // The sharded optimizer is bound to the trainer's env (its collectives,
@@ -65,6 +73,18 @@ void ResilientTrainer::double_chunks_or_rethrow() {
   opt_.cfg.chunks_per_rank = u2;
 }
 
+void ResilientTrainer::apply_world_plan(const WorldPlan& plan) {
+  FPDT_CHECK_GE(plan.world, 1) << " elastic world plan";
+  FPDT_CHECK_EQ(s_global_ % (plan.world * plan.chunks_per_rank), 0)
+      << " elastic plan must preserve s_global divisibility";
+  opt_.world = plan.world;
+  opt_.cfg.chunks_per_rank = plan.chunks_per_rank;
+  opt_.chunk_tokens = s_global_ / (plan.world * plan.chunks_per_rank);
+  // The checkpoint was re-sharded to plan.world before this call; restoring
+  // rebuilds the trainer at the new world and installs the re-split shards.
+  restore_snapshot(opt_.checkpoint_path);
+}
+
 StepOutcome ResilientTrainer::train_step() {
   StepOutcome out;
   FaultInjector& inj = FaultInjector::instance();
@@ -97,6 +117,16 @@ StepOutcome ResilientTrainer::train_step() {
       if (!opt_.checkpoint_path.empty() && step_ % opt_.checkpoint_every == 0) {
         save_snapshot(opt_.checkpoint_path);
       }
+      if (elastic_ != nullptr) {
+        // Heartbeats + scheduled rejoins; a rejoin that grows the world
+        // hands back a plan with the checkpoint already re-sharded.
+        const std::optional<WorldPlan> grow = elastic_->on_step_complete(step_);
+        if (grow.has_value()) {
+          apply_world_plan(*grow);
+          out.resharded = true;
+        }
+      }
+      out.world = opt_.world;
       return out;
     } catch (const OutOfMemoryError& e) {
       if (attempt >= opt_.max_step_retries) throw;
@@ -106,6 +136,28 @@ StepOutcome ResilientTrainer::train_step() {
       out.oom_degraded = true;
       if (inj.enabled()) inj.note_degraded("chunk_double");
       // Same tokens, finer chunk schedule.
+    } catch (const comm::CommError& e) {
+      if (attempt >= opt_.max_step_retries || opt_.checkpoint_path.empty()) throw;
+      const comm::CommResult& res = e.result();
+      if (elastic_ != nullptr && res.code == comm::CommErrc::kRankLost) {
+        FPDT_LOG_WARN << "step " << step_ << " lost rank " << res.rank << " ("
+                      << res.detail << "); re-sharding to a smaller world";
+        apply_world_plan(elastic_->on_rank_lost(res));
+        out.resharded = true;
+      } else {
+        // A partition heals at step scope (quiesce + replay, same world);
+        // without the elastic layer every CommError degrades to the generic
+        // restore-and-replay rung.
+        if (elastic_ != nullptr && res.code == comm::CommErrc::kPartitioned) {
+          elastic_->on_partition(res);
+        }
+        FPDT_LOG_WARN << "step " << step_ << " collective failed (" << e.what()
+                      << "); restoring last snapshot and replaying";
+        restore_snapshot(opt_.checkpoint_path);
+      }
+      out.restored = true;
+      tokens = corpus_.sample(s_global_ + 1);
+      if (inj.enabled()) inj.begin_step(step_);
     } catch (const FpdtError& e) {
       if (attempt >= opt_.max_step_retries || opt_.checkpoint_path.empty()) throw;
       FPDT_LOG_WARN << "step " << step_ << " failed (" << e.what()
@@ -178,11 +230,15 @@ std::string ChaosResult::report(int requested_steps) const {
   if (math_degraded) {
     os << "chaos: OOM chunk-doubling changed the reduction order; verifying approximately\n";
   }
+  if (resharded) {
+    os << "chaos: rank loss re-sharded to a smaller world; verifying approximately"
+          " (fpdt elastic is the bitwise check)\n";
+  }
   if (!clean_losses.empty() && !losses.empty()) {
     os << "chaos: final loss " << losses.back() << " clean " << clean_losses.back() << " ";
     if (loss_bitwise_match) {
       os << "match bitwise\n";
-    } else if (math_degraded &&
+    } else if ((math_degraded || resharded) &&
                loss_abs_diff <= 1e-2 * std::max(1.0, std::abs(clean_losses.back()))) {
       os << "match approx (|d|=" << loss_abs_diff << ")\n";
     } else {
@@ -200,7 +256,7 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
   const std::string clean_ckpt =
       opt.checkpoint_path.empty() ? std::string() : opt.checkpoint_path + ".clean";
   auto run_once = [&](const std::string& ckpt, std::vector<double>& losses,
-                      bool* math_degraded, bool* restored) {
+                      bool* math_degraded, bool* restored, bool* resharded) {
     ResilientOptions ro;
     ro.world = opt.world;
     ro.cfg.chunks_per_rank = opt.chunks;
@@ -209,6 +265,8 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
     ro.hbm_capacity_bytes = opt.hbm_capacity_bytes;
     ro.model_seed = opt.seed;
     ro.checkpoint_path = ckpt;
+    // ranklost in a chaos spec shrinks the world instead of failing the run.
+    ro.elastic = true;
     ResilientTrainer rt(ro);
     while (rt.step() < opt.steps) {
       const StepOutcome o = rt.train_step();
@@ -220,17 +278,19 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
       losses[static_cast<std::size_t>(rt.step()) - 1] = o.loss;
       if (math_degraded != nullptr && o.oom_degraded) *math_degraded = true;
       if (restored != nullptr && o.restored) *restored = true;
+      if (resharded != nullptr && o.resharded) *resharded = true;
     }
   };
 
   if (!opt.spec.empty()) inj.configure(opt.spec);
-  run_once(opt.checkpoint_path, result.losses, &result.math_degraded, &result.any_restored);
+  run_once(opt.checkpoint_path, result.losses, &result.math_degraded, &result.any_restored,
+           &result.resharded);
   result.steps_completed = static_cast<std::int64_t>(result.losses.size());
   result.stats = inj.stats();
   inj.disable();
 
   if (opt.verify_against_clean) {
-    run_once(clean_ckpt, result.clean_losses, nullptr, nullptr);
+    run_once(clean_ckpt, result.clean_losses, nullptr, nullptr, nullptr);
     if (!result.losses.empty() && !result.clean_losses.empty()) {
       result.loss_bitwise_match = bitwise_equal(result.losses.back(), result.clean_losses.back());
       result.loss_abs_diff = std::abs(result.losses.back() - result.clean_losses.back());
@@ -240,8 +300,9 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
   if (!opt.keep_checkpoint) {
     for (const std::string& p : {opt.checkpoint_path, clean_ckpt}) {
       if (p.empty()) continue;
-      std::remove(p.c_str());
-      std::remove((p + ".tmp").c_str());
+      for (const std::string& suffix : {"", ".tmp", ".reshard", ".reshard.tmp"}) {
+        std::remove((p + suffix).c_str());
+      }
     }
   }
   return result;

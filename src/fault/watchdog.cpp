@@ -41,4 +41,111 @@ void check_step_quiescent(core::FpdtEnv& env) {
   if (!diagnosis.empty()) throw FpdtError(diagnosis);
 }
 
+// ---- Watchdog --------------------------------------------------------------
+
+const char* health_name(RankHealth health) {
+  switch (health) {
+    case RankHealth::kHealthy: return "healthy";
+    case RankHealth::kSlow: return "slow";
+    case RankHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+Watchdog::Watchdog(int world, std::int64_t slow_after_steps)
+    : world_(world),
+      slow_after_steps_(slow_after_steps),
+      progress_(static_cast<std::size_t>(world)) {
+  FPDT_CHECK_GE(world, 1) << " watchdog world";
+  FPDT_CHECK_GE(slow_after_steps, 0) << " watchdog slow threshold";
+}
+
+void Watchdog::heartbeat(int rank, std::int64_t step, double vtime) {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " watchdog heartbeat rank " << rank;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Progress& p = progress_[static_cast<std::size_t>(rank)];
+  if (p.dead) return;
+  // Monotonic: a stale heartbeat (injected rankslow replays an old step)
+  // never advances the record, it just fails to keep up with the front.
+  if (step > p.step) {
+    p.step = step;
+    p.vtime = vtime;
+  }
+}
+
+void Watchdog::mark_dead(int rank) {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " watchdog mark_dead rank " << rank;
+  std::lock_guard<std::mutex> lock(mutex_);
+  progress_[static_cast<std::size_t>(rank)].dead = true;
+}
+
+void Watchdog::revive(int rank) {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " watchdog revive rank " << rank;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Progress& p = progress_[static_cast<std::size_t>(rank)];
+  p.dead = false;
+  // A rejoined rank restarts from the group's state; its stale pre-death
+  // heartbeat must not read as "slow" on the very next verdict.
+  p.step = front_step_locked();
+}
+
+Watchdog::Progress Watchdog::last_progress(int rank) const {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " watchdog last_progress rank " << rank;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return progress_[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t Watchdog::front_step_locked() const {
+  std::int64_t front = 0;
+  for (const Progress& p : progress_) {
+    if (!p.dead && p.step > front) front = p.step;
+  }
+  return front;
+}
+
+RankHealth Watchdog::verdict_locked(int rank) const {
+  const Progress& p = progress_[static_cast<std::size_t>(rank)];
+  if (p.dead) return RankHealth::kDead;
+  const std::int64_t step = p.step < 0 ? 0 : p.step;
+  if (front_step_locked() - step > slow_after_steps_) return RankHealth::kSlow;
+  return RankHealth::kHealthy;
+}
+
+RankHealth Watchdog::verdict(int rank) const {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " watchdog verdict rank " << rank;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return verdict_locked(rank);
+}
+
+std::vector<int> Watchdog::healthy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (int r = 0; r < world_; ++r) {
+    if (!progress_[static_cast<std::size_t>(r)].dead) out.push_back(r);
+  }
+  return out;
+}
+
+int Watchdog::alive_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const Progress& p : progress_) n += p.dead ? 0 : 1;
+  return n;
+}
+
+std::string Watchdog::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  const std::int64_t front = front_step_locked();
+  for (int r = 0; r < world_; ++r) {
+    const RankHealth h = verdict_locked(r);
+    if (h == RankHealth::kHealthy) continue;
+    const Progress& p = progress_[static_cast<std::size_t>(r)];
+    os << "rank " << r << ": " << health_name(h);
+    if (h == RankHealth::kSlow) os << " (step " << (p.step < 0 ? 0 : p.step) << " vs front " << front << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace fpdt::fault

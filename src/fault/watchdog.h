@@ -1,5 +1,6 @@
-// End-of-step watchdog: detects work that should have retired but didn't.
+// Watchdogs: end-of-step quiescence checking and per-rank liveness.
 //
+// check_step_quiescent detects work that should have retired but didn't.
 // After a training step every chunk migration must have retired — the
 // block executors drain their prefetchers before returning — and no pool
 // may still hold staging bytes for an in-flight transfer. A violation means
@@ -7,7 +8,20 @@
 // the next step. The watchdog turns it into a diagnostic naming the stuck
 // rank, stream and chunk key (transfer task labels embed the key:
 // "fetch.khat.0.1", "offload.vhat.2.0").
+//
+// The Watchdog class is the liveness side: each rank reports a heartbeat
+// (step counter + stream virtual time) once per step, and the elastic
+// membership layer (fault/elastic.h) queries per-rank last_progress to
+// tell a *slow* rank from a *dead* one — the distinction that decides
+// "wait" vs "evict and re-shard". Verdicts are pure functions of the
+// recorded heartbeats (no wall clock), so a churn scenario produces the
+// same verdict sequence on every run.
 #pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "core/fpdt_env.h"
 
@@ -18,5 +32,61 @@ namespace fpdt::fault {
 // unretired tasks or any pool still carries staging bytes. Returns normally
 // on a quiescent step.
 void check_step_quiescent(core::FpdtEnv& env);
+
+// Per-rank liveness verdict.
+enum class RankHealth {
+  kHealthy,  // heartbeat within slow_after_steps of the group's front
+  kSlow,     // heartbeat stale but the rank is not marked dead — tolerate
+  kDead,     // explicitly marked lost (ranklost event) — evict and re-shard
+};
+
+const char* health_name(RankHealth health);
+
+class Watchdog {
+ public:
+  // `slow_after_steps`: a rank whose last heartbeat step trails the most
+  // advanced member by more than this is judged slow.
+  explicit Watchdog(int world, std::int64_t slow_after_steps = 1);
+
+  int world() const { return world_; }
+
+  // Rank r made progress: it completed `step` with its compute stream at
+  // virtual time `vtime`. Heartbeats from dead ranks are ignored (a zombie
+  // does not rejoin by pinging; revive() is the explicit path back).
+  void heartbeat(int rank, std::int64_t step, double vtime);
+
+  // Membership events from the elastic layer.
+  void mark_dead(int rank);
+  void revive(int rank);
+
+  // Last recorded progress of rank r. step == -1 means "never heard from"
+  // (treated as step 0 progress for verdicts until the first heartbeat).
+  struct Progress {
+    std::int64_t step = -1;
+    double vtime = 0.0;
+    bool dead = false;
+  };
+  Progress last_progress(int rank) const;
+
+  // Dead if marked dead; slow if the heartbeat trails the group's most
+  // advanced live member by more than slow_after_steps; healthy otherwise.
+  RankHealth verdict(int rank) const;
+
+  // Ranks not marked dead, ascending.
+  std::vector<int> healthy() const;
+  int alive_count() const;
+
+  // One line per non-healthy rank ("rank 2: slow (step 1 vs front 3)").
+  std::string summary() const;
+
+ private:
+  RankHealth verdict_locked(int rank) const;
+  std::int64_t front_step_locked() const;
+
+  mutable std::mutex mutex_;
+  int world_;
+  std::int64_t slow_after_steps_;
+  std::vector<Progress> progress_;
+};
 
 }  // namespace fpdt::fault

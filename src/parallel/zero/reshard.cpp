@@ -1,0 +1,147 @@
+#include "parallel/zero/reshard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fpdt::zero {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t h = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t h) {
+  return fnv1a64(&value, sizeof(value), h);
+}
+
+// Validates one parameter's shard vector against (numel, world) and returns
+// the FNV-1a hash of its flat (unpadded) bytes. `which` selects m or v.
+std::uint64_t flat_hash(const std::string& name, const std::vector<nn::Adam::Moments>& mom,
+                        std::int64_t numel, int world, bool want_m) {
+  FPDT_CHECK_EQ(static_cast<int>(mom.size()), world)
+      << " reshard: param " << name << " shard count vs world";
+  const std::int64_t s = (numel + world - 1) / world;
+  std::uint64_t h = kFnvOffset;
+  std::int64_t remaining = numel;
+  for (int r = 0; r < world; ++r) {
+    const Tensor& t = want_m ? mom[static_cast<std::size_t>(r)].m
+                             : mom[static_cast<std::size_t>(r)].v;
+    FPDT_CHECK_EQ(t.numel(), s) << " reshard: param " << name << " rank " << r
+                                << (want_m ? " m" : " v") << " shard size";
+    const std::int64_t used = std::min<std::int64_t>(s, std::max<std::int64_t>(remaining, 0));
+    h = fnv1a64(t.data(), static_cast<std::size_t>(used) * sizeof(float), h);
+    for (std::int64_t i = used; i < s; ++i) {
+      if (t.data()[i] != 0.0f) {
+        throw FpdtError("reshard: param " + name + " rank " + std::to_string(r) +
+                        (want_m ? " m" : " v") + " has non-zero padding at element " +
+                        std::to_string(i) + " — flat view undefined");
+      }
+    }
+    remaining -= used;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ShardManifest::digest() const {
+  std::uint64_t h = fnv1a64_u64(entries.size(), kFnvOffset);
+  for (const Entry& e : entries) {
+    h = fnv1a64(e.name.data(), e.name.size(), h);
+    h = fnv1a64_u64(static_cast<std::uint64_t>(e.numel), h);
+    h = fnv1a64_u64(e.m_hash, h);
+    h = fnv1a64_u64(e.v_hash, h);
+  }
+  return h;
+}
+
+std::string ShardManifest::to_string() const {
+  std::ostringstream os;
+  os << "manifest world=" << world << " params=" << entries.size() << " digest=" << std::hex
+     << digest() << std::dec;
+  return os.str();
+}
+
+ShardManifest manifest_of(const nn::ShardedAdamState& shards, const ParamElems& numels,
+                          int world) {
+  FPDT_CHECK_GE(world, 1) << " reshard manifest world";
+  ShardManifest out;
+  out.world = world;
+  out.entries.reserve(shards.size());
+  for (const auto& [name, mom] : shards) {
+    const auto it = numels.find(name);
+    if (it == numels.end()) {
+      throw FpdtError("reshard: shard param " + name + " has no numel entry");
+    }
+    ShardManifest::Entry e;
+    e.name = name;
+    e.numel = it->second;
+    e.m_hash = flat_hash(name, mom, e.numel, world, /*want_m=*/true);
+    e.v_hash = flat_hash(name, mom, e.numel, world, /*want_m=*/false);
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+namespace {
+
+// Re-splits one flat sequence of `numel` elements from `from` shards of
+// ceil(numel/from) into `to` shards of ceil(numel/to), zero-padding the
+// tail — a pure copy, no arithmetic, so bits survive exactly.
+std::vector<Tensor> resplit(const std::vector<nn::Adam::Moments>& mom, std::int64_t numel,
+                            int from, int to, bool want_m) {
+  const std::int64_t s_from = (numel + from - 1) / from;
+  const std::int64_t s_to = (numel + to - 1) / to;
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(to));
+  for (int r = 0; r < to; ++r) out.push_back(Tensor::zeros({s_to}));
+  for (std::int64_t i = 0; i < numel; ++i) {
+    const Tensor& src = want_m ? mom[static_cast<std::size_t>(i / s_from)].m
+                               : mom[static_cast<std::size_t>(i / s_from)].v;
+    out[static_cast<std::size_t>(i / s_to)].data()[i % s_to] = src.data()[i % s_from];
+  }
+  return out;
+}
+
+}  // namespace
+
+nn::ShardedAdamState reshard_adam_state(const nn::ShardedAdamState& in,
+                                        const ParamElems& numels, int from_world,
+                                        int to_world) {
+  FPDT_CHECK_GE(to_world, 1) << " reshard target world";
+  // Validates geometry and zero padding as a side effect; the hashes are the
+  // round-trip witness compared below.
+  const ShardManifest before = manifest_of(in, numels, from_world);
+  nn::ShardedAdamState out;
+  for (const auto& [name, mom] : in) {
+    const std::int64_t numel = numels.at(name);
+    std::vector<Tensor> m = resplit(mom, numel, from_world, to_world, /*want_m=*/true);
+    std::vector<Tensor> v = resplit(mom, numel, from_world, to_world, /*want_m=*/false);
+    std::vector<nn::Adam::Moments> dst(static_cast<std::size_t>(to_world));
+    for (int r = 0; r < to_world; ++r) {
+      dst[static_cast<std::size_t>(r)].m = std::move(m[static_cast<std::size_t>(r)]);
+      dst[static_cast<std::size_t>(r)].v = std::move(v[static_cast<std::size_t>(r)]);
+    }
+    out.emplace(name, std::move(dst));
+  }
+  const ShardManifest after = manifest_of(out, numels, to_world);
+  if (after.digest() != before.digest()) {
+    throw FpdtError("reshard: flat state changed across re-split (" + before.to_string() +
+                    " -> " + after.to_string() + ")");
+  }
+  return out;
+}
+
+}  // namespace fpdt::zero

@@ -1,0 +1,67 @@
+// ZeRO shard re-partitioning P -> P' for elastic world membership.
+//
+// ShardedAdamState keeps each parameter's Adam moments as `world` flat
+// shards of ceil(numel / world) elements, the last shard zero-padded. The
+// shard split is pure bookkeeping: concatenating the shards and trimming
+// the padding recovers the parameter's flat [numel] moment vector, and the
+// optimizer's elementwise arithmetic never looks across shard boundaries.
+// That makes re-partitioning after a world-size change exact: flatten at P,
+// re-split at P', and the resulting state is bitwise what a fresh P'-world
+// optimizer restored from the same flat moments would hold — the invariant
+// the elastic bitwise-resume contract (fault/elastic.h) is built on.
+//
+// Every conversion goes through a checksummed manifest: per-parameter
+// FNV-1a over the flat (unpadded) m/v bytes, taken before the re-split and
+// verified after. A manifest mismatch means the shards were corrupt or the
+// geometry disagreed — the reshard refuses rather than resuming from silent
+// garbage. The manifest digest is also what surviving ranks exchange (over
+// a comm::GroupView) to agree they are re-sharding the same state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/checkpoint_io.h"
+
+namespace fpdt::zero {
+
+// Per-parameter true element counts, keyed by parameter name — the geometry
+// the flat view needs (shards alone only bound numel to within padding).
+using ParamElems = std::map<std::string, std::int64_t>;
+
+struct ShardManifest {
+  struct Entry {
+    std::string name;
+    std::int64_t numel = 0;    // true (unpadded) element count
+    std::uint64_t m_hash = 0;  // FNV-1a64 over the flat m bytes
+    std::uint64_t v_hash = 0;  // FNV-1a64 over the flat v bytes
+  };
+  int world = 0;
+  std::vector<Entry> entries;  // sorted by name (map iteration order)
+
+  // Order-sensitive digest over (name, numel, m_hash, v_hash) of every
+  // entry plus the entry count — world is deliberately excluded so the
+  // digest is invariant under re-partitioning (the agreement token).
+  std::uint64_t digest() const;
+  std::string to_string() const;
+};
+
+// Builds the manifest of `shards` at `world`. Throws FpdtError if a
+// parameter's shard count disagrees with `world`, a shard's size disagrees
+// with ceil(numel/world), or the padding tail is non-zero (padding must be
+// zero for the flat view to be well-defined).
+ShardManifest manifest_of(const nn::ShardedAdamState& shards, const ParamElems& numels,
+                          int world);
+
+// Re-partitions `in` from `from_world` to `to_world` shards. Verifies `in`
+// against a fresh manifest (geometry + zero padding), performs the flatten/
+// re-split, and verifies the output manifest has identical flat hashes —
+// returning only state that provably round-tripped. Throws FpdtError on any
+// mismatch.
+nn::ShardedAdamState reshard_adam_state(const nn::ShardedAdamState& in,
+                                        const ParamElems& numels, int from_world,
+                                        int to_world);
+
+}  // namespace fpdt::zero

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "comm/process_group.h"
 #include "common/rng.h"
 #include "tests/test_util.h"
@@ -135,6 +137,65 @@ TEST(CollectivesTest, StatsAccumulate) {
   EXPECT_EQ(pg.stats().all_to_all_bytes, 0);
   pg.all_to_all_heads_to_seq(local);
   EXPECT_GT(pg.stats().all_to_all_bytes, 0);
+}
+
+TEST(CollectivesTest, StatsAccumulateConcurrently) {
+  // Regression: stats() used to mutate a mutable CommStats from const
+  // collectives with no synchronization — a data race under concurrent
+  // callers (parallel_for_ranks drives collectives from worker threads).
+  // Counters are now relaxed atomics; this test is the TSan probe and also
+  // pins exact byte accounting under contention.
+  ProcessGroup pg(2);
+  const auto local = make_rank_tensors(2, {4}, 11);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        pg.all_reduce(local);
+        pg.all_gather(local);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const comm::CommStats stats = pg.stats();
+  // Ring accounting at 2 bytes/element: all_reduce charges numel*2*2*(P-1),
+  // all_gather charges (world*numel)*2*(P-1) — both 16 bytes per call here.
+  const std::int64_t per_call = 16;
+  EXPECT_EQ(stats.all_reduce_bytes, kThreads * kIters * per_call);
+  EXPECT_EQ(stats.all_gather_bytes, kThreads * kIters * per_call);
+  EXPECT_EQ(stats.total(), stats.all_reduce_bytes + stats.all_gather_bytes);
+  pg.reset_stats();
+  EXPECT_EQ(pg.stats().total(), 0);
+}
+
+TEST(GroupViewTest, SubsetCollectivesChargeParent) {
+  ProcessGroup pg(4);
+  comm::GroupView view(pg, {0, 2, 3});
+  EXPECT_EQ(view.size(), 3);
+  EXPECT_EQ(view.global_rank(0), 0);
+  EXPECT_EQ(view.global_rank(1), 2);
+  EXPECT_EQ(view.global_rank(2), 3);
+  EXPECT_TRUE(view.contains(3));
+  EXPECT_FALSE(view.contains(1));
+
+  std::vector<Tensor> per;
+  for (int i = 0; i < 3; ++i) per.push_back(Tensor::full({2}, static_cast<float>(i)));
+  const std::vector<Tensor> gathered = view.all_gather(per);
+  ASSERT_EQ(gathered.size(), 3u);
+  for (const Tensor& g : gathered) {
+    ASSERT_EQ(g.numel(), 6);
+    for (std::int64_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(g.data()[i], static_cast<float>(i / 2));
+    }
+  }
+  // Byte accounting lands on the parent group's counters.
+  EXPECT_GT(pg.stats().all_gather_bytes, 0);
+
+  EXPECT_THROW(comm::GroupView(pg, {}), FpdtError);
+  EXPECT_THROW(comm::GroupView(pg, {0, 0}), FpdtError);
+  EXPECT_THROW(comm::GroupView(pg, {0, 4}), FpdtError);
 }
 
 TEST(CollectivesTest, HeadsNotDivisibleThrows) {

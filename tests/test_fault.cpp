@@ -481,6 +481,87 @@ TEST_F(FaultTest, DisabledInjectorIsInvisibleToTraining) {
   EXPECT_TRUE(FaultInjector::instance().injection_log().empty());
 }
 
+TEST_F(FaultTest, WatchdogDistinguishesSlowFromDead) {
+  fault::Watchdog wd(4, /*slow_after_steps=*/1);
+  for (int r = 0; r < 4; ++r) wd.heartbeat(r, 0, 1.0);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(wd.verdict(r), fault::RankHealth::kHealthy);
+
+  // Rank 2 stops reporting while the group advances two steps: slow (its
+  // heartbeat is stale but nobody declared it dead).
+  for (std::int64_t step : {1, 2}) {
+    for (int r : {0, 1, 3}) wd.heartbeat(r, step, 1.0 + static_cast<double>(step));
+  }
+  EXPECT_EQ(wd.verdict(2), fault::RankHealth::kSlow);
+  EXPECT_EQ(wd.verdict(0), fault::RankHealth::kHealthy);
+  const fault::Watchdog::Progress p = wd.last_progress(2);
+  EXPECT_EQ(p.step, 0);
+  EXPECT_FALSE(p.dead);
+  EXPECT_NE(wd.summary().find("rank 2: slow"), std::string::npos) << wd.summary();
+
+  // Catching back up clears the verdict without any membership action.
+  wd.heartbeat(2, 2, 3.0);
+  EXPECT_EQ(wd.verdict(2), fault::RankHealth::kHealthy);
+
+  // Death is an explicit membership event, not a staleness threshold — and
+  // a zombie heartbeat does not resurrect the rank.
+  wd.mark_dead(3);
+  EXPECT_EQ(wd.verdict(3), fault::RankHealth::kDead);
+  wd.heartbeat(3, 9, 9.0);
+  EXPECT_EQ(wd.verdict(3), fault::RankHealth::kDead);
+  EXPECT_TRUE(wd.last_progress(3).dead);
+  EXPECT_EQ(wd.alive_count(), 3);
+  EXPECT_EQ(wd.healthy(), (std::vector<int>{0, 1, 2}));
+
+  // Revive resets the heartbeat to the group's front so the rejoined rank
+  // is not instantly judged slow.
+  wd.revive(3);
+  EXPECT_EQ(wd.verdict(3), fault::RankHealth::kHealthy);
+  EXPECT_EQ(wd.alive_count(), 4);
+}
+
+TEST_F(FaultTest, WatchdogNeverHeardFromCountsAsStepZero) {
+  fault::Watchdog wd(2, /*slow_after_steps=*/0);
+  // No heartbeats at all: nobody has advanced, so nobody is slow.
+  EXPECT_EQ(wd.verdict(0), fault::RankHealth::kHealthy);
+  wd.heartbeat(0, 2, 1.0);
+  // Rank 1 never reported while rank 0 reached step 2.
+  EXPECT_EQ(wd.verdict(1), fault::RankHealth::kSlow);
+  EXPECT_EQ(wd.last_progress(1).step, -1);
+}
+
+TEST_F(FaultTest, MembershipSitesParseAndDraw) {
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure("ranklost:step=2,rank=1;netpart:step=3;rankslow:step=1,rank=0");
+
+  // group_event: no firing rule before its pinned step.
+  inj.begin_step(0);
+  EXPECT_EQ(inj.group_event(fault::Site::kRankLost, /*fallback=*/3), -1);
+  inj.begin_step(2);
+  EXPECT_EQ(inj.group_event(fault::Site::kRankLost, 3), 1);
+  // Step-pinned rules fire once: the replayed step draws clean.
+  EXPECT_EQ(inj.group_event(fault::Site::kRankLost, 3), -1);
+
+  inj.begin_step(3);
+  EXPECT_TRUE(inj.should_fail(fault::Site::kNetPart, -1));
+  EXPECT_FALSE(inj.should_fail(fault::Site::kNetPart, -1));  // heals on replay
+
+  inj.begin_step(1);
+  EXPECT_TRUE(inj.should_fail(fault::Site::kRankSlow, 0));
+  EXPECT_FALSE(inj.should_fail(fault::Site::kRankSlow, 1));  // other ranks keep pace
+
+  const fault::FaultStats stats = inj.stats();
+  EXPECT_EQ(stats.injected_by_site.at("ranklost"), 1);
+  EXPECT_EQ(stats.injected_by_site.at("netpart"), 1);
+  EXPECT_EQ(stats.injected_by_site.at("rankslow"), 1);
+
+  // An unpinned ranklost rule names the fallback (last rank) as victim.
+  inj.configure("ranklost:step=1");
+  inj.begin_step(1);
+  EXPECT_EQ(inj.group_event(fault::Site::kRankLost, 3), 3);
+
+  EXPECT_THROW(inj.configure("nosuchsite:p=1"), FpdtError);
+}
+
 TEST_F(FaultTest, CorpusStateSurvivesSaveLoad) {
   data::SyntheticCorpus a(64, 17);
   a.sample(500);  // advance well past the history trim threshold? (small) —

@@ -10,6 +10,7 @@
 //   fpdt profile [--steps N] [--gpus G] [--strategy S] [--trace t.json]
 //                [--metrics m.json]             executed-step profiler
 //   fpdt chaos [--spec S] [--steps N] [--gpus G]  fault-injected resilience run
+//   fpdt elastic [--scenario S] [--steps N]       scripted churn + bitwise twin
 //   fpdt footprint [--gpus G] [--stage all|0..3]  measured vs modeled ZeRO bytes
 //   fpdt tune [--budget BYTES] [--top-k K]        cost-model-guided autotuner
 //             [--sweep chunk]                     (or: regenerate Fig. 12 curve)
@@ -29,6 +30,7 @@
 #include "core/fpdt_trainer.h"
 #include "data/synthetic_corpus.h"
 #include "fault/fault_injector.h"
+#include "fault/elastic.h"
 #include "fault/resilient_trainer.h"
 #include "kernels/backend.h"
 #include "nn/model_config.h"
@@ -78,6 +80,10 @@ int usage() {
                "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
                "             [--chunks 4] [--chunk-tokens 64] [--seed 1234]\n"
                "             [--ckpt fpdt_chaos.ckpt] [--no-verify] [--zero-stage 0..3]\n"
+               "  fpdt elastic [--scenario 'ranklost:step=1,rank=1;rejoin:step=3'] [--steps 6]\n"
+               "               [--gpus 4] [--chunks 2] [--chunk-tokens 32] [--seed 1234]\n"
+               "               [--ckpt fpdt_elastic.ckpt] [--no-verify] [--zero-stage 0..3]\n"
+               "               [--keep-ckpt]      rank churn drill; twin must match bitwise\n"
                "  fpdt footprint [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
                "                 [--stage all|0|1|2|3]\n"
                "  fpdt tune [--model tiny-gpt] [--gpus 2] [--seq 512] [--budget 1450K]\n"
@@ -368,7 +374,41 @@ int cmd_chaos(int argc, char** argv, int base) {
   const fault::ChaosResult res = fault::run_chaos(opt);
   std::cout << res.report(opt.steps);
   if (!res.survived(opt.steps)) return 1;
-  if (opt.verify_against_clean && !res.loss_bitwise_match && !res.math_degraded) return 1;
+  if (opt.verify_against_clean && !res.loss_bitwise_match && !res.math_degraded &&
+      !res.resharded) {
+    return 1;
+  }
+  return 0;
+}
+
+// Scripted rank churn (ranklost / rankslow / netpart / rejoin) with
+// coordinated re-sharding, then the bitwise twin: a fresh run at the
+// post-reshard world restored from the same snapshot must reproduce every
+// replayed loss bit for bit.
+int cmd_elastic(int argc, char** argv, int base) {
+  fault::ElasticOptions opt;
+  opt.scenario = "ranklost:step=1,rank=1";
+  cli::FlagParser f("elastic", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--scenario", &opt.scenario)) continue;
+    if (f.match("--steps", &opt.steps)) continue;
+    if (f.match("--gpus", &opt.world)) continue;
+    if (f.match("--chunks", &opt.chunks)) continue;
+    if (f.match("--chunk-tokens", &opt.chunk_tokens)) continue;
+    if (f.match("--seed", &opt.seed)) continue;
+    if (f.match("--ckpt", &opt.checkpoint_path)) continue;
+    if (f.match_set("--no-verify", &opt.verify_twin, false)) continue;
+    if (f.match("--zero-stage", &opt.zero_stage)) continue;
+    if (f.match_set("--keep-ckpt", &opt.keep_checkpoint, true)) continue;
+    f.unknown();
+  }
+
+  std::cout << "elastic: scenario '" << opt.scenario << "' world " << opt.world << " zero-stage "
+            << opt.zero_stage << "\n";
+  const fault::ElasticResult res = fault::run_elastic(opt);
+  std::cout << res.report(opt.steps);
+  if (!res.survived(opt.steps)) return 1;
+  if (opt.verify_twin && !res.twin_bitwise_match) return 1;
   return 0;
 }
 
@@ -560,6 +600,7 @@ int main(int argc, char** argv) {
     if (cmd == "kernels") return cmd_kernels();
     if (cmd == "profile") return cmd_profile(argc, argv, 2);
     if (cmd == "chaos") return cmd_chaos(argc, argv, 2);
+    if (cmd == "elastic") return cmd_elastic(argc, argv, 2);
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
     if (cmd == "tune") return cmd_tune(argc, argv, 2);
     if (cmd == "bench") return cmd_bench(argc, argv, 2);
