@@ -22,7 +22,7 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner|Elastic|Reshard|Collectives|GroupView'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner|Elastic|Reshard|Collectives|GroupView|Serve'
   # Kernel-backend matrix: the math-kernel suites must hold under both the
   # scalar reference and the simd backend. The simd lane is the one that can
   # race — its GEMM/attention forks rows across the thread pool — so TSan
@@ -71,6 +71,10 @@ run_lane() {
   # deterministic-field baseline diff must survive instrumented builds —
   # only host clocks are allowed to move.
   ci/bench_smoke.sh "$dir"
+  # Serving-engine smoke under the sanitizer: deterministic 64-session
+  # virtual workload, executed chunked-prefill differential verify, and the
+  # fault-injected KV-offload lane, under both kernel backends.
+  ci/serve_smoke.sh "$dir"
 }
 
 lanes=("$@")

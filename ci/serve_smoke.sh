@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Serving-engine CI lane: exercises `fpdt serve` end to end on an existing
+# build, under both kernel backends:
+#   - default 64-session 2K..256K virtual workload completes 64/64 with a
+#     byte-identical transcript across two runs (determinism gate), KV pools
+#     drained to baseline, nonzero eviction traffic, and sane latency
+#     percentiles (0 < ttft p50 <= p99 < 60s, tokens/s > 0);
+#   - an executed differential run (--execute --verify) replays every
+#     completed session against the monolithic nn::InferenceSession and must
+#     report bitwise-identical logits under active eviction pressure;
+#   - a fault-injected run (d2h + spurious-oom on the KV offload paths) must
+#     still complete every session with all injected faults recovered.
+#
+#   ci/serve_smoke.sh [build_dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "serve_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+for kb in scalar simd; do
+  echo "--- serve lane: backend $kb ---"
+
+  # Determinism: the stock virtual workload twice, byte-identical output.
+  "$FPDT" serve --backend "$kb" --print-transcript > "$workdir/serve_$kb.1.txt"
+  "$FPDT" serve --backend "$kb" --print-transcript > "$workdir/serve_$kb.2.txt"
+  diff -u "$workdir/serve_$kb.1.txt" "$workdir/serve_$kb.2.txt" > /dev/null || {
+    echo "serve_smoke($kb): two identical runs produced different transcripts" >&2
+    exit 1
+  }
+  grep -q "serve: completed 64/64 rejected 0" "$workdir/serve_$kb.1.txt"
+  grep -q "drained to baseline" "$workdir/serve_$kb.1.txt"
+
+  python3 - "$workdir/serve_$kb.1.txt" <<'EOF'
+import re, sys
+
+text = open(sys.argv[1]).read()
+UNIT = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+def seconds(value, unit):
+    return float(value) * UNIT[unit]
+
+m = re.search(r"ttft p50 ([0-9.]+)(us|ms|s) p99 ([0-9.]+)(us|ms|s)", text)
+assert m, "no ttft percentiles in summary"
+p50, p99 = seconds(m.group(1), m.group(2)), seconds(m.group(3), m.group(4))
+assert 0 < p50 <= p99 < 60, f"ttft percentiles implausible: p50={p50}s p99={p99}s"
+
+m = re.search(r"\| ([0-9.]+) tokens/s", text)
+assert m and float(m.group(1)) > 0, "no positive tokens/s in summary"
+
+m = re.search(r"evictions (\d+) fetches (\d+)", text)
+assert m, "no eviction counters in summary"
+assert int(m.group(1)) > 0, "stock workload produced zero evictions: " \
+    "the two-tier KV path was not exercised"
+
+print(f"serve_smoke: ttft p50 {p50*1e3:.2f}ms p99 {p99*1e3:.2f}ms, "
+      f"evictions {m.group(1)}, transcript deterministic")
+EOF
+
+  # Differential gate: executed chunked prefill + paged KV, replayed bitwise
+  # against the monolithic session while evictions are forced (tight HBM).
+  "$FPDT" serve --backend "$kb" --execute --verify --sessions 6 \
+    --min-len 256 --max-len 1K --chunk-tokens 64 --page-tokens 48 \
+    --hbm 320K --decode-min 2 --decode-max 6 > "$workdir/verify_$kb.txt"
+  grep -q "serve: completed 6/6 rejected 0" "$workdir/verify_$kb.txt"
+  grep -q "serve: verify OK" "$workdir/verify_$kb.txt"
+  grep -q "drained to baseline" "$workdir/verify_$kb.txt"
+  echo "serve_smoke($kb): executed run verified bitwise vs monolithic"
+done
+
+# Fault lane: transient d2h faults plus spurious OOMs on the KV offload
+# paths; every session must still complete and every injected fault recover.
+"$FPDT" serve --sessions 16 --max-len 32K --hbm 24M \
+  --faults 'd2h:p=0.3,seed=5;oom:p=0.02,seed=9' > "$workdir/faults.txt"
+grep -q "serve: completed 16/16 rejected 0" "$workdir/faults.txt"
+grep -q "drained to baseline" "$workdir/faults.txt"
+python3 - "$workdir/faults.txt" <<'EOF'
+import re, sys
+
+text = open(sys.argv[1]).read()
+m = re.search(r"injected (\d+) retried (\d+) degraded (\d+) recovered (\d+)", text)
+assert m, "no fault stats in output"
+injected, recovered = int(m.group(1)), int(m.group(4))
+assert injected > 0, "fault spec injected nothing"
+assert recovered == injected, f"unrecovered faults: {injected - recovered}"
+print(f"serve_smoke: fault lane recovered {recovered}/{injected} injected faults")
+EOF
+
+echo "serve_smoke: all lanes passed"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/inference.h"
 
 namespace fpdt::nn {
 
@@ -57,6 +58,13 @@ std::int32_t pick(const Tensor& logits, const SampleOptions& options, Rng& rng) 
 std::vector<std::int32_t> generate(Model& model, std::vector<std::int32_t> prompt,
                                    std::int64_t new_tokens, const SampleOptions& options,
                                    Rng& rng) {
+  if (options.kv_cache && options.temperature <= 0.0 && new_tokens > 0 && !prompt.empty()) {
+    // Greedy decoding through the KV cache: one prefill, then O(1) decode
+    // steps instead of re-running the full prefix per emitted token. The
+    // cached path's logits are bitwise-identical to the recompute path's
+    // attention over the same prefix, so the token stream cannot change.
+    return generate_cached(model, std::move(prompt), new_tokens, options, rng);
+  }
   for (std::int64_t t = 0; t < new_tokens; ++t) {
     Tensor logits = next_token_logits(model, prompt);
     prompt.push_back(pick(logits, options, rng));

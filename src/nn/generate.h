@@ -1,6 +1,10 @@
 // Autoregressive generation from a trained Model — greedy or
-// temperature/top-k sampling. Inference recomputes the full prefix each
-// step (no KV cache): fine at demo scale and keeps the forward path single.
+// temperature/top-k sampling. Greedy decoding routes through the KV-cached
+// InferenceSession (chunked prefill + O(1) decode steps, bitwise-identical
+// logits); sampling paths recompute the full prefix each step, which keeps
+// the stochastic path single and is fine at demo scale. Set
+// SampleOptions::kv_cache = false to force the recompute path (reference
+// semantics for differential tests).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +18,7 @@ namespace fpdt::nn {
 struct SampleOptions {
   double temperature = 1.0;  // <= 0 means greedy argmax
   std::int64_t top_k = 0;    // 0 = no truncation
+  bool kv_cache = true;      // greedy only: decode via the cached session
 };
 
 // Logits over the vocabulary for the next token after `prompt`.

@@ -88,6 +88,12 @@ Tensor InferenceSession::decode(std::int32_t token) {
       .reshape({model_->config().vocab});
 }
 
+std::pair<Tensor, Tensor> InferenceSession::cache_view(std::size_t layer) const {
+  FPDT_CHECK_LT(layer, caches_.size()) << " bad layer index";
+  const LayerCache& cache = caches_[layer];
+  return {cache.k.slice0(0, cache.length).clone(), cache.v.slice0(0, cache.length).clone()};
+}
+
 std::int64_t InferenceSession::kv_cache_bytes() const {
   std::int64_t total = 0;
   for (const LayerCache& cache : caches_) {

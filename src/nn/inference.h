@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "nn/generate.h"
@@ -33,6 +34,11 @@ class InferenceSession {
 
   // Peak cache size in logical BF16 bytes across layers (for reporting).
   std::int64_t kv_cache_bytes() const;
+
+  // Read-only copy of layer `layer`'s cached K/V rows [0, position) — the
+  // oracle the serving engine's paged KV pages are memcmp'd against
+  // (tests/test_serve.cpp).
+  std::pair<Tensor, Tensor> cache_view(std::size_t layer) const;
 
  private:
   struct LayerCache {

@@ -1,0 +1,112 @@
+// Multi-tenant serving engine: chunked prefill + paged KV + continuous
+// batching on the emulated FPDT substrate.
+//
+// One rank group serves many sessions. The scheduler is continuous
+// batching in its simplest honest form: a round-robin over active sessions
+// where each turn is one quantum — one prefill chunk or one decode token —
+// so short requests interleave with a 256K-token prefill instead of
+// queueing behind it. Admission holds a session back until a slot is free
+// (max_active) and rejects outright anything whose transient gather
+// working set could never fit HBM; resident pressure beyond that is the
+// KV cache's problem (LRU eviction to the host tier).
+//
+// Time is the runtime's virtual clock: every quantum becomes a span on the
+// device compute stream (analytic duration from StreamRates, same cost
+// model as the simulator), transfers land on the h2d/d2h streams, and the
+// engine drains eagerly after each quantum so `now` is always the finish
+// time of the last quantum. TTFT, per-token latency and throughput are all
+// measured on that clock and reported through exact histograms
+// (obs::Histogram) mirrored into obs::MetricsRegistry.
+//
+// Two compute modes: `execute` runs the real model math through
+// serve::SessionCompute (bitwise-identical to nn::InferenceSession — the
+// differential suite's subject) and can `verify` every completed session
+// against the monolithic path; virtual mode skips the floats but keeps
+// every charge, span and scheduling decision, which is what lets the
+// default 64-session 2K–256K workload run in a CI smoke test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model_config.h"
+#include "obs/metrics.h"
+#include "runtime/stream.h"
+#include "serve/kv_cache.h"
+#include "serve/traffic.h"
+
+namespace fpdt::serve {
+
+struct ServeOptions {
+  nn::ModelConfig model;  // default-constructed => tiny_gpt (set in engine)
+  std::uint64_t model_seed = 1234;
+  TrafficConfig traffic;
+  std::int64_t page_tokens = 1024;
+  std::int64_t chunk_tokens = 4096;  // prefill quantum
+  std::int64_t max_active = 4;       // continuous-batching slots
+  int world = 1;                     // ranks sharing the group (timing model)
+  std::int64_t hbm_bytes = 256ll << 20;
+  bool execute = false;  // real model math (tests/verify) vs accounting-only
+  bool verify = false;   // execute only: replay vs monolithic InferenceSession
+};
+
+struct SessionOutcome {
+  std::int64_t sid = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t decode_tokens = 0;
+  double arrival_s = 0.0;
+  double first_token_s = -1.0;  // virtual time of the first emitted token
+  double complete_s = -1.0;
+  double ttft_s = -1.0;
+  bool rejected = false;
+  std::vector<std::int32_t> generated;  // execute mode: emitted tokens
+};
+
+struct ServeReport {
+  std::int64_t sessions = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t prefill_tokens = 0;
+  std::int64_t decoded_tokens = 0;
+  double makespan_s = 0.0;
+  double tokens_per_s = 0.0;
+  double ttft_p50_s = 0.0, ttft_p99_s = 0.0;
+  double token_p50_s = 0.0, token_p99_s = 0.0;
+  std::int64_t hbm_peak_bytes = 0;
+  std::int64_t host_peak_bytes = 0;
+  std::int64_t h2d_bytes = 0, d2h_bytes = 0;
+  KvCacheStats cache;
+  bool degraded = false;
+  // Bytes still charged after every session drained; nonzero = leak.
+  std::int64_t device_leak_bytes = 0;
+  std::int64_t host_leak_bytes = 0;
+  // Execute+verify: sessions replayed bitwise against nn::InferenceSession.
+  std::int64_t verified_sessions = 0;
+  bool verify_ok = true;
+  runtime::TimelineReport timeline;
+  std::vector<SessionOutcome> outcomes;
+  // Deterministic event log ("t=<s> arrive s3 len=4096 ..."): two runs with
+  // the same options produce byte-identical transcripts.
+  std::vector<std::string> transcript;
+
+  bool ok() const {
+    return completed == sessions - rejected && device_leak_bytes == 0 &&
+           host_leak_bytes == 0 && verify_ok;
+  }
+  std::string table() const;
+  std::string summary() const;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(ServeOptions opt);
+  // Runs the workload to completion; callable once per engine.
+  ServeReport run();
+
+ private:
+  ServeOptions opt_;
+  bool ran_ = false;
+};
+
+}  // namespace fpdt::serve

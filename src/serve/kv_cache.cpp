@@ -1,0 +1,262 @@
+#include "serve/kv_cache.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "fault/retry.h"
+
+namespace fpdt::serve {
+
+PagedKvCache::PagedKvCache(const nn::ModelConfig& model, runtime::Device& device,
+                           runtime::Host& host, KvCacheConfig cfg)
+    : model_(model), device_(&device), host_(&host), cfg_(cfg) {
+  FPDT_CHECK_GT(cfg_.page_tokens, 0) << " page size must be positive";
+  // K and V, BF16 logical bytes per cached token per layer.
+  token_bytes_ = 2 * model_.n_kv_head * model_.head_dim() *
+                 dtype_size(runtime::Dtype::kBF16);
+  // Retry backoffs become spans on this device's compute stream, so retry
+  // cost is visible virtual time (the FpdtEnv idiom from fault/retry.h).
+  fault::FaultInjector::instance().set_backoff_sink(
+      this, [dev = device_](int, const std::string& label, double seconds) {
+        dev->compute_stream().enqueue("serve.retry." + label, seconds);
+      });
+}
+
+PagedKvCache::~PagedKvCache() {
+  fault::FaultInjector::instance().clear_backoff_sink(this);
+}
+
+void PagedKvCache::open_session(std::int64_t sid) {
+  // Pages are created lazily by append(); opening just validates the id is
+  // fresh so a leaked/duplicated sid fails loudly.
+  const PageKey lo{sid, 0, 0};
+  auto it = pages_.lower_bound(lo);
+  FPDT_CHECK(it == pages_.end() || it->first.sid != sid)
+      << " session " << sid << " already has pages";
+}
+
+void PagedKvCache::close_session(std::int64_t sid) {
+  const PageKey lo{sid, 0, 0};
+  auto it = pages_.lower_bound(lo);
+  while (it != pages_.end() && it->first.sid == sid) it = pages_.erase(it);
+}
+
+runtime::Allocation PagedKvCache::charge_with_retry(runtime::MemoryPool& pool,
+                                                    std::int64_t bytes,
+                                                    bool evict_on_pressure) {
+  constexpr int kMaxSpuriousRetries = 8;
+  int spurious = 0;
+  for (;;) {
+    try {
+      return runtime::Allocation(&pool, bytes);
+    } catch (const OutOfMemoryError&) {
+      ++stats_.oom_events;
+      // Genuine pressure and injected OOMs are indistinguishable here; both
+      // degrade the same way — push a cold page to the host tier and retry.
+      if (evict_on_pressure && evict_lru()) continue;
+      if (++spurious > kMaxSpuriousRetries) throw;
+      ++stats_.oom_retries;
+      fault::FaultInjector::instance().note_retry();
+    }
+  }
+}
+
+runtime::Event PagedKvCache::transfer_span(runtime::Stream& stream, fault::Site site,
+                                           std::string label, double duration_s) {
+  if (fault::faults_enabled()) {
+    fault::FaultInjector& inj = fault::FaultInjector::instance();
+    const bool ok = fault::retry_transient(
+        fault::BackoffPolicy{}, device_->rank(), label,
+        [&] { inj.maybe_throw(site, device_->rank(), label); });
+    if (!ok) {
+      // Retry ladder exhausted: fall back to a synchronous copy on the
+      // compute stream — slower (exposed transfer time) but never corrupt.
+      degraded_ = true;
+      inj.note_degraded("serve.kv.sync-transfer " + label);
+      return device_->compute_stream().enqueue(label + ".sync", duration_s);
+    }
+  }
+  return stream.enqueue(std::move(label), duration_s);
+}
+
+bool PagedKvCache::evict_lru() {
+  auto victim = pages_.end();
+  for (auto it = pages_.begin(); it != pages_.end(); ++it) {
+    if (it->second.on_host) continue;
+    if (victim == pages_.end() || it->second.last_use < victim->second.last_use) victim = it;
+  }
+  if (victim == pages_.end()) return false;
+
+  Page& page = victim->second;
+  const std::int64_t bytes = bytes_per_page();
+  const std::string key = "serve.evict.s" + std::to_string(victim->first.sid) + ".l" +
+                          std::to_string(victim->first.layer) + ".p" +
+                          std::to_string(victim->first.index);
+  runtime::Event done =
+      transfer_span(device_->d2h_stream(), fault::Site::kD2H, key,
+                    device_->rates().d2h_time(bytes));
+  (void)done;  // nothing orders on an offload; the span ledger records it
+  // Accounting converts immediately (the engine drains streams every
+  // quantum, so the span retires before anything could observe the page
+  // mid-flight): charge the host tier, then drop the device charge.
+  page.charge = charge_with_retry(host_->pool(), bytes, /*evict_on_pressure=*/false);
+  page.on_host = true;
+  device_->transfers().d2h_bytes += bytes;
+  device_->transfers().d2h_count += 1;
+  ++stats_.evictions;
+  return true;
+}
+
+void PagedKvCache::fetch_page(Page& page, const PageKey& key) {
+  const std::int64_t bytes = bytes_per_page();
+  const std::string label = "serve.fetch.s" + std::to_string(key.sid) + ".l" +
+                            std::to_string(key.layer) + ".p" + std::to_string(key.index);
+  // Device charge first (may evict colder pages), then the H2D span; the
+  // caller's next compute span waits on it via take_pending_events().
+  runtime::Allocation up = charge_with_retry(device_->hbm(), bytes, /*evict_on_pressure=*/true);
+  runtime::Event done = transfer_span(device_->h2d_stream(), fault::Site::kH2D, label,
+                                      device_->rates().h2d_time(bytes));
+  pending_events_.push_back(done);
+  page.charge = std::move(up);
+  page.on_host = false;
+  device_->transfers().h2d_bytes += bytes;
+  device_->transfers().h2d_count += 1;
+  ++stats_.fetches;
+}
+
+PagedKvCache::Page& PagedKvCache::page_for(std::int64_t sid, std::int64_t layer,
+                                           std::int64_t index) {
+  const PageKey key{sid, layer, index};
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    Page page;
+    page.charge = charge_with_retry(device_->hbm(), bytes_per_page(), /*evict_on_pressure=*/true);
+    if (cfg_.execute) {
+      page.kv = Tensor({2, cfg_.page_tokens, model_.n_kv_head, model_.head_dim()});
+    }
+    ++stats_.pages_allocated;
+    it = pages_.emplace(key, std::move(page)).first;
+  }
+  Page& page = it->second;
+  if (page.on_host) fetch_page(page, key);  // writes need device residency
+  page.last_use = ++tick_;
+  return page;
+}
+
+void PagedKvCache::append(std::int64_t sid, std::int64_t layer, std::int64_t pos0,
+                          const Tensor& k, const Tensor& v, std::int64_t n) {
+  FPDT_CHECK_GE(n, 1) << " empty append";
+  std::int64_t written = 0;
+  while (written < n) {
+    const std::int64_t pos = pos0 + written;
+    const std::int64_t index = pos / cfg_.page_tokens;
+    const std::int64_t offset = pos % cfg_.page_tokens;
+    const std::int64_t rows = std::min(n - written, cfg_.page_tokens - offset);
+    Page& page = page_for(sid, layer, index);
+    FPDT_CHECK_EQ(page.filled, offset) << " non-contiguous append at position " << pos;
+    if (cfg_.execute) {
+      Tensor kp = page.kv.slice0(0, 1).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                model_.head_dim()});
+      Tensor vp = page.kv.slice0(1, 2).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                model_.head_dim()});
+      kp.slice0(offset, offset + rows).copy_from(k.slice0(written, written + rows));
+      vp.slice0(offset, offset + rows).copy_from(v.slice0(written, written + rows));
+    }
+    page.filled = offset + rows;
+    written += rows;
+  }
+}
+
+PagedKvCache::Gathered PagedKvCache::gather(std::int64_t sid, std::int64_t layer,
+                                            std::int64_t len) {
+  FPDT_CHECK_GE(len, 1) << " empty gather";
+  Gathered out;
+  // Scratch for the contiguous copy is a transient device charge — the
+  // serving analogue of the training loop's per-chunk KV working set. It
+  // may evict this very session's cold pages; the copy below reads them
+  // from wherever they landed.
+  out.scratch = charge_with_retry(device_->hbm(), len * token_bytes_,
+                                  /*evict_on_pressure=*/true);
+  if (cfg_.execute) {
+    out.k = Tensor({len, model_.n_kv_head, model_.head_dim()});
+    out.v = Tensor({len, model_.n_kv_head, model_.head_dim()});
+  }
+  std::int64_t host_bytes = 0;
+  for (std::int64_t row = 0; row < len;) {
+    const std::int64_t index = row / cfg_.page_tokens;
+    const std::int64_t offset = row % cfg_.page_tokens;
+    const std::int64_t rows = std::min(len - row, cfg_.page_tokens - offset);
+    auto it = pages_.find(PageKey{sid, layer, index});
+    FPDT_CHECK(it != pages_.end()) << " gather past the filled prefix (page " << index << ")";
+    Page& page = it->second;
+    FPDT_CHECK_GE(page.filled, offset + rows) << " gather past the filled prefix";
+    if (page.on_host) host_bytes += rows * token_bytes_;  // fetch-copy: host copy stays
+    page.last_use = ++tick_;
+    if (cfg_.execute) {
+      Tensor kp = page.kv.slice0(0, 1).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                model_.head_dim()});
+      Tensor vp = page.kv.slice0(1, 2).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                model_.head_dim()});
+      out.k.slice0(row, row + rows).copy_from(kp.slice0(offset, offset + rows));
+      out.v.slice0(row, row + rows).copy_from(vp.slice0(offset, offset + rows));
+    }
+    row += rows;
+  }
+  if (host_bytes > 0) {
+    // One aggregated span per gather (not per page): a real implementation
+    // batches the scatter-gather DMA, and per-page spans would blow the
+    // ledger up quadratically over a long prefill.
+    const std::string label = "serve.gather.s" + std::to_string(sid) + ".l" +
+                              std::to_string(layer);
+    out.ready = transfer_span(device_->h2d_stream(), fault::Site::kH2D, label,
+                              device_->rates().h2d_time(host_bytes));
+    pending_events_.push_back(out.ready);
+    device_->transfers().h2d_bytes += host_bytes;
+    device_->transfers().h2d_count += 1;
+    stats_.fetch_bytes += host_bytes;
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> PagedKvCache::snapshot(std::int64_t sid, std::int64_t layer,
+                                                 std::int64_t len) const {
+  FPDT_CHECK(cfg_.execute) << " snapshot needs materialized pages";
+  Tensor k({len, model_.n_kv_head, model_.head_dim()});
+  Tensor v({len, model_.n_kv_head, model_.head_dim()});
+  for (std::int64_t row = 0; row < len;) {
+    const std::int64_t index = row / cfg_.page_tokens;
+    const std::int64_t offset = row % cfg_.page_tokens;
+    const std::int64_t rows = std::min(len - row, cfg_.page_tokens - offset);
+    auto it = pages_.find(PageKey{sid, layer, index});
+    FPDT_CHECK(it != pages_.end()) << " snapshot past the filled prefix";
+    const Tensor kp = it->second.kv.slice0(0, 1).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                          model_.head_dim()});
+    const Tensor vp = it->second.kv.slice0(1, 2).reshape({cfg_.page_tokens, model_.n_kv_head,
+                                                          model_.head_dim()});
+    k.slice0(row, row + rows).copy_from(kp.slice0(offset, offset + rows));
+    v.slice0(row, row + rows).copy_from(vp.slice0(offset, offset + rows));
+    row += rows;
+  }
+  return {std::move(k), std::move(v)};
+}
+
+std::vector<runtime::Event> PagedKvCache::take_pending_events() {
+  std::vector<runtime::Event> events;
+  events.swap(pending_events_);
+  return events;
+}
+
+std::int64_t PagedKvCache::device_pages() const {
+  std::int64_t n = 0;
+  for (const auto& [key, page] : pages_) n += page.on_host ? 0 : 1;
+  return n;
+}
+
+std::int64_t PagedKvCache::host_pages() const {
+  std::int64_t n = 0;
+  for (const auto& [key, page] : pages_) n += page.on_host ? 1 : 0;
+  return n;
+}
+
+}  // namespace fpdt::serve

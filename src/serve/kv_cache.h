@@ -1,0 +1,167 @@
+// Paged, two-tier KV cache for multi-tenant serving.
+//
+// Training-side FPDT bounds HBM by spilling KV chunks to host and fetching
+// them back on a dedicated stream pair (core/chunk_store.h); serving needs
+// the same trick per *session*: many concurrent prompts whose combined KV
+// dwarfs HBM, each growing one token at a time. This cache carves every
+// session-layer's K/V into fixed-size pages and keeps each page on exactly
+// one tier:
+//
+//   device tier  a runtime::Allocation against Device::hbm() — the page is
+//                resident and gatherable at no transfer cost;
+//   host tier    the same bytes charged to Host::pool(); a gather that
+//                touches host pages pays an H2D span (and counts the bytes)
+//                exactly like the training prefetcher's fetches.
+//
+// Eviction is LRU over device-resident pages and follows the
+// ChunkPrefetcher protocol: the destination bytes are charged when the
+// transfer is issued, the d2h span lands on the device's d2h stream, and a
+// retry ladder (fault/retry.h) absorbs injected transient faults — on
+// exhaustion the transfer degrades to the compute stream (a synchronous,
+// exposed copy) rather than corrupting the page. Device charges that hit
+// OutOfMemoryError trigger evict-then-retry until the pool genuinely cannot
+// hold the request.
+//
+// Two compute modes share all of this accounting:
+//   execute  pages carry real [2, page_tokens, hk, dh] tensors; gather()
+//            returns contiguous K/V copies that are bitwise-identical to
+//            the monolithic nn::InferenceSession cache (the differential
+//            suite's contract);
+//   virtual  pages are charges only (no floats), so a 64-session 256K-token
+//            workload runs in milliseconds while pool peaks, transfer
+//            bytes, spans and eviction decisions stay exactly as in an
+//            executed run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "nn/model_config.h"
+#include "runtime/device.h"
+#include "runtime/memory_pool.h"
+#include "runtime/stream.h"
+#include "tensor/tensor.h"
+
+namespace fpdt::serve {
+
+struct KvCacheConfig {
+  std::int64_t page_tokens = 1024;
+  bool execute = false;  // materialize page tensors (tests) vs accounting-only
+};
+
+struct KvCacheStats {
+  std::int64_t pages_allocated = 0;
+  std::int64_t evictions = 0;      // device -> host page moves
+  std::int64_t fetches = 0;        // host -> device page moves (append path)
+  std::int64_t fetch_bytes = 0;    // host-resident bytes copied up by gathers
+  std::int64_t oom_events = 0;     // OutOfMemoryError caught (genuine or injected)
+  std::int64_t oom_retries = 0;    // charge retries that could not evict first
+};
+
+class PagedKvCache {
+ public:
+  PagedKvCache(const nn::ModelConfig& model, runtime::Device& device, runtime::Host& host,
+               KvCacheConfig cfg);
+  ~PagedKvCache();
+
+  PagedKvCache(const PagedKvCache&) = delete;
+  PagedKvCache& operator=(const PagedKvCache&) = delete;
+
+  std::int64_t page_tokens() const { return cfg_.page_tokens; }
+  // Logical BF16 bytes of one full page (K and V).
+  std::int64_t bytes_per_page() const { return cfg_.page_tokens * token_bytes_; }
+  // Logical BF16 bytes one cached token occupies in one layer.
+  std::int64_t token_bytes() const { return token_bytes_; }
+
+  void open_session(std::int64_t sid);
+  // Frees every page of the session on both tiers; after all sessions close
+  // the pools are back at their baseline (the no-leak property test).
+  void close_session(std::int64_t sid);
+
+  // Appends rows [pos0, pos0+n) of `layer`'s K/V. In execute mode k/v are
+  // [n, hk, dh]; virtual mode passes undefined tensors and only the
+  // accounting happens. Rows may span page boundaries.
+  void append(std::int64_t sid, std::int64_t layer, std::int64_t pos0, const Tensor& k,
+              const Tensor& v, std::int64_t n);
+
+  struct Gathered {
+    Tensor k, v;                  // [len, hk, dh] contiguous (execute mode)
+    runtime::Allocation scratch;  // device charge backing the gathered copy
+    runtime::Event ready;         // H2D completion when host pages were touched
+  };
+  // Contiguous copy of rows [0, len): each chunk's online-attention step
+  // consumes the whole cached prefix in one call — the same single-step
+  // recurrence as nn::InferenceSession, which is what keeps chunked prefill
+  // bitwise-identical to the monolithic path. Host-resident pages charge an
+  // aggregated H2D span; the caller's compute span must wait on `ready` (it
+  // is also queued for take_pending_events()).
+  Gathered gather(std::int64_t sid, std::int64_t layer, std::int64_t len);
+
+  // Test hook: page contents as contiguous [len, hk, dh] K/V, with no
+  // charges, spans or LRU touches (execute mode only).
+  std::pair<Tensor, Tensor> snapshot(std::int64_t sid, std::int64_t layer,
+                                     std::int64_t len) const;
+
+  // Transfer events enqueued since the last call; the engine threads them
+  // into the next compute span's waits so fetches order before the math.
+  std::vector<runtime::Event> take_pending_events();
+
+  // Moves the least-recently-used device-resident page to the host tier.
+  // False when nothing is evictable (device tier empty).
+  bool evict_lru();
+
+  // True once any transfer exhausted its retry ladder and fell back to a
+  // synchronous copy on the compute stream.
+  bool degraded() const { return degraded_; }
+  const KvCacheStats& stats() const { return stats_; }
+  std::int64_t device_pages() const;
+  std::int64_t host_pages() const;
+
+ private:
+  struct PageKey {
+    std::int64_t sid = 0;
+    std::int64_t layer = 0;
+    std::int64_t index = 0;  // page number within the session-layer
+    bool operator<(const PageKey& o) const {
+      if (sid != o.sid) return sid < o.sid;
+      if (layer != o.layer) return layer < o.layer;
+      return index < o.index;
+    }
+  };
+  struct Page {
+    Tensor kv;  // execute mode: [2, page_tokens, hk, dh]
+    runtime::Allocation charge;  // against whichever tier currently owns it
+    bool on_host = false;
+    std::int64_t last_use = 0;
+    std::int64_t filled = 0;  // rows written so far
+  };
+
+  Page& page_for(std::int64_t sid, std::int64_t layer, std::int64_t index);
+  void fetch_page(Page& page, const PageKey& key);
+  // Charge with the OOM ladder: evict-to-host under genuine pressure,
+  // bounded retries for injected spurious OOMs, rethrow when the pool truly
+  // cannot hold `bytes`.
+  runtime::Allocation charge_with_retry(runtime::MemoryPool& pool, std::int64_t bytes,
+                                        bool evict_on_pressure);
+  // Draw transient faults for a transfer and land its span: on the transfer
+  // stream when the retry ladder succeeds, degraded onto the compute stream
+  // (synchronous, exposed) when it exhausts.
+  runtime::Event transfer_span(runtime::Stream& stream, fault::Site site, std::string label,
+                               double duration_s);
+
+  nn::ModelConfig model_;
+  runtime::Device* device_;
+  runtime::Host* host_;
+  KvCacheConfig cfg_;
+  std::int64_t token_bytes_ = 0;
+  std::int64_t tick_ = 0;
+  bool degraded_ = false;
+  KvCacheStats stats_;
+  std::map<PageKey, Page> pages_;  // ordered => deterministic LRU tie-breaks
+  std::vector<runtime::Event> pending_events_;
+};
+
+}  // namespace fpdt::serve

@@ -1,0 +1,61 @@
+#include "serve/prefill.h"
+
+#include "common/check.h"
+#include "nn/attention.h"
+
+namespace fpdt::serve {
+
+SessionCompute::SessionCompute(nn::Model& model, PagedKvCache& cache, std::int64_t sid)
+    : model_(&model), cache_(&cache), sid_(sid) {}
+
+Tensor SessionCompute::advance(const std::vector<std::int32_t>& tokens, std::int64_t pos0) {
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  Tensor h = model_->embedding().forward(tokens);
+  for (std::size_t l = 0; l < model_->blocks().size(); ++l) {
+    nn::TransformerBlock& blk = model_->blocks()[l];
+    nn::NormStats st1;
+    Tensor xn = blk.norm1().forward(h, st1);
+    nn::AttentionLayer::Qkv qkv = blk.attention().project_qkv(xn, pos0);
+    cache_->append(sid_, static_cast<std::int64_t>(l), pos0, qkv.k, qkv.v, n);
+    // Attend against the full prefix in one online step over the gathered
+    // pages — the same single-block recurrence as the monolithic session.
+    PagedKvCache::Gathered g = cache_->gather(sid_, static_cast<std::int64_t>(l), pos0 + n);
+    nn::OnlineAttnState state = nn::OnlineAttnState::create(n, qkv.q.dim(1), qkv.q.dim(2));
+    nn::online_attn_step(state, qkv.q, g.k, g.v, /*causal=*/true, pos0, 0);
+    nn::AttentionOutput out = nn::online_attn_finalize(state);
+    Tensor y = add(h, blk.attention().project_out(out.out));
+    nn::NormStats st2;
+    Tensor yn = blk.norm2().forward(y, st2);
+    h = add(y, blk.ffn().forward(yn));
+  }
+  position_ = pos0 + n;
+  return h;
+}
+
+void SessionCompute::prefill_chunk(const std::vector<std::int32_t>& tokens) {
+  FPDT_CHECK(!finished_prefill_) << " prefill chunk after finish_prefill";
+  FPDT_CHECK(!tokens.empty()) << " empty prefill chunk";
+  last_hidden_ = advance(tokens, position_);
+}
+
+Tensor SessionCompute::finish_prefill() {
+  FPDT_CHECK(!finished_prefill_) << " finish_prefill may run once";
+  FPDT_CHECK(last_hidden_.defined()) << " finish_prefill before any chunk";
+  finished_prefill_ = true;
+  nn::NormStats st;
+  Tensor hn = model_->final_norm().forward(last_hidden_, st);
+  Tensor last = hn.slice0(hn.dim(0) - 1, hn.dim(0));
+  return matmul_nt(last, model_->lm_head().weight().value)
+      .reshape({model_->config().vocab});
+}
+
+Tensor SessionCompute::decode(std::int32_t token) {
+  FPDT_CHECK(finished_prefill_) << " decode before finish_prefill";
+  Tensor h = advance({token}, position_);
+  nn::NormStats st;
+  Tensor hn = model_->final_norm().forward(h, st);
+  return matmul_nt(hn, model_->lm_head().weight().value)
+      .reshape({model_->config().vocab});
+}
+
+}  // namespace fpdt::serve

@@ -1,0 +1,54 @@
+// Chunked prefill + decode over the paged KV cache.
+//
+// SessionCompute is the execute-mode model driver of the serving engine: it
+// replays nn::InferenceSession::advance call-for-call — norm, QKV
+// projection at the chunk's rope offset, ONE online-attention step over the
+// full cached prefix, finalize, output projection, FFN — with the cached
+// prefix gathered from PagedKvCache pages instead of a monolithic tensor.
+//
+// The bit-identity contract hangs on that "one step": accumulating
+// page-by-page through the online-softmax recurrence would reassociate the
+// FP32 sums and drift from the monolithic path at the ulp level. Gathering
+// the pages into one contiguous copy first (pure memcpy, bit-preserving)
+// and then running the same single online_attn_step the monolithic session
+// runs makes logits and KV bitwise-identical under both kernel backends —
+// which tests/test_serve.cpp asserts with memcmp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "serve/kv_cache.h"
+
+namespace fpdt::serve {
+
+class SessionCompute {
+ public:
+  SessionCompute(nn::Model& model, PagedKvCache& cache, std::int64_t sid);
+
+  // Runs the next prompt chunk through every layer, appending its K/V to
+  // the session's pages. Chunks must be fed in order.
+  void prefill_chunk(const std::vector<std::int32_t>& tokens);
+
+  // Final norm over the last chunk's hidden states + LM head; returns the
+  // next-token logits [vocab]. Callable once, after the last chunk.
+  Tensor finish_prefill();
+
+  // Appends `token` and returns logits for the position after it.
+  Tensor decode(std::int32_t token);
+
+  std::int64_t position() const { return position_; }
+
+ private:
+  Tensor advance(const std::vector<std::int32_t>& tokens, std::int64_t pos0);
+
+  nn::Model* model_;
+  PagedKvCache* cache_;
+  std::int64_t sid_;
+  std::int64_t position_ = 0;
+  Tensor last_hidden_;
+  bool finished_prefill_ = false;
+};
+
+}  // namespace fpdt::serve

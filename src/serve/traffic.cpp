@@ -1,0 +1,42 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fpdt::serve {
+
+std::vector<SessionSpec> generate_traffic(const TrafficConfig& cfg) {
+  FPDT_CHECK_GT(cfg.sessions, 0) << " traffic needs at least one session";
+  FPDT_CHECK_GE(cfg.min_prompt_tokens, 1) << " prompts must be non-empty";
+  FPDT_CHECK_GE(cfg.max_prompt_tokens, cfg.min_prompt_tokens) << " bad prompt-length range";
+  FPDT_CHECK_GE(cfg.min_decode_tokens, 1) << " every session decodes at least the first token";
+  FPDT_CHECK_GE(cfg.max_decode_tokens, cfg.min_decode_tokens) << " bad decode range";
+  FPDT_CHECK_GE(cfg.mean_interarrival_s, 0.0) << " negative interarrival";
+
+  Rng rng(cfg.seed);
+  const double ln_lo = std::log(static_cast<double>(cfg.min_prompt_tokens));
+  const double ln_hi = std::log(static_cast<double>(cfg.max_prompt_tokens));
+
+  std::vector<SessionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(cfg.sessions));
+  double t = 0.0;
+  for (std::int64_t s = 0; s < cfg.sessions; ++s) {
+    // Exponential interarrival: -mean * ln(1-u), u in [0,1) so log1p(-u) is
+    // finite. Draw order (gap, length, decode) is part of the contract.
+    t += -cfg.mean_interarrival_s * std::log1p(-rng.next_uniform());
+    const double lu = rng.next_uniform();
+    std::int64_t len = static_cast<std::int64_t>(std::llround(std::exp(ln_lo + (ln_hi - ln_lo) * lu)));
+    len = std::clamp(len, cfg.min_prompt_tokens, cfg.max_prompt_tokens);
+    const std::int64_t span = cfg.max_decode_tokens - cfg.min_decode_tokens + 1;
+    const std::int64_t dec =
+        cfg.min_decode_tokens +
+        static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(span)));
+    specs.push_back({s, t, len, dec});
+  }
+  return specs;
+}
+
+}  // namespace fpdt::serve

@@ -1,0 +1,43 @@
+// Deterministic synthetic serving traffic.
+//
+// A serving engine's behaviour — admission order, eviction pressure, tail
+// latency — is a function of its arrival process, so reproducing a serving
+// result requires reproducing the traffic bit-for-bit. Every draw here goes
+// through one seeded Rng in a fixed program order: the same TrafficConfig
+// always produces the same session list, which is what lets the engine
+// promise byte-identical transcripts across runs (tests/test_serve.cpp).
+//
+// The mix mirrors multi-tenant long-context serving: exponential
+// interarrivals (Poisson process) and log-uniform prompt lengths spanning
+// 2K–256K tokens by default — most requests short, a heavy tail of
+// ultra-long prompts that only chunked prefill + paged KV can host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpdt::serve {
+
+struct TrafficConfig {
+  std::int64_t sessions = 64;
+  std::uint64_t seed = 1234;
+  std::int64_t min_prompt_tokens = 2048;    // 2K
+  std::int64_t max_prompt_tokens = 262144;  // 256K
+  double mean_interarrival_s = 2e-3;
+  // Tokens to decode after prefill (the first token counts); uniform draw.
+  std::int64_t min_decode_tokens = 4;
+  std::int64_t max_decode_tokens = 32;
+};
+
+struct SessionSpec {
+  std::int64_t sid = 0;
+  double arrival_s = 0.0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t decode_tokens = 0;
+};
+
+// Session list sorted by arrival time. Same config => bitwise-identical
+// output (three Rng draws per session, program order).
+std::vector<SessionSpec> generate_traffic(const TrafficConfig& cfg);
+
+}  // namespace fpdt::serve

@@ -9,6 +9,7 @@
 #include "nn/generate.h"
 #include "nn/inference.h"
 #include "nn/model.h"
+#include "obs/workmeter.h"
 #include "tests/test_util.h"
 
 namespace fpdt {
@@ -70,11 +71,78 @@ TEST(InferenceTest, GenerateCachedMatchesGenerate) {
   }
   SampleOptions greedy;
   greedy.temperature = 0.0;
+  greedy.kv_cache = false;  // pin the recompute path as the reference
   Rng r1(1), r2(1);
   const auto prompt = corpus.sample(16);
   const auto ref = generate(model, prompt, 12, greedy, r1);
   const auto cached = generate_cached(model, prompt, 12, greedy, r2, /*prefill_chunk=*/4);
   EXPECT_EQ(ref, cached);
+}
+
+TEST(InferenceTest, GreedyGenerateRoutesThroughKvCache) {
+  Model model(tiny_gpt(48, 2, 4, 40), 29);
+  Adam opt(2e-3);
+  data::SyntheticCorpus corpus(40, 11);
+  for (int s = 0; s < 30; ++s) {
+    model.train_step_grads(corpus.sample(65));
+    opt.step([&](const ParamVisitor& f) { model.visit_params(f); });
+  }
+  const auto prompt = corpus.sample(16);
+  SampleOptions cached_opts;
+  cached_opts.temperature = 0.0;  // kv_cache defaults on
+  SampleOptions recompute_opts = cached_opts;
+  recompute_opts.kv_cache = false;
+
+  auto& meter = obs::Workmeter::instance();
+  meter.reset();
+  meter.set_enabled(true);
+  const obs::WorkSnapshot base = meter.snapshot();
+  Rng r1(1), r2(1);
+  const auto cached = generate(model, prompt, 12, cached_opts, r1);
+  const obs::WorkSnapshot after_cached = meter.snapshot();
+  const auto recomputed = generate(model, prompt, 12, recompute_opts, r2);
+  const obs::WorkSnapshot after_recompute = meter.snapshot();
+  meter.set_enabled(false);
+
+  EXPECT_EQ(cached, recomputed);
+  const std::int64_t gemm = static_cast<int>(obs::OpKind::kGemm);
+  const std::int64_t cached_flops = after_cached.since(base).kind[gemm].flops;
+  const std::int64_t recompute_flops = after_recompute.since(after_cached).kind[gemm].flops;
+  // Cached decode touches one token per step; recompute re-runs the whole
+  // prefix. Even for 12 tokens the gap is several-fold.
+  EXPECT_LT(cached_flops * 2, recompute_flops);
+}
+
+TEST(InferenceTest, DecodeStepGemmFlopsConstantInPosition) {
+  // Regression pin for the O(1)-decode claim: the gemm work of one decode
+  // step must not depend on how long the cached prefix already is. The
+  // analytic FLOP formulas are exact integers, so equality is exact, not
+  // within-tolerance. (Attention work does grow with the prefix — that is
+  // the O(n) gather term — and is metered under a different kind.)
+  Model model(tiny_gpt(32, 1, 2, 32), 30);
+  data::SyntheticCorpus corpus(32, 12);
+  InferenceSession session(model, 0);
+  session.prefill(corpus.sample(8));
+
+  auto& meter = obs::Workmeter::instance();
+  meter.reset();
+  meter.set_enabled(true);
+  const obs::WorkSnapshot s0 = meter.snapshot();
+  session.decode(1);
+  const obs::WorkSnapshot s1 = meter.snapshot();
+  for (int i = 0; i < 40; ++i) session.decode(2);
+  const obs::WorkSnapshot s2 = meter.snapshot();
+  session.decode(3);
+  const obs::WorkSnapshot s3 = meter.snapshot();
+  meter.set_enabled(false);
+
+  const int gemm = static_cast<int>(obs::OpKind::kGemm);
+  const int attn = static_cast<int>(obs::OpKind::kAttention);
+  const obs::WorkSnapshot early = s1.since(s0);
+  const obs::WorkSnapshot late = s3.since(s2);
+  EXPECT_EQ(early.kind[gemm].flops, late.kind[gemm].flops);
+  EXPECT_EQ(early.calls[gemm], late.calls[gemm]);
+  EXPECT_GT(late.kind[attn].flops, early.kind[attn].flops);
 }
 
 TEST(InferenceTest, CacheGrowsAcrossDecodes) {

@@ -14,6 +14,8 @@
 //   fpdt footprint [--gpus G] [--stage all|0..3]  measured vs modeled ZeRO bytes
 //   fpdt tune [--budget BYTES] [--top-k K]        cost-model-guided autotuner
 //             [--sweep chunk]                     (or: regenerate Fig. 12 curve)
+//   fpdt serve [--sessions N] [--seed S] ...      multi-tenant serving engine
+//                                                 (chunked prefill + paged KV)
 //
 // Strategies: tp, tp-ac, tp-ac-oc, megatron-sp, ulysses, mst, fpdt-chunk, fpdt
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
@@ -41,6 +43,7 @@
 #include "parallel/zero/sharded_optimizer.h"
 #include "parallel/zero/zero_engine.h"
 #include "perfmodel/evaluate.h"
+#include "serve/engine.h"
 #include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
 #include "tune/sweep.h"
@@ -91,7 +94,13 @@ int usage() {
                "            [--json tune.json] [--max-chunks 8] [--backend scalar|simd]\n"
                "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n"
                "  fpdt bench [--out-dir DIR] [--steps 2] [--seed 1234] [--active-backend-only]\n"
-               "             [--json]                     canonical perf-snapshot suite\n";
+               "             [--json]                     canonical perf-snapshot suite\n"
+               "  fpdt serve [--sessions 64] [--seed 1234] [--min-len 2K] [--max-len 256K]\n"
+               "             [--decode-min 4] [--decode-max 32] [--page-tokens 1K]\n"
+               "             [--chunk-tokens 4K] [--max-active 4] [--gpus 1] [--hbm 256M]\n"
+               "             [--model tiny-gpt] [--backend scalar|simd] [--faults SPEC]\n"
+               "             [--execute] [--verify] [--print-transcript]\n"
+               "             [--metrics m.json]           multi-tenant serving engine\n";
   return 2;
 }
 
@@ -553,6 +562,78 @@ int cmd_bench(int argc, char** argv, int base) {
   return 0;
 }
 
+// Multi-tenant serving engine: a seeded synthetic workload (mixed-length
+// prompts, Poisson arrivals) through chunked prefill + paged two-tier KV +
+// continuous batching. Virtual compute by default so the stock 64-session
+// 2K–256K mix finishes in CI time; --execute runs the real model math and
+// --verify replays every session bitwise against the monolithic
+// nn::InferenceSession.
+int cmd_serve(int argc, char** argv, int base) {
+  serve::ServeOptions opt;
+  std::string model_name = "tiny-gpt";
+  std::string backend;
+  std::string fault_spec;
+  std::string metrics_path;
+  bool print_transcript = false;
+  cli::FlagParser f("serve", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--sessions", &opt.traffic.sessions)) continue;
+    if (f.match("--seed", &opt.traffic.seed)) continue;
+    if (f.match_tokens("--min-len", &opt.traffic.min_prompt_tokens)) continue;
+    if (f.match_tokens("--max-len", &opt.traffic.max_prompt_tokens)) continue;
+    if (f.match("--decode-min", &opt.traffic.min_decode_tokens)) continue;
+    if (f.match("--decode-max", &opt.traffic.max_decode_tokens)) continue;
+    if (f.match_tokens("--page-tokens", &opt.page_tokens)) continue;
+    if (f.match_tokens("--chunk-tokens", &opt.chunk_tokens)) continue;
+    if (f.match("--max-active", &opt.max_active)) continue;
+    if (f.match("--gpus", &opt.world)) continue;
+    if (f.match_tokens("--hbm", &opt.hbm_bytes)) continue;
+    if (f.match("--model", &model_name)) continue;
+    if (f.match("--backend", &backend)) continue;
+    if (f.match("--faults", &fault_spec)) continue;
+    if (f.match("--metrics", &metrics_path)) continue;
+    if (f.match_set("--execute", &opt.execute)) continue;
+    if (f.match_set("--verify", &opt.verify)) continue;
+    if (f.match_set("--print-transcript", &print_transcript)) continue;
+    f.unknown();
+  }
+  if (opt.verify) opt.execute = true;
+  opt.model = nn::model_by_name(model_name);
+  kernels::BackendScope scope(backend);
+  if (!fault_spec.empty()) fault::FaultInjector::instance().configure(fault_spec);
+
+  std::cout << "serve: model " << opt.model.name << " gpus " << opt.world << " | sessions "
+            << opt.traffic.sessions << " seed " << opt.traffic.seed << " prompts "
+            << format_token_count(opt.traffic.min_prompt_tokens) << ".."
+            << format_token_count(opt.traffic.max_prompt_tokens) << " decode "
+            << opt.traffic.min_decode_tokens << ".." << opt.traffic.max_decode_tokens << "\n";
+  std::cout << "serve: page " << format_token_count(opt.page_tokens) << " tokens, chunk "
+            << format_token_count(opt.chunk_tokens) << " tokens, max-active " << opt.max_active
+            << ", hbm " << format_bytes(opt.hbm_bytes) << ", "
+            << (opt.execute ? "executed" : "virtual") << " compute, backend "
+            << kernels::active_name() << "\n";
+
+  serve::ServingEngine engine(opt);
+  const serve::ServeReport report = engine.run();
+
+  if (print_transcript) {
+    for (const std::string& line : report.transcript) std::cout << line << "\n";
+  }
+  std::cout << report.table();
+  std::cout << report.summary() << "\n";
+  std::cout << report.timeline.to_string() << "\n";
+  if (!fault_spec.empty()) {
+    std::cout << fault::FaultInjector::instance().stats().to_string();
+    fault::FaultInjector::instance().disable();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << obs::MetricsRegistry::global().json();
+    std::cout << "serve: metrics -> " << metrics_path << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -604,6 +685,7 @@ int main(int argc, char** argv) {
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
     if (cmd == "tune") return cmd_tune(argc, argv, 2);
     if (cmd == "bench") return cmd_bench(argc, argv, 2);
+    if (cmd == "serve") return cmd_serve(argc, argv, 2);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
