@@ -3,8 +3,10 @@
 # the schema-versioned snapshot document, asserts the accounting invariants
 # the workmeter design promises, and diffs the deterministic (virtual-clock)
 # fields against the committed baseline:
-#   - schema is exactly fpdt-bench/1 with every field present per suite;
+#   - schema is exactly fpdt-bench/2 with every field present per suite;
 #   - 0 < MFU <= 1 and flops/op_bytes/peak_hbm > 0 on every row;
+#   - the topo suite splits traffic across both link classes (intra and
+#     inter bytes > 0, inter_bw_util in (0, 1]); flat suites report zeros;
 #   - scalar and simd report bit-identical FLOP/byte counts, virtual time,
 #     MFU and loss per suite (work is charged analytically from shapes, so
 #     the backend must not change the accounting);
@@ -43,11 +45,11 @@ import json, sys
 snapshot_path, baseline_path = sys.argv[1], sys.argv[2]
 doc = json.load(open(snapshot_path))
 
-assert doc["schema"] == "fpdt-bench/1", f"unknown schema {doc['schema']!r}"
+assert doc["schema"] == "fpdt-bench/2", f"unknown schema {doc['schema']!r}"
 required = {"suite", "backend", "config", "wall_s", "cpu_s",
             "parallel_efficiency", "virtual_step_s", "mfu", "achieved_gbps",
             "arith_intensity", "overlap", "flops", "op_bytes", "peak_hbm",
-            "loss"}
+            "intra_link_bytes", "inter_link_bytes", "inter_bw_util", "loss"}
 for row in doc["suites"]:
     missing = required - set(row)
     assert not missing, f"{row.get('suite')}/{row.get('backend')} missing {missing}"
@@ -62,6 +64,16 @@ for row in doc["suites"]:
     assert row["peak_hbm"] > 0, f"{who}: zero peak hbm"
     assert row["virtual_step_s"] > 0, f"{who}: zero virtual step"
     assert 0.0 <= row["overlap"] <= 1.0, f"{who}: overlap {row['overlap']}"
+    if row["suite"] == "topo":
+        # Hierarchical routing must split traffic across both link classes
+        # and keep a sane inter-node occupancy fraction.
+        assert row["intra_link_bytes"] > 0, f"{who}: no intra-link traffic"
+        assert row["inter_link_bytes"] > 0, f"{who}: no inter-link traffic"
+        assert 0.0 < row["inter_bw_util"] <= 1.0, \
+            f"{who}: inter_bw_util {row['inter_bw_util']} outside (0, 1]"
+    else:
+        assert row["intra_link_bytes"] == 0 and row["inter_link_bytes"] == 0, \
+            f"{who}: flat suite reported link traffic"
 
 # Backend invariance: the workmeter charges analytic shape costs, so the
 # same suite on scalar vs simd must account identical work and identical
@@ -72,7 +84,8 @@ for row in doc["suites"]:
 for suite, rows in by_suite.items():
     if {"scalar", "simd"} <= set(rows):
         sc, sd = rows["scalar"], rows["simd"]
-        for f in ("flops", "op_bytes", "virtual_step_s", "mfu", "peak_hbm"):
+        for f in ("flops", "op_bytes", "virtual_step_s", "mfu", "peak_hbm",
+                  "intra_link_bytes", "inter_link_bytes"):
             assert sc[f] == sd[f], \
                 f"{suite}: scalar/simd disagree on {f}: {sc[f]} vs {sd[f]}"
         # Loss is NOT bit-identical across backends (the AVX2 path uses FMA
@@ -94,7 +107,8 @@ new_rows = {(r["suite"], r["backend"]): r for r in doc["suites"]}
 assert set(base_rows) == set(new_rows), \
     f"suite/backend set changed: {set(base_rows) ^ set(new_rows)}"
 
-INT_FIELDS = ("flops", "op_bytes", "peak_hbm")
+INT_FIELDS = ("flops", "op_bytes", "peak_hbm", "intra_link_bytes",
+              "inter_link_bytes")
 FLOAT_FIELDS = ("virtual_step_s", "mfu", "achieved_gbps", "arith_intensity",
                 "overlap", "loss")
 REL_TOL = 1e-6

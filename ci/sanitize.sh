@@ -22,7 +22,7 @@ run_lane() {
   # stream/prefetch engine, the thread pool, the chunked executors, and the
   # tracer/metrics layer that all of them publish into concurrently.
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" \
-    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner|Elastic|Reshard|Collectives|GroupView|Serve'
+    -R 'Stream|Prefetch|ThreadPool|MemoryPool|ChunkStore|Fpdt|Tracer|Metrics|Profiler|Timeline|Fault|Chaos|Resilient|Zero|RankOrdinal|SearchSpace|Planner|PruneSoundness|Tune|Runner|Elastic|Reshard|Collectives|GroupView|Serve|Topology|TopoModel|HierDifferential|Hierarchical|Grid2D'
   # Kernel-backend matrix: the math-kernel suites must hold under both the
   # scalar reference and the simd backend. The simd lane is the one that can
   # race — its GEMM/attention forks rows across the thread pool — so TSan
@@ -75,6 +75,13 @@ run_lane() {
   # virtual workload, executed chunked-prefill differential verify, and the
   # fault-injected KV-offload lane, under both kernel backends.
   ci/serve_smoke.sh "$dir"
+  # Topology smoke under the sanitizer: flat-vs-hierarchical collective
+  # bitwise differential, 2D-vs-1D trainer loss bit-identity under both
+  # kernel backends, the weak-scaling CSV shape contract, and a rank loss
+  # inside the 2D grid with the elastic twin intact. The hierarchical group
+  # runs its phase subgroups concurrently from parallel_for_ranks callers,
+  # so its link-ledger locking is exactly what TSan is for.
+  ci/topo_smoke.sh "$dir"
 }
 
 lanes=("$@")

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Topology / 2D-parallelism smoke lane: runs the `fpdt topo` drills on an
+# existing build and asserts the hierarchical contracts end to end:
+#   - flat-vs-hierarchical differential: every collective of the
+#     HierarchicalProcessGroup returns payloads bitwise identical to the
+#     flat seed group across ranks {4,8,16} x nodes {1,2,4} (--verify);
+#   - 2D-vs-1D trainer bit-identity: a 2x2 (seq x head) grid training step
+#     produces a loss bitwise equal to the 1D run at equal world, under
+#     both kernel backends, while charging real inter-node link traffic
+#     (--grid-check);
+#   - weak-scaling shape contract: the 64..1024-rank sweep writes
+#     weak_scaling.csv with the expected header/row shape and the
+#     hierarchical routing strictly beats flat on every multi-node point
+#     whenever the inter-node link is slower (--check);
+#   - elastic rank-loss-in-grid: a seeded ZeRO-3 rank loss inside a 2D grid
+#     re-plans, re-shards and resumes with the bitwise twin intact.
+#
+# The differential drills are run under both kernel backends: the payload
+# contract is about routing, so no backend may perturb it.
+#
+#   ci/topo_smoke.sh [build_dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FPDT="$(pwd)/$BUILD_DIR/tools/fpdt"
+if [[ ! -x "$FPDT" ]]; then
+  echo "topo_smoke: $FPDT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+for kb in scalar simd; do
+  echo "--- topo lane: FPDT_KERNEL_BACKEND=$kb ---"
+  FPDT_KERNEL_BACKEND="$kb" "$FPDT" topo --verify
+  FPDT_KERNEL_BACKEND="$kb" "$FPDT" topo --grid-check
+done
+
+csv="$workdir/weak_scaling.csv"
+(cd "$workdir" && "$FPDT" topo --ranks 64..1024 --check --csv "$csv")
+
+# CSV shape: the exact header the plotting/DESIGN contract names, plus one
+# row per doubling in 64..1024 (5 rows).
+head -n1 "$csv" | grep -qx \
+  "gpus,nodes,seq_global,flat_step_s,hier_step_s,speedup,flat_mfu,hier_mfu,flat_inter_util,hier_inter_util" \
+  || { echo "topo_smoke: weak_scaling.csv header drifted" >&2; exit 1; }
+rows=$(($(wc -l < "$csv") - 1))
+[[ "$rows" -eq 5 ]] \
+  || { echo "topo_smoke: expected 5 weak-scaling rows (64..1024), got $rows" >&2; exit 1; }
+
+# Elastic rank loss inside the 2D grid: the re-plan must carry the grid and
+# the twin must still verify bitwise.
+elastic_out="$workdir/elastic_grid.out"
+(cd "$workdir" && "$FPDT" elastic \
+    --scenario 'ranklost:step=1,rank=1' --steps 3 \
+    --gpus 4 --chunks 2 --chunk-tokens 16 --zero-stage 3 \
+    --ranks-per-node 2 --head-degree 2) | tee "$elastic_out"
+grep -q "elastic: completed 3/3 steps" "$elastic_out" \
+  || { echo "topo_smoke: elastic grid run did not complete" >&2; exit 1; }
+grep -q "grid rpn=2 hd=2" "$elastic_out" \
+  || { echo "topo_smoke: elastic run lost the grid declaration" >&2; exit 1; }
+grep -q "twin verified .* match bitwise" "$elastic_out" \
+  || { echo "topo_smoke: elastic twin not bitwise after grid rank loss" >&2; exit 1; }
+
+echo "topo_smoke: differential, grid bit-identity, weak-scaling shape and elastic grid lanes all hold"

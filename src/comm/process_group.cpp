@@ -27,7 +27,10 @@ std::string CommResult::to_string() const {
   return s;
 }
 
-ProcessGroup::ProcessGroup(int world_size) : world_size_(world_size) {
+ProcessGroup::ProcessGroup(int world_size) : ProcessGroup(world_size, /*draw_faults=*/true) {}
+
+ProcessGroup::ProcessGroup(int world_size, bool draw_faults)
+    : world_size_(world_size), draw_faults_(draw_faults) {
   FPDT_CHECK_GE(world_size, 1) << " process group size";
 }
 
@@ -128,8 +131,12 @@ void survive_faults(const char* what, int world) {
 
 }  // namespace
 
+void ProcessGroup::guard(const char* what) const {
+  if (draw_faults_) survive_faults(what, world_size_);
+}
+
 std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
-  survive_faults("a2a_heads_to_seq", world_size_);
+  guard("a2a_heads_to_seq");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_to_all input count";
   const std::int64_t s_local = local[0].dim(0);
@@ -155,14 +162,16 @@ std::vector<Tensor> ProcessGroup::all_to_all_heads_to_seq(std::span<const Tensor
     }
     out.push_back(std::move(gathered));
   }
-  stats_.all_to_all.fetch_add(P * s_local * h_global * d * 2,  // logical BF16 bytes
+  // Remote-destined bytes only: each rank keeps its own head block
+  // (h_local of h_global); that local copy never touches a link.
+  stats_.all_to_all.fetch_add(P * s_local * (h_global - h_local) * d * 2,  // logical BF16
                               std::memory_order_relaxed);
-  trace_collective("a2a heads_to_seq", P, s_local * h_global * d * 2, stats());
+  trace_collective("a2a heads_to_seq", P, s_local * (h_global - h_local) * d * 2, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor> global) const {
-  survive_faults("a2a_seq_to_heads", world_size_);
+  guard("a2a_seq_to_heads");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(global.size()), P) << " all_to_all input count";
   const std::int64_t s_global = global[0].dim(0);
@@ -185,13 +194,15 @@ std::vector<Tensor> ProcessGroup::all_to_all_seq_to_heads(std::span<const Tensor
     }
     out.push_back(std::move(scattered));
   }
-  stats_.all_to_all.fetch_add(P * s_local * h_global * d * 2, std::memory_order_relaxed);
-  trace_collective("a2a seq_to_heads", P, s_local * h_global * d * 2, stats());
+  // Remote-destined bytes only, mirroring heads_to_seq.
+  stats_.all_to_all.fetch_add(P * s_local * (h_global - h_local) * d * 2,
+                              std::memory_order_relaxed);
+  trace_collective("a2a seq_to_heads", P, s_local * (h_global - h_local) * d * 2, stats());
   return out;
 }
 
 std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) const {
-  survive_faults("all_gather", world_size_);
+  guard("all_gather");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_gather input count";
   Tensor full = concat0(local);
@@ -205,7 +216,7 @@ std::vector<Tensor> ProcessGroup::all_gather(std::span<const Tensor> local) cons
 }
 
 std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) const {
-  survive_faults("reduce_scatter", world_size_);
+  guard("reduce_scatter");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(full.size()), P) << " reduce_scatter input count";
   Tensor sum = full[0].clone();
@@ -221,7 +232,7 @@ std::vector<Tensor> ProcessGroup::reduce_scatter(std::span<const Tensor> full) c
 }
 
 std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) const {
-  survive_faults("all_reduce", world_size_);
+  guard("all_reduce");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " all_reduce input count";
   Tensor sum = local[0].clone();
@@ -235,7 +246,7 @@ std::vector<Tensor> ProcessGroup::all_reduce(std::span<const Tensor> local) cons
 }
 
 std::vector<Tensor> ProcessGroup::ring_shift(std::span<const Tensor> local) const {
-  survive_faults("ring_shift", world_size_);
+  guard("ring_shift");
   const int P = world_size_;
   FPDT_CHECK_EQ(static_cast<int>(local.size()), P) << " ring_shift input count";
   std::vector<Tensor> out(static_cast<std::size_t>(P));
@@ -267,9 +278,9 @@ std::vector<int> checked_members(const ProcessGroup& parent, std::vector<int> me
 
 }  // namespace
 
-GroupView::GroupView(ProcessGroup& parent, std::vector<int> members)
+GroupView::GroupView(ProcessGroup& parent, std::vector<int> members, bool draw_faults)
     : parent_(&parent),
-      sub_(static_cast<int>(checked_members(parent, members).size())),
+      sub_(static_cast<int>(checked_members(parent, members).size()), draw_faults),
       members_(checked_members(parent, std::move(members))) {}
 
 int GroupView::global_rank(int ordinal) const {
@@ -281,14 +292,46 @@ bool GroupView::contains(int global_rank) const {
   return std::binary_search(members_.begin(), members_.end(), global_rank);
 }
 
-// The sub-group moves the data (and draws faults) at size() ranks; its byte
-// deltas are folded back into the parent's counters so fleet-level comm
-// accounting includes survivor-only coordination traffic.
+GroupView GroupView::subview(const std::vector<int>& ordinals) const {
+  std::vector<int> globals;
+  globals.reserve(ordinals.size());
+  for (int o : ordinals) globals.push_back(global_rank(o));
+  return GroupView(*parent_, std::move(globals));
+}
+
+// The sub-group moves the data (and draws faults, unless this view skips
+// them) at size() ranks; its byte deltas are folded back into the parent's
+// counters so fleet-level comm accounting includes survivor-only
+// coordination traffic and hierarchical phase traffic alike.
+std::vector<Tensor> GroupView::all_to_all_heads_to_seq(std::span<const Tensor> local) const {
+  const std::int64_t before = sub_.stats().all_to_all_bytes;
+  std::vector<Tensor> out = sub_.all_to_all_heads_to_seq(local);
+  parent_->stats_.all_to_all.fetch_add(sub_.stats().all_to_all_bytes - before,
+                                       std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<Tensor> GroupView::all_to_all_seq_to_heads(std::span<const Tensor> global) const {
+  const std::int64_t before = sub_.stats().all_to_all_bytes;
+  std::vector<Tensor> out = sub_.all_to_all_seq_to_heads(global);
+  parent_->stats_.all_to_all.fetch_add(sub_.stats().all_to_all_bytes - before,
+                                       std::memory_order_relaxed);
+  return out;
+}
+
 std::vector<Tensor> GroupView::all_gather(std::span<const Tensor> local) const {
   const std::int64_t before = sub_.stats().all_gather_bytes;
   std::vector<Tensor> out = sub_.all_gather(local);
   parent_->stats_.all_gather.fetch_add(sub_.stats().all_gather_bytes - before,
                                        std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<Tensor> GroupView::reduce_scatter(std::span<const Tensor> full) const {
+  const std::int64_t before = sub_.stats().reduce_scatter_bytes;
+  std::vector<Tensor> out = sub_.reduce_scatter(full);
+  parent_->stats_.reduce_scatter.fetch_add(sub_.stats().reduce_scatter_bytes - before,
+                                           std::memory_order_relaxed);
   return out;
 }
 

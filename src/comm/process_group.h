@@ -14,6 +14,10 @@
 //   per rank  [s_local, h_global, d]  ->  [s_global, h_local, d]
 // where h_local = h_global / P and s_global = P * s_local, with received
 // sequence pieces concatenated in rank order.
+//
+// Collectives are virtual: comm::HierarchicalProcessGroup
+// (hierarchical_group.h) overrides them with a topology-aware two-phase
+// decomposition that is payload-bitwise-identical to this flat group.
 #pragma once
 
 #include <atomic>
@@ -24,6 +28,7 @@
 
 #include "common/check.h"
 #include "tensor/tensor.h"
+#include "topo/topology.h"
 
 namespace fpdt::comm {
 
@@ -83,6 +88,7 @@ class CommError : public FpdtError {
 class ProcessGroup {
  public:
   explicit ProcessGroup(int world_size);
+  virtual ~ProcessGroup() = default;
 
   int world_size() const { return world_size_; }
 
@@ -96,33 +102,38 @@ class ProcessGroup {
   CommStats stats() const;
   void reset_stats();
 
+  // Per-link traffic counters and the topology behind them. The flat group
+  // has neither: all zeros / nullptr. HierarchicalProcessGroup overrides
+  // all three.
+  virtual topo::LinkStats link_stats() const { return {}; }
+  virtual void reset_link_stats() {}
+  virtual const topo::Topology* topology() const { return nullptr; }
+
   // Ulysses forward re-shard. Each rank holds [s_local, h_global, d] with
   // h_global divisible by P; returns per-rank [P*s_local, h_global/P, d].
   // Received pieces are concatenated along sequence in rank order, so with
   // the rank-ordinal chunk layout (Fig. 6) the result is a contiguous slice
   // of the global sequence.
-  std::vector<Tensor> all_to_all_heads_to_seq(std::span<const Tensor> local) const;
+  virtual std::vector<Tensor> all_to_all_heads_to_seq(std::span<const Tensor> local) const;
 
   // Exact inverse of all_to_all_heads_to_seq.
-  std::vector<Tensor> all_to_all_seq_to_heads(std::span<const Tensor> global) const;
+  virtual std::vector<Tensor> all_to_all_seq_to_heads(std::span<const Tensor> global) const;
 
   // Concatenate per-rank shards along dim 0 onto every rank.
-  std::vector<Tensor> all_gather(std::span<const Tensor> local) const;
+  virtual std::vector<Tensor> all_gather(std::span<const Tensor> local) const;
 
   // Elementwise-sum all inputs, then hand rank r the r-th dim-0 slice.
   // Inputs must share a shape whose dim 0 is divisible by P.
-  std::vector<Tensor> reduce_scatter(std::span<const Tensor> full) const;
+  virtual std::vector<Tensor> reduce_scatter(std::span<const Tensor> full) const;
 
   // Elementwise sum replicated to every rank.
-  std::vector<Tensor> all_reduce(std::span<const Tensor> local) const;
+  virtual std::vector<Tensor> all_reduce(std::span<const Tensor> local) const;
 
   // Ring shift: rank r's tensor is delivered to rank (r + 1) % P.
   // The building block of Ring Attention's KV rotation.
-  std::vector<Tensor> ring_shift(std::span<const Tensor> local) const;
+  virtual std::vector<Tensor> ring_shift(std::span<const Tensor> local) const;
 
- private:
-  friend class GroupView;
-
+ protected:
   // One relaxed atomic per counter (collectives are const and concurrent).
   struct AtomicStats {
     std::atomic<std::int64_t> all_to_all{0};
@@ -132,30 +143,56 @@ class ProcessGroup {
     std::atomic<std::int64_t> p2p{0};
   };
 
+  // Fault-injection entry at the top of every collective: one draw per
+  // collective at group scope (see the .cpp for the full semantics). A
+  // group with fault draws disabled (the internal phase sub-groups of
+  // HierarchicalProcessGroup, which draws once itself at full world scope)
+  // skips it so the deterministic draw sequence matches the flat group's.
+  void guard(const char* what) const;
+
   mutable AtomicStats stats_;
+
+ private:
+  friend class GroupView;
+
+  ProcessGroup(int world_size, bool draw_faults);
+
   int world_size_;
+  bool draw_faults_ = true;
 };
 
 // ---- GroupView -------------------------------------------------------------
 // A communicator restricted to a healthy subset of a parent group's ranks —
 // the NCCL "shrunken communicator" the elastic layer rebuilds after rank
-// loss. Ordinals 0..size()-1 are dense over `members` (ascending global
-// rank); global_rank() maps back. Collectives run over the members only and
-// are charged to the *parent* group's byte counters, so `fpdt`'s comm
+// loss, and the phase subgroup the hierarchical group decomposes over.
+// Ordinals 0..size()-1 are dense over `members` (ascending global rank);
+// global_rank() maps back. Collectives run over the members only and are
+// charged to the *parent* group's byte counters, so `fpdt`'s comm
 // accounting stays whole-fleet even while a reshard coordinates over
-// survivors.
+// survivors (or a collective phase runs over one node's ranks).
 class GroupView {
  public:
   // `members`: distinct ranks of `parent`, at least one. Kept sorted.
-  GroupView(ProcessGroup& parent, std::vector<int> members);
+  // `draw_faults` = false skips the per-collective fault draw inside this
+  // view (the caller draws at its own scope — hierarchical phases).
+  GroupView(ProcessGroup& parent, std::vector<int> members, bool draw_faults = true);
 
   int size() const { return sub_.world_size(); }
   int global_rank(int ordinal) const;
   bool contains(int global_rank) const;
   const std::vector<int>& members() const { return members_; }
 
+  // Nested subgroup: a view over the same parent restricted to the given
+  // *ordinals* of this view (e.g. the intra-node slice of a survivor set).
+  // Accounting still lands on the shared parent, so a rank that belongs to
+  // both an intra-node and an inter-node view charges one counter set.
+  GroupView subview(const std::vector<int>& ordinals) const;
+
   // Collectives over the member subset (inputs/outputs in ordinal order).
+  std::vector<Tensor> all_to_all_heads_to_seq(std::span<const Tensor> local) const;
+  std::vector<Tensor> all_to_all_seq_to_heads(std::span<const Tensor> global) const;
   std::vector<Tensor> all_gather(std::span<const Tensor> local) const;
+  std::vector<Tensor> reduce_scatter(std::span<const Tensor> full) const;
   std::vector<Tensor> all_reduce(std::span<const Tensor> local) const;
 
  private:

@@ -57,6 +57,22 @@ struct FpdtConfig {
   //       stage is bit-identical to stage 0 (tests/test_zero.cpp).
   int zero_stage = -1;
 
+  // Physical grid shape (topo/topology.h): ranks per node of the emulated
+  // fleet. 0 (the default) keeps the seed's flat fabric. When it divides the
+  // world with more than one node, FpdtEnv builds a
+  // comm::HierarchicalProcessGroup over the node-major grid — collectives
+  // are payload-bitwise-identical to flat, but traffic is routed and priced
+  // intra-node vs inter-node.
+  int ranks_per_node = 0;
+
+  // Head-parallel degree of the 2D (sequence × head) grid, the Untied
+  // Ulysses decomposition (parallel/grid2d.h): the head All2All spans
+  // `head_degree` ranks on the fast intra-node axis, the sequence axis
+  // spans world / head_degree. 0 (the default) = 1D sequence parallelism.
+  // Must divide the world, the model's head count and (when set) the
+  // ranks-per-node, so the head axis never leaves the node.
+  int head_degree = 0;
+
   // Math-kernel backend for the run (kernels/backend.h): "scalar" (the
   // bit-exact reference), "simd" (AVX2/FMA with portable fallback), or ""
   // (the default) to inherit the process default — FPDT_KERNEL_BACKEND or
@@ -76,7 +92,8 @@ struct FpdtConfig {
            ";ffn=" + std::to_string(ffn_chunk_multiplier) +
            ";lm=" + std::to_string(lm_head_chunks) +
            ";cf=" + (cache_forward_outputs ? "1" : "0") + ";z=" + std::to_string(zero_stage) +
-           ";kb=" + (kernel_backend.empty() ? "scalar" : kernel_backend);
+           ";kb=" + (kernel_backend.empty() ? "scalar" : kernel_backend) +
+           ";rpn=" + std::to_string(ranks_per_node) + ";hd=" + std::to_string(head_degree);
   }
 
   // Deterministic fault-injection spec (fault/fault_injector.h), e.g.

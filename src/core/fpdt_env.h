@@ -7,12 +7,15 @@
 #include <string>
 #include <vector>
 
+#include "comm/hierarchical_group.h"
 #include "comm/process_group.h"
 #include "common/logging.h"
 #include "core/fpdt_config.h"
 #include "fault/fault_injector.h"
 #include "kernels/backend.h"
 #include "runtime/device.h"
+#include "sim/hardware.h"
+#include "topo/topology.h"
 
 namespace fpdt::core {
 
@@ -22,7 +25,7 @@ class FpdtEnv {
   // make OOM observable (capacity experiments).
   FpdtEnv(int world, FpdtConfig cfg, std::int64_t hbm_capacity_bytes = -1,
           std::int64_t host_capacity_bytes = -1)
-      : pg_(world),
+      : pg_(make_group(world, cfg)),
         host_(host_capacity_bytes),
         cfg_(cfg),
         kernel_scope_(std::getenv("FPDT_KERNEL_BACKEND") != nullptr ? std::string()
@@ -57,8 +60,8 @@ class FpdtEnv {
   FpdtEnv(FpdtEnv&&) = delete;
   FpdtEnv& operator=(FpdtEnv&&) = delete;
 
-  int world() const { return pg_.world_size(); }
-  comm::ProcessGroup& pg() { return pg_; }
+  int world() const { return pg_->world_size(); }
+  comm::ProcessGroup& pg() { return *pg_; }
   runtime::Device& device(int r) { return *devices_[static_cast<std::size_t>(r)]; }
   runtime::Host& host() { return host_; }
   const FpdtConfig& cfg() const { return cfg_; }
@@ -111,7 +114,21 @@ class FpdtEnv {
   }
 
  private:
-  comm::ProcessGroup pg_;
+  // cfg.ranks_per_node carving the world into >1 full nodes selects the
+  // topology-aware group; anything else (0, non-dividing, single node)
+  // keeps the seed's flat fabric. Collectives are payload-bitwise-identical
+  // either way, so this is a routing/accounting choice, never a numerics
+  // one.
+  static std::unique_ptr<comm::ProcessGroup> make_group(int world, const FpdtConfig& cfg) {
+    const int rpn = cfg.ranks_per_node;
+    if (rpn > 0 && world > rpn && world % rpn == 0) {
+      return std::make_unique<comm::HierarchicalProcessGroup>(
+          topo::Topology::grid(world / rpn, rpn, sim::a100_80g_node()));
+    }
+    return std::unique_ptr<comm::ProcessGroup>(new comm::ProcessGroup(world));
+  }
+
+  std::unique_ptr<comm::ProcessGroup> pg_;
   std::vector<std::unique_ptr<runtime::Device>> devices_;
   runtime::Host host_;
   FpdtConfig cfg_;

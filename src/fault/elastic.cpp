@@ -85,6 +85,19 @@ void ElasticWorldManager::quiesce() {
   note(os.str());
 }
 
+namespace {
+
+// Largest divisor of n no bigger than cap (>= 1); the shrink rule for both
+// grid axes: keep as much of the operator's grid as the new world allows.
+int largest_divisor_leq(int n, int cap) {
+  for (int d = std::min(n, cap); d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+}  // namespace
+
 WorldPlan ElasticWorldManager::plan_world(int max_world) const {
   const ResilientOptions& o = rt_.options();
   for (int w = std::min(max_world, initial_world_); w >= 1; --w) {
@@ -104,9 +117,23 @@ WorldPlan ElasticWorldManager::plan_world(int max_world) const {
     req.space.offload = {o.cfg.offload};
     req.space.double_buffer = {o.cfg.double_buffer};
     req.space.cache_fwd = {o.cfg.cache_forward_outputs};
+    // Re-plan the 2D grid at the new world: shrink ranks-per-node to the
+    // largest divisor of w, then the head axis to the largest degree that
+    // still divides the node, the world and the head count
+    // (parallel/grid2d.h's validity rules).
+    int rpn = o.cfg.ranks_per_node > 0 ? largest_divisor_leq(w, o.cfg.ranks_per_node) : 0;
+    int hd = 0;
+    if (o.cfg.head_degree > 0) {
+      for (int h = std::min(o.cfg.head_degree, w); h >= 1; --h) {
+        if (w % h != 0 || o.model.n_head % h != 0) continue;
+        if (rpn > 0 && rpn % h != 0) continue;
+        hd = h;
+        break;
+      }
+    }
     for (const tune::PlannedCandidate& pc : tune::Planner(req).plan()) {
       if (pc.pruned) continue;
-      return WorldPlan{w, pc.cand.cfg.chunks_per_rank, pc.cand.label};
+      return WorldPlan{w, pc.cand.cfg.chunks_per_rank, rpn, hd, pc.cand.label};
     }
   }
   throw FpdtError("elastic: no valid world <= " + std::to_string(max_world) + " for " +
@@ -209,6 +236,9 @@ WorldPlan ElasticWorldManager::on_rank_lost(const comm::CommResult& res) {
     std::ostringstream os;
     os << "plan: world " << cur << " -> " << plan.world << " (chunks_per_rank "
        << plan.chunks_per_rank << ", candidate " << plan.label << ")";
+    if (plan.ranks_per_node > 0 || plan.head_degree > 0) {
+      os << " grid rpn=" << plan.ranks_per_node << " hd=" << plan.head_degree;
+    }
     note(os.str());
   }
   reshard_to(plan, ordinal);
@@ -298,6 +328,9 @@ std::optional<WorldPlan> ElasticWorldManager::on_step_complete(std::int64_t step
     std::ostringstream os;
     os << "plan: world " << cur << " -> " << plan.world << " (chunks_per_rank "
        << plan.chunks_per_rank << ", candidate " << plan.label << ")";
+    if (plan.ranks_per_node > 0 || plan.head_degree > 0) {
+      os << " grid rpn=" << plan.ranks_per_node << " hd=" << plan.head_degree;
+    }
     note(os.str());
   }
   reshard_to(plan, /*exclude_ordinal=*/-1);
@@ -402,6 +435,8 @@ ElasticResult run_elastic(const ElasticOptions& opt) {
   ro.world = opt.world;
   ro.cfg.chunks_per_rank = opt.chunks;
   ro.cfg.zero_stage = opt.zero_stage;
+  ro.cfg.ranks_per_node = opt.ranks_per_node;
+  ro.cfg.head_degree = opt.head_degree;
   ro.chunk_tokens = opt.chunk_tokens;
   ro.hbm_capacity_bytes = opt.hbm_capacity_bytes;
   ro.model_seed = opt.seed;

@@ -59,6 +59,12 @@ namespace fpdt::fault {
 struct WorldPlan {
   int world = 0;
   std::int64_t chunks_per_rank = 0;
+  // Re-planned 2D grid for the new world (parallel/grid2d.h): the largest
+  // ranks-per-node / head-degree no bigger than the operator's originals
+  // that still satisfy the grid divisibility rules at `world`. 0 = flat/1D,
+  // also when the operator never asked for a grid.
+  int ranks_per_node = 0;
+  int head_degree = 0;
   std::string label;  // planner candidate label, for the transcript
 };
 
@@ -149,6 +155,11 @@ struct ElasticOptions {
   std::uint64_t seed = 1234;
   std::int64_t hbm_capacity_bytes = -1;
   int zero_stage = 3;
+  // Physical grid of the elastic fleet (0 = the seed's flat fabric). With a
+  // grid, rank loss re-plans ranks-per-node and head-degree alongside the
+  // world (see WorldPlan) and the run uses hierarchical collectives.
+  int ranks_per_node = 0;
+  int head_degree = 0;
   // 8 heads so the world can shrink across {8, 4, 2, 1}.
   nn::ModelConfig model = nn::tiny_gpt(64, 2, 8, 96);
   std::string checkpoint_path = "fpdt_elastic.ckpt";

@@ -79,6 +79,10 @@ void ResilientTrainer::apply_world_plan(const WorldPlan& plan) {
       << " elastic plan must preserve s_global divisibility";
   opt_.world = plan.world;
   opt_.cfg.chunks_per_rank = plan.chunks_per_rank;
+  // Re-planned grid shape rides along (0/0 when the run never had one);
+  // the rebuilt env routes collectives over the new topology.
+  opt_.cfg.ranks_per_node = plan.ranks_per_node;
+  opt_.cfg.head_degree = plan.head_degree;
   opt_.chunk_tokens = s_global_ / (plan.world * plan.chunks_per_rank);
   // The checkpoint was re-sharded to plan.world before this call; restoring
   // rebuilds the trainer at the new world and installs the re-split shards.

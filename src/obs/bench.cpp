@@ -60,6 +60,8 @@ std::string canonical_of(const ProfileOptions& opt) {
   fcfg.lm_head_chunks = opt.lm_head_chunks;
   fcfg.zero_stage = opt.zero_stage;
   fcfg.kernel_backend = opt.kernel_backend;
+  fcfg.ranks_per_node = opt.ranks_per_node;
+  fcfg.head_degree = opt.head_degree;
   return fcfg.canonical();
 }
 
@@ -88,6 +90,9 @@ BenchSuiteResult run_suite(std::string suite, ProfileOptions opt) {
   r.flops = st.flops;
   r.op_bytes = st.op_bytes;
   r.hbm_peak_bytes = st.hbm_peak_bytes;
+  r.intra_link_bytes = st.intra_link_bytes;
+  r.inter_link_bytes = st.inter_link_bytes;
+  r.inter_bw_util = st.inter_bw_util;
   r.loss = st.loss;
   return r;
 }
@@ -123,6 +128,23 @@ ProfileOptions overlap_suite(std::uint64_t seed, int steps) {
   o.world = 2;
   o.offload = true;
   o.double_buffer = true;
+  o.steps = steps;
+  o.seed = seed;
+  return o;
+}
+
+// topo: the hierarchical-collective path — 4 ranks carved into 2 emulated
+// nodes of 2, so every All2All runs the two-phase inter→intra decomposition
+// and the link counters split. The loss must equal a flat 4-rank run of the
+// same seed bitwise (the hierarchical group's payload contract); what this
+// suite tracks is the routing's virtual-clock cost and link occupancy.
+ProfileOptions topo_suite(std::uint64_t seed, int steps) {
+  ProfileOptions o;  // default tiny model (4 heads)
+  o.chunks = 4;
+  o.chunk_tokens = 64;
+  o.world = 4;
+  o.ranks_per_node = 2;
+  o.head_degree = 2;
   o.steps = steps;
   o.seed = seed;
   return o;
@@ -217,6 +239,9 @@ std::string BenchReport::json() const {
        << ",\"arith_intensity\":" << finite(r.arith_intensity)
        << ",\"overlap\":" << finite(r.overlap_ratio) << ",\"flops\":" << r.flops
        << ",\"op_bytes\":" << r.op_bytes << ",\"peak_hbm\":" << r.hbm_peak_bytes
+       << ",\"intra_link_bytes\":" << r.intra_link_bytes
+       << ",\"inter_link_bytes\":" << r.inter_link_bytes
+       << ",\"inter_bw_util\":" << finite(r.inter_bw_util)
        << ",\"loss\":" << finite(r.loss) << "}";
   }
   os << "]}";
@@ -225,12 +250,13 @@ std::string BenchReport::json() const {
 
 std::string BenchReport::table() const {
   TextTable t({"suite", "backend", "mfu", "gbps", "intensity", "overlap", "virtual_s", "cpu_s",
-               "wall_s", "par_eff"});
+               "wall_s", "par_eff", "inter_util"});
   for (const BenchSuiteResult& r : suites) {
     t.add_row({r.suite, r.backend, cell_pct(r.mfu), cell_f2(r.achieved_gbps),
                cell_f2(r.arith_intensity), cell_pct(r.overlap_ratio),
                format_seconds(r.virtual_step_s), format_seconds(r.cpu_s),
-               format_seconds(r.wall_s), cell_pct(r.parallel_efficiency)});
+               format_seconds(r.wall_s), cell_pct(r.parallel_efficiency),
+               r.inter_link_bytes > 0 ? cell_pct(r.inter_bw_util) : "-"});
   }
   std::ostringstream os;
   os << "fpdt bench — schema " << schema << ", rev " << git_rev << ", threads " << threads
@@ -258,6 +284,9 @@ BenchReport run_bench(const BenchOptions& opt, std::string* report_path) {
     ProfileOptions ov = overlap_suite(opt.seed, opt.steps);
     ov.kernel_backend = kb;
     rep.suites.push_back(run_suite("overlap", ov));
+    ProfileOptions tp = topo_suite(opt.seed, opt.steps);
+    tp.kernel_backend = kb;
+    rep.suites.push_back(run_suite("topo", tp));
   }
   // One tune-warm row on the process-default backend: the suite measures
   // cache replay, which is backend-independent.

@@ -14,6 +14,9 @@
 //   attn       attention-dominated step (long chunks, small model width);
 //   gemm       GEMM-dominated step (short sequence, wide FFN);
 //   overlap    prefetch/offload overlap path (double-buffered streaming);
+//   topo       hierarchical-collective path (2 emulated nodes x 2 ranks):
+//              same math as a flat run, with traffic split across the
+//              intra/inter link counters the schema-2 rows carry;
 //   tune-warm  `fpdt tune` warm-cache path: a cold tune populates a result
 //              cache, the timed run replays it warm; wall/cpu measure the
 //              warm tune() call, the roofline fields come from one profiled
@@ -33,7 +36,9 @@ namespace fpdt::obs {
 
 // Schema version of the snapshot document. Bump on any field change;
 // ci/bench_smoke.sh refuses snapshots whose schema it does not know.
-inline constexpr const char* kBenchSchema = "fpdt-bench/1";
+// Schema 2 added the per-link topology counters (intra/inter link bytes,
+// inter-node bandwidth utilization) and the "topo" suite.
+inline constexpr const char* kBenchSchema = "fpdt-bench/2";
 
 // One (suite, backend) measurement.
 struct BenchSuiteResult {
@@ -55,6 +60,11 @@ struct BenchSuiteResult {
   std::int64_t flops = 0;
   std::int64_t op_bytes = 0;
   std::int64_t hbm_peak_bytes = 0;
+  // Per-link traffic under a topology-aware group (schema 2): zero for the
+  // flat suites, split across both link classes for the "topo" suite.
+  std::int64_t intra_link_bytes = 0;
+  std::int64_t inter_link_bytes = 0;
+  double inter_bw_util = 0.0;
   double loss = 0.0;
 };
 

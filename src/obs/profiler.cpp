@@ -1,5 +1,6 @@
 #include "obs/profiler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <ctime>
@@ -18,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/baseline_trainer.h"
+#include "parallel/grid2d.h"
 #include "parallel/zero/sharded_optimizer.h"
 #include "sim/runtime_bridge.h"
 
@@ -75,6 +77,9 @@ std::string StepStats::json() const {
      << ",\"exposed_transfer_s\":" << finite(exposed_transfer_s)
      << ",\"overlap_ratio\":" << finite(overlap_ratio) << ",\"h2d_bytes\":" << h2d_bytes
      << ",\"d2h_bytes\":" << d2h_bytes << ",\"all2all_bytes\":" << all2all_bytes
+     << ",\"intra_link_bytes\":" << intra_link_bytes
+     << ",\"inter_link_bytes\":" << inter_link_bytes
+     << ",\"inter_bw_util\":" << finite(inter_bw_util)
      << ",\"hbm_peak_bytes\":" << hbm_peak_bytes
      << ",\"flops\":" << flops << ",\"op_bytes\":" << op_bytes
      << ",\"mfu\":" << finite(mfu) << ",\"achieved_gbps\":" << finite(achieved_gbps)
@@ -113,6 +118,7 @@ void StepProfiler::begin_step() {
   h2d_base_ = env_->device(0).transfers().h2d_bytes;
   d2h_base_ = env_->device(0).transfers().d2h_bytes;
   a2a_base_ = env_->pg().stats().all_to_all_bytes;
+  link_base_ = env_->pg().link_stats();
   work_base_ = Workmeter::instance().snapshot();
 }
 
@@ -136,6 +142,13 @@ StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
   st.h2d_bytes = env_->device(0).transfers().h2d_bytes - h2d_base_;
   st.d2h_bytes = env_->device(0).transfers().d2h_bytes - d2h_base_;
   st.all2all_bytes = env_->pg().stats().all_to_all_bytes - a2a_base_;
+  const topo::LinkStats link = env_->pg().link_stats();
+  st.intra_link_bytes = link.intra_bytes - link_base_.intra_bytes;
+  st.inter_link_bytes = link.inter_bytes - link_base_.inter_bytes;
+  if (st.virtual_step_s > 0.0) {
+    st.inter_bw_util =
+        std::min(1.0, (link.inter_busy_s - link_base_.inter_busy_s) / st.virtual_step_s);
+  }
   st.hbm_peak_bytes = env_->max_hbm_peak();
   for (const runtime::StreamSpan& s : env_->device(0).compute_stream().spans()) {
     st.phase_s[phase_of(s.label)] += s.duration();
@@ -175,6 +188,11 @@ StepStats StepProfiler::end_step(int step, std::int64_t tokens, double loss) {
   reg.counter("transfer.h2d_bytes", "rank=0").add(st.h2d_bytes);
   reg.counter("transfer.d2h_bytes", "rank=0").add(st.d2h_bytes);
   reg.counter("comm.all2all_bytes").add(st.all2all_bytes);
+  if (st.intra_link_bytes > 0 || st.inter_link_bytes > 0) {
+    reg.counter("comm.intra_link_bytes").add(st.intra_link_bytes);
+    reg.counter("comm.inter_link_bytes").add(st.inter_link_bytes);
+    reg.gauge("comm.inter_bw_util").set(st.inter_bw_util);
+  }
   reg.gauge("hbm.peak_bytes").set(static_cast<double>(st.hbm_peak_bytes));
   reg.gauge("overlap.ratio", "rank=0").set(st.overlap_ratio);
   reg.gauge("transfer.hidden_s", "rank=0").set(st.hidden_transfer_s);
@@ -219,7 +237,8 @@ std::string ProfileResult::json(const ProfileOptions& opt) const {
   os << "{\"strategy\":\"" << opt.strategy << "\",\"model\":\"" << opt.model.name
      << "\",\"world\":" << opt.world << ",\"steps\":" << opt.steps
      << ",\"chunks\":" << opt.chunks << ",\"chunk_tokens\":" << opt.chunk_tokens
-     << ",\"zero_stage\":" << opt.zero_stage << ",\"tokens_per_step\":" << tokens_per_step
+     << ",\"zero_stage\":" << opt.zero_stage << ",\"ranks_per_node\":" << opt.ranks_per_node
+     << ",\"head_degree\":" << opt.head_degree << ",\"tokens_per_step\":" << tokens_per_step
      << ",\"final_loss\":" << finite(final_loss) << ",\"step_stats\":[";
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (i > 0) os << ",";
@@ -252,7 +271,7 @@ ProfileResult run_profile(const ProfileOptions& opt) {
 
   const nn::ModelConfig cfg = opt.model;
   nn::Model model(cfg, opt.seed);
-  const sim::CostModel cm(sim::a100_80g_node(), opt.world);
+  const sim::CostModel cm(opt.hw, opt.world);
   const std::int64_t s_global = static_cast<std::int64_t>(opt.world) * opt.chunks *
                                 opt.chunk_tokens;
 
@@ -273,6 +292,11 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     fcfg.lm_head_chunks = opt.lm_head_chunks;
     fcfg.zero_stage = opt.zero_stage;
     fcfg.kernel_backend = opt.kernel_backend;
+    fcfg.ranks_per_node = opt.ranks_per_node;
+    fcfg.head_degree = opt.head_degree;
+    // Fail fast on grid shapes the model cannot carry (head_degree must
+    // divide the head count; Grid2D names the violated rule).
+    parallel::Grid2D::from_config(fcfg, opt.world, cfg.n_head);
     fpdt = std::make_unique<core::FpdtTrainer>(model, opt.world, fcfg,
                                                opt.hbm_capacity_bytes);
     env = &fpdt->env();
@@ -308,7 +332,7 @@ ProfileResult run_profile(const ProfileOptions& opt) {
     zopt = std::make_unique<zero::ShardedOptimizer>(*env, zero::ZeroConfig{opt.zero_stage});
   }
   data::SyntheticCorpus corpus(cfg.vocab, 7);
-  StepProfiler profiler(*env);
+  StepProfiler profiler(*env, opt.hw);
 
   ProfileResult result;
   result.tokens_per_step = s_global;

@@ -19,6 +19,7 @@
 #include "obs/workmeter.h"
 #include "runtime/stream.h"
 #include "sim/hardware.h"
+#include "topo/topology.h"
 
 namespace fpdt::obs {
 
@@ -56,6 +57,11 @@ struct StepStats {
   std::int64_t h2d_bytes = 0;       // rank-0 traffic during the step
   std::int64_t d2h_bytes = 0;
   std::int64_t all2all_bytes = 0;   // whole-group All2All traffic
+  // Per-link traffic of the step under a topology-aware group
+  // (comm::HierarchicalProcessGroup); all zero under the seed's flat fabric.
+  std::int64_t intra_link_bytes = 0;
+  std::int64_t inter_link_bytes = 0;
+  double inter_bw_util = 0.0;       // inter-link busy seconds / virtual_step_s
   std::int64_t hbm_peak_bytes = 0;  // max over ranks
   std::map<std::string, double> phase_s;  // phase -> rank-0 compute seconds
 
@@ -109,6 +115,7 @@ class StepProfiler {
   std::int64_t h2d_base_ = 0;
   std::int64_t d2h_base_ = 0;
   std::int64_t a2a_base_ = 0;
+  topo::LinkStats link_base_;
   WorkSnapshot work_base_;
   runtime::TimelineReport last_report_;
 };
@@ -150,6 +157,19 @@ struct ProfileOptions {
   // default (FPDT_KERNEL_BACKEND or "scalar"). Applied for the duration of
   // the profile run via kernels::BackendScope and restored afterwards.
   std::string kernel_backend;
+
+  // Hardware preset pricing the run: roofline denominators and the stream
+  // rates fed into the emulated devices (`--hw`, sim::hw_preset).
+  sim::HardwareSpec hw = sim::a100_80g_node();
+
+  // Topology / 2D-grid knobs forwarded into core::FpdtConfig (strategy
+  // "fpdt"): ranks_per_node > 0 carving the world into > 1 full nodes routes
+  // collectives through the hierarchical group; head_degree > 0 declares the
+  // fast head axis of the 2D grid (validated against the model's head count
+  // before the run starts). Payloads — and therefore losses — are bitwise
+  // identical to the flat/1D defaults.
+  int ranks_per_node = 0;
+  int head_degree = 0;
 };
 
 struct ProfileResult {

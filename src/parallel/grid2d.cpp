@@ -1,0 +1,92 @@
+#include "parallel/grid2d.h"
+
+#include "common/check.h"
+
+namespace fpdt::parallel {
+
+namespace {
+
+bool fail(std::string* why, const std::string& msg) {
+  if (why != nullptr) *why = msg;
+  return false;
+}
+
+}  // namespace
+
+bool Grid2D::valid(int world, int ranks_per_node, int head_degree, int n_head,
+                   std::string* why) {
+  if (world < 1) return fail(why, "world must be >= 1");
+  if (n_head < 1) return fail(why, "n_head must be >= 1");
+  if (head_degree <= 0) return true;  // 1D degenerate
+  if (world % head_degree != 0) {
+    return fail(why, "head_degree " + std::to_string(head_degree) + " does not divide world " +
+                         std::to_string(world));
+  }
+  if (n_head % head_degree != 0) {
+    return fail(why, "head_degree " + std::to_string(head_degree) +
+                         " does not divide n_head " + std::to_string(n_head));
+  }
+  if (ranks_per_node > 0 && ranks_per_node % head_degree != 0) {
+    return fail(why, "head_degree " + std::to_string(head_degree) +
+                         " does not divide ranks_per_node " + std::to_string(ranks_per_node) +
+                         " (the head axis would cross nodes)");
+  }
+  return true;
+}
+
+Grid2D::Grid2D(int world, int ranks_per_node, int head_degree, int n_head)
+    : world_(world), head_degree_(head_degree <= 0 ? 1 : head_degree), n_head_(n_head) {
+  std::string why;
+  FPDT_CHECK(valid(world, ranks_per_node, head_degree, n_head, &why)) << " grid2d: " << why;
+}
+
+Grid2D Grid2D::from_config(const core::FpdtConfig& cfg, int world, int n_head) {
+  return Grid2D(world, cfg.ranks_per_node, cfg.head_degree, n_head);
+}
+
+int Grid2D::head_of(int rank) const {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " grid2d rank " << rank;
+  return rank % head_degree_;
+}
+
+int Grid2D::seq_of(int rank) const {
+  FPDT_CHECK(rank >= 0 && rank < world_) << " grid2d rank " << rank;
+  return rank / head_degree_;
+}
+
+int Grid2D::rank_at(int seq, int head) const {
+  FPDT_CHECK(seq >= 0 && seq < seq_degree()) << " grid2d seq coord " << seq;
+  FPDT_CHECK(head >= 0 && head < head_degree_) << " grid2d head coord " << head;
+  return seq * head_degree_ + head;
+}
+
+std::vector<int> Grid2D::head_members(int seq) const {
+  FPDT_CHECK(seq >= 0 && seq < seq_degree()) << " grid2d seq coord " << seq;
+  std::vector<int> m;
+  m.reserve(static_cast<std::size_t>(head_degree_));
+  for (int h = 0; h < head_degree_; ++h) m.push_back(rank_at(seq, h));
+  return m;
+}
+
+std::vector<int> Grid2D::seq_members(int head) const {
+  FPDT_CHECK(head >= 0 && head < head_degree_) << " grid2d head coord " << head;
+  std::vector<int> m;
+  m.reserve(static_cast<std::size_t>(seq_degree()));
+  for (int s = 0; s < seq_degree(); ++s) m.push_back(rank_at(s, head));
+  return m;
+}
+
+bool Grid2D::head_axis_on_node(int ranks_per_node) const {
+  if (ranks_per_node <= 0) return false;
+  // A head group is the contiguous range [seq*H, (seq+1)*H); it stays in
+  // one node iff H divides R (node boundaries are multiples of R and H | R
+  // makes every group start/end inside one R-block).
+  return ranks_per_node % head_degree_ == 0;
+}
+
+std::string Grid2D::to_string() const {
+  return "grid " + std::to_string(seq_degree()) + "x" + std::to_string(head_degree_) +
+         " (seq x head), " + std::to_string(n_head_) + " heads";
+}
+
+}  // namespace fpdt::parallel

@@ -1,0 +1,85 @@
+// 2D (sequence × head) rank grid — the Untied Ulysses decomposition.
+//
+// 1D Ulysses ties the All2All span to the full sequence-parallel world: at
+// P ranks every projection re-shards across all P, so the head scatter
+// crosses the slow inter-node fabric as soon as P exceeds one node. The 2D
+// grid unties the two axes:
+//
+//   head axis      `head_degree` ranks, the FAST axis (consecutive global
+//                  ranks, so with head_degree | ranks_per_node the whole
+//                  axis lives inside one node and the head All2All never
+//                  touches the IB HCA);
+//   sequence axis  world / head_degree ranks, the SLOW axis (stride
+//                  head_degree), carrying the KV/sequence traffic that
+//                  overlaps with attention compute.
+//
+// Placement composes with the node-major topo::Topology: rank r sits at
+// (seq = r / head_degree, head = r % head_degree). The grid re-routes
+// traffic only — chunk math, ZeRO partitioning and losses are bitwise
+// identical to the 1D run at equal world (tests/test_grid2d.cpp), exactly
+// as the hierarchical collectives are bitwise identical to flat ones.
+//
+// Grid2D is the planning object: validity of a (world, ranks_per_node,
+// head_degree, n_head) tuple, coordinate maps, and the member lists the
+// communication layer turns into comm::GroupView subgroups. The elastic
+// layer re-plans it when ranks are lost (fault/elastic.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fpdt_config.h"
+
+namespace fpdt::parallel {
+
+class Grid2D {
+ public:
+  // Validity of a grid tuple. head_degree must divide the world and the
+  // model's head count (every head-axis rank gets whole heads), and — when
+  // a physical grid is declared — ranks_per_node, so the fast axis stays
+  // on-node. head_degree <= 0 is the 1D degenerate (always valid; the grid
+  // is world × 1). On failure `why` (if non-null) names the violated rule.
+  static bool valid(int world, int ranks_per_node, int head_degree, int n_head,
+                    std::string* why = nullptr);
+
+  // Builds the grid; FPDT_CHECKs valid(). head_degree <= 0 collapses to 1.
+  Grid2D(int world, int ranks_per_node, int head_degree, int n_head);
+
+  // Grid from an FpdtConfig's knobs (the shape FpdtTrainer runs under).
+  static Grid2D from_config(const core::FpdtConfig& cfg, int world, int n_head);
+
+  int world() const { return world_; }
+  int head_degree() const { return head_degree_; }
+  int seq_degree() const { return world_ / head_degree_; }
+  int n_head() const { return n_head_; }
+  bool is_2d() const { return head_degree_ > 1; }
+
+  // Head axis fast: rank r = seq * head_degree + head.
+  int head_of(int rank) const;
+  int seq_of(int rank) const;
+  int rank_at(int seq, int head) const;
+
+  // Heads owned per head-axis rank after the head All2All.
+  int heads_per_rank() const { return n_head_ / head_degree_; }
+
+  // Global ranks of one head-axis group (fixed seq coordinate): a
+  // contiguous run of head_degree ranks — the fast axis.
+  std::vector<int> head_members(int seq) const;
+  // Global ranks of one sequence-axis group (fixed head coordinate):
+  // stride head_degree — the slow axis.
+  std::vector<int> seq_members(int head) const;
+
+  // True when every head-axis group is contained in a single node of a
+  // node-major topology with the given ranks-per-node (the property that
+  // keeps the head All2All off the inter-node link).
+  bool head_axis_on_node(int ranks_per_node) const;
+
+  std::string to_string() const;  // e.g. "grid 4x2 (seq x head), 8 heads"
+
+ private:
+  int world_;
+  int head_degree_;
+  int n_head_;
+};
+
+}  // namespace fpdt::parallel

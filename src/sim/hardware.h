@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "common/check.h"
 #include "common/units.h"
 
 namespace fpdt::sim {
@@ -60,6 +62,31 @@ inline HardwareSpec a100_40g_node() {
   hw.hbm_bytes = 40LL * kGiB;
   hw.hbm_bw = 1555e9;
   return hw;
+}
+
+// ---- Presets ---------------------------------------------------------------
+// Named hardware profiles selectable with `--hw` on `fpdt profile` / `tune` /
+// `topo`. Each is a complete HardwareSpec; topo::Topology reads the intra
+// link off nvlink_* and the inter link off ib_*, so "pcie-host" models a
+// host without NVLink by pointing the intra-node link at PCIe numbers.
+
+inline HardwareSpec pcie_host_node() {
+  HardwareSpec hw;
+  hw.nvlink_bw = hw.pcie_bw;
+  hw.nvlink_latency_s = hw.pcie_latency_s;
+  return hw;
+}
+
+inline const char* hw_preset_names() { return "a100-nvlink, a100-40g, pcie-host"; }
+
+inline HardwareSpec hw_preset(const std::string& name) {
+  if (name.empty() || name == "a100-nvlink" || name == "a100" || name == "a100-80g") {
+    return a100_80g_node();
+  }
+  if (name == "a100-40g") return a100_40g_node();
+  if (name == "pcie-host") return pcie_host_node();
+  throw FpdtError("unknown hardware preset '" + name + "' (known: " +
+                  std::string(hw_preset_names()) + ")");
 }
 
 // ---- Roofline -------------------------------------------------------------

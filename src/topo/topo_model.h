@@ -1,0 +1,96 @@
+// Weak-scaling model: modeled step time of FPDT at 64–1024 ranks under a
+// flat vs a hierarchical (2D sequence×head) communication routing, fed
+// through sim::PipelineSim with topology-priced link resources.
+//
+// Both routings execute the *same* computation (identical FLOPs, identical
+// chunk schedule); they differ only in where the collective traffic lands:
+//
+//   flat   the Ulysses All2All re-shards across all P ranks, so (P-R)/P of
+//          every chunk's QKV/output payload crosses the node boundary and
+//          contends for the shared HCA (per-flow bandwidth ib/R) on the
+//          proj -> a2a -> attn critical path;
+//   hier   the 2D grid (head axis = intra-node, sequence axis = inter-node,
+//          per Untied Ulysses + DISTFLASHATTN): the head-dimension All2All
+//          is confined to the fast intra-node fabric, and the sequence axis
+//          streams KV shards ring-style over IB, double-buffered under the
+//          (quadratic) attention compute of the previous shard.
+//
+// The model prices one transformer layer as a pipeline of compute / intra /
+// inter resources and scales to a training step analytically (n_layer x
+// forward+backward). Host offload traffic is identical in both routings and
+// is omitted. Output: ScalingRow per world size, written to
+// weak_scaling.csv by `fpdt topo` and gated by check_weak_scaling() — the
+// shape contract ci/topo_smoke.sh enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model_config.h"
+#include "topo/topology.h"
+
+namespace fpdt::topo {
+
+struct TopoModelOptions {
+  nn::ModelConfig model;
+  std::int64_t ctx_per_gpu = 32768;   // tokens per rank (weak scaling: fixed)
+  // Chunk granularity. The §5.3 chunk-size floor applies to the routing
+  // comparison too: the hier ring is fully hidden only when the *smallest*
+  // causal chunk's attention covers its KV ring, i.e. roughly
+  // ctx_per_gpu · ib_bw / (2u · peak · attn_eff) >= 1 — at the defaults
+  // (32K ctx, 25 GB/s IB, A100) that caps u at 2. Finer chunks expose ring
+  // hops under the first chunk and erode the hierarchical win.
+  std::int64_t chunks_per_rank = 2;   // u
+  double backward_multiplier = 2.0;   // bwd costs ~2x fwd (recompute-free)
+};
+
+// One routing's modeled step under a topology.
+struct TopoEval {
+  double step_s = 0.0;
+  double mfu = 0.0;
+  double layer_fwd_s = 0.0;     // pipeline makespan of one layer forward
+  double intra_busy_s = 0.0;    // per-layer link busy time (per node)
+  double inter_busy_s = 0.0;
+  double inter_util = 0.0;      // inter_busy_s / layer_fwd_s
+};
+
+// Prices one step of `opt.model` at topo.world() ranks. `hierarchical`
+// selects the routing; the flat routing still *crosses* topo's inter links
+// (a flat group on a multi-node fleet cannot avoid them) — it just ignores
+// the node structure when placing traffic.
+TopoEval model_step(const Topology& topo, const sim::HardwareSpec& hw,
+                    const TopoModelOptions& opt, bool hierarchical);
+
+struct ScalingRow {
+  int gpus = 0;
+  int nodes = 0;
+  std::int64_t seq_global = 0;
+  double flat_step_s = 0.0;
+  double hier_step_s = 0.0;
+  double speedup = 0.0;  // flat_step_s / hier_step_s
+  double flat_mfu = 0.0;
+  double hier_mfu = 0.0;
+  double flat_inter_util = 0.0;
+  double hier_inter_util = 0.0;
+};
+
+// Doubling sweep ranks_lo..ranks_hi (inclusive when on the doubling grid),
+// ranks-per-node from hw.gpus_per_node.
+std::vector<ScalingRow> weak_scaling(const sim::HardwareSpec& hw, int ranks_lo, int ranks_hi,
+                                     const TopoModelOptions& opt);
+
+// CSV document (header + one row per world size).
+std::string scaling_csv(const std::vector<ScalingRow>& rows);
+
+// Shape contract over a weak-scaling sweep:
+//   * at least one row; gpus strictly doubling; seq_global = gpus * ctx;
+//   * every field finite and positive, MFU in (0, 1];
+//   * hier_step_s < flat_step_s strictly on every multi-node row whenever
+//     the inter-node link is slower than the intra-node link;
+//   * speedup == flat_step_s / hier_step_s (internal consistency).
+// Returns false and fills `why` on the first violation.
+bool check_weak_scaling(const std::vector<ScalingRow>& rows, const sim::HardwareSpec& hw,
+                        std::int64_t ctx_per_gpu, std::string* why);
+
+}  // namespace fpdt::topo

@@ -1,0 +1,114 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fpdt::topo {
+
+const char* link_class_name(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kIntra: return "intra";
+    case LinkClass::kInter: return "inter";
+  }
+  return "unknown";
+}
+
+std::string LinkStats::to_string() const {
+  std::ostringstream os;
+  os << "intra " << intra_bytes << " B / " << intra_phases << " phase(s) / " << intra_busy_s
+     << " s (peak " << max_intra_flows << " flow(s)); inter " << inter_bytes << " B / "
+     << inter_phases << " phase(s) / " << inter_busy_s << " s (peak " << max_inter_flows
+     << " flow(s))";
+  return os.str();
+}
+
+Topology::Topology(int nodes, int ranks_per_node, LinkSpec intra, LinkSpec inter)
+    : nodes_(nodes), ranks_per_node_(ranks_per_node), intra_(intra), inter_(inter) {
+  FPDT_CHECK_GE(nodes, 1) << " topology nodes";
+  FPDT_CHECK_GE(ranks_per_node, 1) << " topology ranks per node";
+  FPDT_CHECK(intra_.bandwidth > 0 && inter_.bandwidth > 0) << " topology link bandwidth";
+  FPDT_CHECK(intra_.capacity >= 1 && inter_.capacity >= 1) << " topology link capacity";
+}
+
+Topology Topology::flat(int world) {
+  LinkSpec intra;
+  intra.capacity = world;  // the seed's uniform fabric never contends
+  return Topology(1, world, intra, LinkSpec{});
+}
+
+Topology Topology::grid(int nodes, int ranks_per_node, LinkSpec intra, LinkSpec inter) {
+  return Topology(nodes, ranks_per_node, intra, inter);
+}
+
+Topology Topology::grid(int nodes, int ranks_per_node, const sim::HardwareSpec& hw) {
+  LinkSpec intra;
+  intra.bandwidth = hw.nvlink_bw;
+  intra.latency_s = hw.nvlink_latency_s;
+  // Switched NVLink: every GPU drives its own point-to-point lane.
+  intra.capacity = ranks_per_node;
+  LinkSpec inter;
+  inter.bandwidth = hw.ib_bw;
+  inter.latency_s = hw.ib_latency_s;
+  inter.capacity = 1;  // one HCA per node, shared by all its GPUs
+  return Topology(nodes, ranks_per_node, intra, inter);
+}
+
+Topology Topology::from_hardware(const sim::HardwareSpec& hw, int world) {
+  FPDT_CHECK_GE(world, 1) << " topology world";
+  int per_node = std::min(world, hw.gpus_per_node);
+  while (per_node > 1 && world % per_node != 0) --per_node;
+  return grid(world / per_node, per_node, hw);
+}
+
+int Topology::rank_of(int node, int local) const {
+  FPDT_CHECK(node >= 0 && node < nodes_) << " topology node " << node;
+  FPDT_CHECK(local >= 0 && local < ranks_per_node_) << " topology local ordinal " << local;
+  return node * ranks_per_node_ + local;
+}
+
+LinkClass Topology::link(int src, int dst) const {
+  if (src == dst) {
+    check_rank(src);
+    return LinkClass::kSelf;
+  }
+  return same_node(src, dst) ? LinkClass::kIntra : LinkClass::kInter;
+}
+
+std::vector<int> Topology::node_members(int node) const {
+  FPDT_CHECK(node >= 0 && node < nodes_) << " topology node " << node;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(ranks_per_node_));
+  for (int j = 0; j < ranks_per_node_; ++j) out.push_back(node * ranks_per_node_ + j);
+  return out;
+}
+
+std::vector<int> Topology::cross_node_members(int local) const {
+  FPDT_CHECK(local >= 0 && local < ranks_per_node_) << " topology local ordinal " << local;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nodes_));
+  for (int n = 0; n < nodes_; ++n) out.push_back(n * ranks_per_node_ + local);
+  return out;
+}
+
+const LinkSpec& Topology::spec(LinkClass c) const {
+  return c == LinkClass::kInter ? inter_ : intra_;
+}
+
+double Topology::phase_time(LinkClass c, std::int64_t bytes_per_flow, int flows) const {
+  if (c == LinkClass::kSelf || bytes_per_flow <= 0 || flows <= 0) return 0.0;
+  const LinkSpec& s = spec(c);
+  const double share =
+      flows <= s.capacity ? 1.0 : static_cast<double>(s.capacity) / static_cast<double>(flows);
+  return static_cast<double>(bytes_per_flow) / (s.bandwidth * share) + s.latency_s;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << nodes_ << "x" << ranks_per_node_ << " (intra " << intra_.bandwidth / 1e9
+     << "GB/s cap " << intra_.capacity << ", inter " << inter_.bandwidth / 1e9 << "GB/s cap "
+     << inter_.capacity << ")";
+  return os.str();
+}
+
+}  // namespace fpdt::topo

@@ -1,0 +1,134 @@
+// Physical topology of the emulated fleet: nodes × ranks-per-node with
+// per-link bandwidth/latency classes and a contention model.
+//
+// The seed treated the rank group as flat — every pair of ranks one uniform
+// link. Production long-context runs are racks: GPUs inside a node talk over
+// switched NVLink (per-GPU point-to-point bandwidth, effectively
+// uncontended), while traffic leaving the node funnels through one IB HCA
+// shared by every GPU on the node (§5.1's testbed: 4×A100 per node, 200 Gb/s
+// HDR between nodes). topo::Topology captures exactly that much structure:
+//
+//   * rank placement is node-major: rank r lives on node r / ranks_per_node
+//     with local ordinal r % ranks_per_node, so a node's ranks are a
+//     contiguous global range (the layout every launcher produces);
+//   * each link class is a LinkSpec {bandwidth, latency, capacity}; capacity
+//     is the number of concurrent flows the link carries at full bandwidth
+//     before it starts dividing (NVLink: one flow per GPU pair through the
+//     switch; IB: one HCA shared by the whole node);
+//   * phase_time() prices one communication phase under that contention
+//     model — the number comm::HierarchicalProcessGroup charges as virtual
+//     link-busy time and sim's weak-scaling model feeds into PipelineSim.
+//
+// The topology is a pure description: it owns no ranks and moves no data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/hardware.h"
+
+namespace fpdt::topo {
+
+// Which fabric a (src, dst) pair crosses.
+enum class LinkClass {
+  kSelf,   // src == dst: a local copy, never priced as link traffic
+  kIntra,  // same node: NVLink (or PCIe on hosts without NVLink)
+  kInter,  // different nodes: the node's shared IB HCA
+};
+
+const char* link_class_name(LinkClass c);
+
+struct LinkSpec {
+  double bandwidth = 100e9;  // bytes/s per flow at or below capacity
+  double latency_s = 5e-6;   // fixed per-phase cost
+  // Concurrent flows the link sustains at full per-flow bandwidth; beyond
+  // this the aggregate is capacity·bandwidth split evenly (the contention
+  // model: an IB HCA has capacity 1 — four GPUs sending together each get a
+  // quarter; a switched NVLink fabric has capacity = ranks-per-node).
+  int capacity = 1;
+};
+
+// Per-link traffic/occupancy counters, the hierarchical analogue of
+// comm::CommStats. Bytes are logical BF16 transport bytes (2/elem, matching
+// CommStats); seconds are modeled virtual link-busy time from phase_time().
+struct LinkStats {
+  std::int64_t intra_bytes = 0;
+  std::int64_t inter_bytes = 0;
+  std::int64_t intra_phases = 0;  // collective phases routed intra-node
+  std::int64_t inter_phases = 0;
+  double intra_busy_s = 0.0;
+  double inter_busy_s = 0.0;
+  int max_intra_flows = 0;  // peak concurrent flows observed per link class
+  int max_inter_flows = 0;
+
+  std::int64_t total_bytes() const { return intra_bytes + inter_bytes; }
+  std::string to_string() const;
+};
+
+class Topology {
+ public:
+  // Single node holding the whole world — the seed's flat fabric.
+  static Topology flat(int world);
+
+  // nodes × ranks_per_node grid with explicit link classes.
+  static Topology grid(int nodes, int ranks_per_node, LinkSpec intra, LinkSpec inter);
+
+  // Grid with link classes read off a HardwareSpec (NVLink intra, IB inter).
+  static Topology grid(int nodes, int ranks_per_node, const sim::HardwareSpec& hw);
+
+  // Partitions `world` ranks onto `hw` nodes: ranks-per-node is the largest
+  // divisor of world that fits hw.gpus_per_node, so every node is full and
+  // uniform. world <= gpus_per_node degenerates to a flat single node.
+  static Topology from_hardware(const sim::HardwareSpec& hw, int world);
+
+  int world() const { return nodes_ * ranks_per_node_; }
+  int nodes() const { return nodes_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+  bool hierarchical() const { return nodes_ > 1; }
+
+  // Node-major placement.
+  int node_of(int rank) const {
+    check_rank(rank);
+    return rank / ranks_per_node_;
+  }
+  int local_of(int rank) const {
+    check_rank(rank);
+    return rank % ranks_per_node_;
+  }
+  int rank_of(int node, int local) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  LinkClass link(int src, int dst) const;
+
+  // Global ranks of one node, ascending (a contiguous range).
+  std::vector<int> node_members(int node) const;
+  // Global ranks sharing local ordinal `local`, one per node, ascending
+  // (stride ranks_per_node). Every pair crosses nodes: the inter-node axis.
+  std::vector<int> cross_node_members(int local) const;
+
+  const LinkSpec& intra() const { return intra_; }
+  const LinkSpec& inter() const { return inter_; }
+  const LinkSpec& spec(LinkClass c) const;
+
+  // Modeled wall time of one phase in which `flows` concurrent transfers
+  // each move `bytes_per_flow` over link class `c`. Contention: per-flow
+  // bandwidth is spec.bandwidth·min(1, capacity/flows). kSelf is free.
+  double phase_time(LinkClass c, std::int64_t bytes_per_flow, int flows) const;
+
+  std::string to_string() const;  // e.g. "2x4 (intra 100.0GB/s, inter 25.0GB/s)"
+
+ private:
+  Topology(int nodes, int ranks_per_node, LinkSpec intra, LinkSpec inter);
+  void check_rank(int rank) const {
+    FPDT_CHECK(rank >= 0 && rank < world()) << " topology rank " << rank << " outside world "
+                                            << world();
+  }
+
+  int nodes_;
+  int ranks_per_node_;
+  LinkSpec intra_;
+  LinkSpec inter_;
+};
+
+}  // namespace fpdt::topo

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/units.h"
+#include "parallel/grid2d.h"
 #include "perfmodel/memory_model.h"
 
 namespace fpdt::tune {
@@ -22,6 +23,12 @@ std::vector<PlannedCandidate> Planner::plan() const {
   const std::int64_t budget = req_.budget();
   std::vector<PlannedCandidate> out;
   for (const Candidate& c : req_.space.enumerate(req_.world, req_.s_global)) {
+    // SearchSpace::enumerate checks the world-divisibility rules but never
+    // sees the model; the head-count rule (head_degree | n_head) lands here.
+    if (!parallel::Grid2D::valid(req_.world, c.cfg.ranks_per_node, c.cfg.head_degree,
+                                 req_.model.n_head)) {
+      continue;
+    }
     PlannedCandidate pc;
     pc.cand = c;
     pc.modeled = perfmodel::evaluate(req_.model, c.strategy, req_.world, req_.s_global, req_.hw);

@@ -25,6 +25,9 @@ std::string label_of(const core::FpdtConfig& cfg) {
   if (!cfg.kernel_backend.empty() && cfg.kernel_backend != "scalar") {
     s += "-" + cfg.kernel_backend;
   }
+  // Grid shape only when it departs from the seed's flat/1D default.
+  if (cfg.ranks_per_node > 0) s += "-rpn" + std::to_string(cfg.ranks_per_node);
+  if (cfg.head_degree > 0) s += "-hd" + std::to_string(cfg.head_degree);
   return s;
 }
 
@@ -69,18 +72,33 @@ std::vector<Candidate> SearchSpace::enumerate(int world, std::int64_t s_global) 
             for (bool db : double_buffer) {
               for (bool cf : cache_fwd) {
                 for (const std::string& kb : kernel_backends) {
-                  core::FpdtConfig cfg;
-                  cfg.chunks_per_rank = u;
-                  cfg.zero_stage = stage;
-                  cfg.ffn_chunk_multiplier = ffn;
-                  cfg.lm_head_chunks = lm;
-                  cfg.offload = off;
-                  cfg.double_buffer = off && db;
-                  cfg.stream_prefetch = off;
-                  cfg.cache_forward_outputs = cf;
-                  cfg.kernel_backend = kb;
-                  if (!seen.insert(cfg.canonical()).second) continue;
-                  out.push_back(make_candidate(cfg, world, s_global));
+                  for (int rpn : ranks_per_node) {
+                    // A grid axis must tile the world exactly (node-major
+                    // placement needs full uniform nodes); rpn == world is
+                    // the single-node degenerate and collapses to flat.
+                    if (rpn > 0 && (rpn > world || world % rpn != 0)) continue;
+                    for (int hd : head_degrees) {
+                      // The head axis must tile the world and stay inside
+                      // one node (parallel/grid2d.h's validity rules; the
+                      // model's n_head is checked by the planner's caller).
+                      if (hd > 0 && (hd > world || world % hd != 0)) continue;
+                      if (hd > 0 && rpn > 0 && rpn % hd != 0) continue;
+                      core::FpdtConfig cfg;
+                      cfg.chunks_per_rank = u;
+                      cfg.zero_stage = stage;
+                      cfg.ffn_chunk_multiplier = ffn;
+                      cfg.lm_head_chunks = lm;
+                      cfg.offload = off;
+                      cfg.double_buffer = off && db;
+                      cfg.stream_prefetch = off;
+                      cfg.cache_forward_outputs = cf;
+                      cfg.kernel_backend = kb;
+                      cfg.ranks_per_node = rpn;
+                      cfg.head_degree = hd;
+                      if (!seen.insert(cfg.canonical()).second) continue;
+                      out.push_back(make_candidate(cfg, world, s_global));
+                    }
+                  }
                 }
               }
             }

@@ -38,6 +38,16 @@ struct SearchSpace {
   std::vector<bool> double_buffer{true, false};
   std::vector<bool> cache_fwd{true, false};
 
+  // 2D grid axes (topo/topology.h, parallel/grid2d.h): emulated nodes are
+  // world / ranks_per_node, head_degree is the fast-axis span of the head
+  // All2All. Defaults {0} (flat fabric, 1D sequence parallelism) keep the
+  // seed's grid size; a topology sweep opts in with e.g. {0, 2, 4}.
+  // enumerate() drops shapes violating the divisibility rules (the model's
+  // head count is checked later, by the planner's caller — enumerate does
+  // not see the model).
+  std::vector<int> ranks_per_node{0};
+  std::vector<int> head_degrees{0};
+
   // Math-kernel backends to sweep (kernels/backend.h). Defaults to the
   // single process-default entry ("" = inherit) so the grid size is
   // unchanged unless a sweep opts in (e.g. {"scalar", "simd"}). Backends

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 
 #include "comm/process_group.h"
@@ -196,6 +197,62 @@ TEST(GroupViewTest, SubsetCollectivesChargeParent) {
   EXPECT_THROW(comm::GroupView(pg, {}), FpdtError);
   EXPECT_THROW(comm::GroupView(pg, {0, 0}), FpdtError);
   EXPECT_THROW(comm::GroupView(pg, {0, 4}), FpdtError);
+}
+
+TEST(GroupViewTest, SubviewComposesOverOrdinals) {
+  ProcessGroup pg(8);
+  comm::GroupView view(pg, {0, 2, 4, 6});
+  // subview() takes *ordinals of this view*, not global ranks, and keeps
+  // members ascending regardless of the order given.
+  comm::GroupView sub = view.subview({3, 1});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.global_rank(0), 2);
+  EXPECT_EQ(sub.global_rank(1), 6);
+  EXPECT_TRUE(sub.contains(6));
+  EXPECT_FALSE(sub.contains(4));
+  EXPECT_EQ(sub.members(), (std::vector<int>{2, 6}));
+
+  // Rank translation round-trips through the nesting: every member of the
+  // subview is a member of the parent view under the same global name.
+  for (int o = 0; o < sub.size(); ++o) {
+    EXPECT_TRUE(view.contains(sub.global_rank(o)));
+  }
+
+  // Accounting skips the intermediate view and lands on the root group, so
+  // a rank in both an intra-node and an inter-node view charges one ledger.
+  pg.reset_stats();
+  std::vector<Tensor> per;
+  for (int i = 0; i < 2; ++i) per.push_back(Tensor::full({3}, static_cast<float>(i + 1)));
+  const std::vector<Tensor> reduced = sub.all_reduce(per);
+  ASSERT_EQ(reduced.size(), 2u);
+  for (const Tensor& t : reduced) {
+    for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(t.data()[i], 3.0f);
+  }
+  EXPECT_GT(pg.stats().all_reduce_bytes, 0);
+
+  EXPECT_THROW(view.subview({}), FpdtError);
+  EXPECT_THROW(view.subview({0, 4}), FpdtError);  // ordinal out of range
+  EXPECT_THROW(view.subview({1, 1}), FpdtError);  // duplicate
+}
+
+TEST(GroupViewTest, SubviewCollectiveMatchesDirectViewBitwise) {
+  // A nested subview over ordinals {1, 2} of {1, 3, 5, 7} must behave
+  // exactly like a view built directly over global ranks {3, 5}.
+  ProcessGroup pg(8);
+  comm::GroupView outer(pg, {1, 3, 5, 7});
+  comm::GroupView nested = outer.subview({1, 2});
+  comm::GroupView direct(pg, {3, 5});
+
+  auto in = make_rank_tensors(2, {4, 2}, 99);
+  const auto via_nested = nested.all_gather(in);
+  const auto via_direct = direct.all_gather(in);
+  ASSERT_EQ(via_nested.size(), via_direct.size());
+  for (std::size_t r = 0; r < via_nested.size(); ++r) {
+    EXPECT_EQ(std::memcmp(via_nested[r].data(), via_direct[r].data(),
+                          sizeof(float) * static_cast<std::size_t>(via_nested[r].numel())),
+              0)
+        << "ordinal " << r;
+  }
 }
 
 TEST(CollectivesTest, HeadsNotDivisibleThrows) {

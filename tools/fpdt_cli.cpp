@@ -14,6 +14,8 @@
 //   fpdt footprint [--gpus G] [--stage all|0..3]  measured vs modeled ZeRO bytes
 //   fpdt tune [--budget BYTES] [--top-k K]        cost-model-guided autotuner
 //             [--sweep chunk]                     (or: regenerate Fig. 12 curve)
+//   fpdt topo [--ranks 64..1024] [--hw PRESET]    weak-scaling flat-vs-hier model,
+//             [--verify] [--grid-check]           bitwise differential checks
 //   fpdt serve [--sessions N] [--seed S] ...      multi-tenant serving engine
 //                                                 (chunked prefill + paged KV)
 //
@@ -21,12 +23,15 @@
 // Models: gpt-2.7b gpt-6.7b gpt-13b gpt-30b llama-8b llama-70b
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cli_args.h"
+#include "comm/hierarchical_group.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/fpdt_trainer.h"
@@ -40,12 +45,15 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "parallel/grid2d.h"
 #include "parallel/zero/sharded_optimizer.h"
 #include "parallel/zero/zero_engine.h"
 #include "perfmodel/evaluate.h"
 #include "serve/engine.h"
 #include "sim/runtime_bridge.h"
 #include "sim/timeline.h"
+#include "topo/topo_model.h"
+#include "topo/topology.h"
 #include "tune/sweep.h"
 #include "tune/tuner.h"
 
@@ -78,6 +86,8 @@ int usage() {
                "  fpdt profile [--steps 2] [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
                "               [--strategy fpdt|ulysses|megatron-sp|ring] [--model tiny-gpt]\n"
                "               [--zero-stage -1..3] [--backend scalar|simd]\n"
+               "               [--hw a100-nvlink|a100-40g|pcie-host]\n"
+               "               [--ranks-per-node R] [--head-degree H]\n"
                "               [--trace trace.json] [--metrics metrics.json] [--no-trace]\n"
                "  fpdt kernels                                list math-kernel backends\n"
                "  fpdt chaos [--spec 'h2d:p=0.05;collective:step=2'] [--steps 4] [--gpus 2]\n"
@@ -86,13 +96,20 @@ int usage() {
                "  fpdt elastic [--scenario 'ranklost:step=1,rank=1;rejoin:step=3'] [--steps 6]\n"
                "               [--gpus 4] [--chunks 2] [--chunk-tokens 32] [--seed 1234]\n"
                "               [--ckpt fpdt_elastic.ckpt] [--no-verify] [--zero-stage 0..3]\n"
+               "               [--ranks-per-node R] [--head-degree H]\n"
                "               [--keep-ckpt]      rank churn drill; twin must match bitwise\n"
                "  fpdt footprint [--gpus 2] [--chunks 4] [--chunk-tokens 64]\n"
                "                 [--stage all|0|1|2|3]\n"
                "  fpdt tune [--model tiny-gpt] [--gpus 2] [--seq 512] [--budget 1450K]\n"
                "            [--top-k 6] [--steps 1] [--seed 1234] [--cache tune.cache]\n"
                "            [--json tune.json] [--max-chunks 8] [--backend scalar|simd]\n"
+               "            [--hw a100-nvlink|a100-40g|pcie-host] [--grid]\n"
                "  fpdt tune --sweep chunk [--csv fig12_chunk_tradeoff.csv]\n"
+               "  fpdt topo [--ranks 64..1024] [--hw a100-nvlink|a100-40g|pcie-host]\n"
+               "            [--model gpt-6.7b] [--ctx-per-gpu 32K] [--chunks 4]\n"
+               "            [--csv weak_scaling.csv] [--check]    weak-scaling sweep + gate\n"
+               "  fpdt topo --verify                 flat-vs-hierarchical bitwise differential\n"
+               "  fpdt topo --grid-check             2D-vs-1D loss bit-identity, both backends\n"
                "  fpdt bench [--out-dir DIR] [--steps 2] [--seed 1234] [--active-backend-only]\n"
                "             [--json]                     canonical perf-snapshot suite\n"
                "  fpdt serve [--sessions 64] [--seed 1234] [--min-len 2K] [--max-len 256K]\n"
@@ -245,7 +262,7 @@ int cmd_overlap(int gpus, std::int64_t chunks, std::int64_t chunk_tokens,
 
 int cmd_profile(int argc, char** argv, int base) {
   obs::ProfileOptions opt;
-  std::string model;
+  std::string model, hw_name;
   cli::FlagParser f("profile", argc, argv, base);
   while (f.more()) {
     if (f.match("--steps", &opt.steps)) continue;
@@ -260,9 +277,13 @@ int cmd_profile(int argc, char** argv, int base) {
     if (f.match_set("--no-trace", &opt.trace, false)) continue;
     if (f.match("--zero-stage", &opt.zero_stage)) continue;
     if (f.match("--backend", &opt.kernel_backend)) continue;
+    if (f.match("--hw", &hw_name)) continue;
+    if (f.match("--ranks-per-node", &opt.ranks_per_node)) continue;
+    if (f.match("--head-degree", &opt.head_degree)) continue;
     f.unknown();
   }
   if (!model.empty()) opt.model = nn::model_by_name(model);
+  if (!hw_name.empty()) opt.hw = sim::hw_preset(hw_name);
 
   const obs::ProfileResult res = obs::run_profile(opt);
 
@@ -281,6 +302,12 @@ int cmd_profile(int argc, char** argv, int base) {
                format_seconds(s.exposed_transfer_s), format_bytes(s.hbm_peak_bytes)});
   }
   t.print(std::cout);
+  if (!res.steps.empty() && res.steps.back().inter_link_bytes > 0) {
+    const obs::StepStats& last = res.steps.back();
+    std::cout << "link traffic (last step): intra " << format_bytes(last.intra_link_bytes)
+              << ", inter " << format_bytes(last.inter_link_bytes) << ", inter bw util "
+              << cell_pct(last.inter_bw_util) << "\n";
+  }
   obs::MetricsRegistry::global().print_table(std::cout);
   if (opt.trace && !opt.trace_path.empty()) {
     std::cout << "wrote trace to " << opt.trace_path << " (open in Perfetto / chrome://tracing)\n";
@@ -408,12 +435,18 @@ int cmd_elastic(int argc, char** argv, int base) {
     if (f.match("--ckpt", &opt.checkpoint_path)) continue;
     if (f.match_set("--no-verify", &opt.verify_twin, false)) continue;
     if (f.match("--zero-stage", &opt.zero_stage)) continue;
+    if (f.match("--ranks-per-node", &opt.ranks_per_node)) continue;
+    if (f.match("--head-degree", &opt.head_degree)) continue;
     if (f.match_set("--keep-ckpt", &opt.keep_checkpoint, true)) continue;
     f.unknown();
   }
 
   std::cout << "elastic: scenario '" << opt.scenario << "' world " << opt.world << " zero-stage "
-            << opt.zero_stage << "\n";
+            << opt.zero_stage;
+  if (opt.ranks_per_node > 0 || opt.head_degree > 0) {
+    std::cout << " grid rpn=" << opt.ranks_per_node << " hd=" << opt.head_degree;
+  }
+  std::cout << "\n";
   const fault::ElasticResult res = fault::run_elastic(opt);
   std::cout << res.report(opt.steps);
   if (!res.survived(opt.steps)) return 1;
@@ -428,12 +461,15 @@ int cmd_elastic(int argc, char** argv, int base) {
 // chunk-tradeoff curve from the tuner's analytic pricing and shape-checks it.
 int cmd_tune(int argc, char** argv, int base) {
   tune::TuneRequest req;
-  std::string model = "tiny-gpt", sweep, json_path, backend;
+  std::string model = "tiny-gpt", sweep, json_path, backend, hw_name;
   std::string csv_path = "fig12_chunk_tradeoff.csv";
   std::int64_t max_chunks = 0;
+  bool grid = false;
   cli::FlagParser f("tune", argc, argv, base);
   while (f.more()) {
     if (f.match("--model", &model)) continue;
+    if (f.match("--hw", &hw_name)) continue;
+    if (f.match_set("--grid", &grid)) continue;
     if (f.match("--gpus", &req.world)) continue;
     if (f.match_tokens("--seq", &req.s_global)) continue;
     if (f.match_tokens("--budget", &req.hbm_budget_bytes)) continue;  // bytes; K/M suffix ok
@@ -451,6 +487,13 @@ int cmd_tune(int argc, char** argv, int base) {
   if (!backend.empty()) {
     kernels::backend(backend);  // fail fast on unknown names
     req.space.kernel_backends = {backend};
+  }
+  if (!hw_name.empty()) req.hw = sim::hw_preset(hw_name);
+  if (grid) {
+    // Opt the 2D grid axes into the sweep: flat plus a two-rank node / head
+    // axis (the planner drops shapes the world or model cannot carry).
+    req.space.ranks_per_node = {0, 2};
+    req.space.head_degrees = {0, 2};
   }
 
   if (sweep == "chunk") {
@@ -510,6 +553,191 @@ int cmd_tune(int argc, char** argv, int base) {
             << " ffn_chunk_multiplier=" << cfg.ffn_chunk_multiplier
             << " lm_head_chunks=" << cfg.lm_head_chunks << " zero_stage=" << cfg.zero_stage
             << "\n";
+  return 0;
+}
+
+// ---- fpdt topo -------------------------------------------------------------
+
+// Bitwise tensor equality — the differential contract between flat and
+// hierarchical collectives is bit-identity, not closeness.
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+int compare_ranks(const char* what, int P, int nodes, const std::vector<Tensor>& flat,
+                  const std::vector<Tensor>& hier) {
+  for (std::size_t r = 0; r < flat.size(); ++r) {
+    if (!bitwise_equal(flat[r], hier[r])) {
+      std::cerr << "topo verify FAILED: " << what << " ranks=" << P << " nodes=" << nodes
+                << " rank " << r << " differs from flat\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Differential oracle: every collective of comm::HierarchicalProcessGroup
+// against the flat seed group on identical seeded inputs, across
+// ranks {4,8,16} x nodes {1,2,4}. The hierarchical payload contract is
+// bitwise equality on every rank — the hierarchy may only re-price
+// transport, never touch a float.
+int topo_verify() {
+  int failures = 0;
+  for (const int P : {4, 8, 16}) {
+    for (const int nodes : {1, 2, 4}) {
+      if (P % nodes != 0) continue;
+      const int rpn = P / nodes;
+      comm::ProcessGroup flat(P);
+      comm::HierarchicalProcessGroup hier(
+          topo::Topology::grid(nodes, rpn, sim::a100_80g_node()));
+      Rng rng(0xF0D7u + static_cast<std::uint64_t>(P * 10 + nodes));
+
+      // Ulysses All2All, both directions, plus the exact round trip.
+      std::vector<Tensor> heads;
+      for (int r = 0; r < P; ++r) heads.push_back(Tensor::randn({3, 2 * P, 4}, rng));
+      const auto gf = flat.all_to_all_heads_to_seq(heads);
+      const auto gh = hier.all_to_all_heads_to_seq(heads);
+      failures += compare_ranks("heads_to_seq", P, nodes, gf, gh);
+      failures += compare_ranks("seq_to_heads", P, nodes, flat.all_to_all_seq_to_heads(gf),
+                                hier.all_to_all_seq_to_heads(gh));
+
+      std::vector<Tensor> shard, full, vec, ring;
+      for (int r = 0; r < P; ++r) {
+        shard.push_back(Tensor::randn({5, 3}, rng));
+        full.push_back(Tensor::randn({2 * P, 3}, rng));
+        vec.push_back(Tensor::randn({7}, rng));
+        ring.push_back(Tensor::randn({4}, rng));
+      }
+      failures += compare_ranks("all_gather", P, nodes, flat.all_gather(shard),
+                                hier.all_gather(shard));
+      failures += compare_ranks("reduce_scatter", P, nodes, flat.reduce_scatter(full),
+                                hier.reduce_scatter(full));
+      failures += compare_ranks("all_reduce", P, nodes, flat.all_reduce(vec),
+                                hier.all_reduce(vec));
+      failures += compare_ranks("ring_shift", P, nodes, flat.ring_shift(ring),
+                                hier.ring_shift(ring));
+
+      const topo::LinkStats ls = hier.link_stats();
+      std::cout << "topo verify OK: ranks=" << P << " nodes=" << nodes << " rpn=" << rpn
+                << " — all collectives bitwise-identical to flat; " << ls.to_string() << "\n";
+      if (nodes > 1 && ls.inter_bytes == 0) {
+        std::cerr << "topo verify FAILED: multi-node run charged no inter-node traffic\n";
+        ++failures;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// 2D-vs-1D trainer differential: one FPDT training step at world 4, flat/1D
+// against the 2x2 grid (2 nodes x 2 ranks, head axis on-node), same seed and
+// tokens, under both kernel backends. The grid re-routes traffic only, so
+// the losses must agree bit for bit.
+int topo_grid_check() {
+  const nn::ModelConfig mc = nn::tiny_gpt(64, 2, 4, 96);
+  const int world = 4;
+  const std::int64_t chunks = 2, chunk_tokens = 32;
+  const std::int64_t s_global = static_cast<std::int64_t>(world) * chunks * chunk_tokens;
+  int failures = 0;
+  for (const char* backend : {"scalar", "simd"}) {
+    kernels::BackendScope scope(backend);
+    double losses[2] = {0.0, 0.0};
+    std::int64_t inter_bytes = 0;
+    for (int g = 0; g < 2; ++g) {
+      core::FpdtConfig cfg;
+      cfg.chunks_per_rank = chunks;
+      if (g == 1) {
+        cfg.ranks_per_node = 2;
+        cfg.head_degree = 2;
+        FPDT_CHECK(parallel::Grid2D::valid(world, cfg.ranks_per_node, cfg.head_degree,
+                                           mc.n_head));
+      }
+      nn::Model model(mc, 1234);
+      core::FpdtTrainer trainer(model, world, cfg);
+      data::SyntheticCorpus corpus(mc.vocab, 7);
+      losses[g] = trainer.train_step_grads(corpus.sample(s_global + 1));
+      if (g == 1) inter_bytes = trainer.env().pg().link_stats().inter_bytes;
+    }
+    if (std::memcmp(&losses[0], &losses[1], sizeof(double)) != 0) {
+      std::cerr.precision(17);
+      std::cerr << "topo grid-check FAILED (" << backend << "): 1D loss " << losses[0]
+                << " != 2D loss " << losses[1] << "\n";
+      ++failures;
+      continue;
+    }
+    std::cout.precision(17);
+    std::cout << "topo grid-check OK (" << backend << "): 2x2 grid loss " << losses[1]
+              << " bitwise == 1D, inter-node traffic " << format_bytes(inter_bytes) << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Weak-scaling sweep (default), flat-vs-hier differential (--verify), and
+// the 2D-vs-1D trainer bit-identity drill (--grid-check). The sweep writes
+// weak_scaling.csv and --check gates its shape contract — what
+// ci/topo_smoke.sh runs.
+int cmd_topo(int argc, char** argv, int base) {
+  std::string ranks = "64..1024", hw_name, model = "gpt-6.7b";
+  std::string csv_path = "weak_scaling.csv";
+  topo::TopoModelOptions mopt;
+  bool check = false, verify = false, grid_check = false;
+  cli::FlagParser f("topo", argc, argv, base);
+  while (f.more()) {
+    if (f.match("--ranks", &ranks)) continue;
+    if (f.match("--hw", &hw_name)) continue;
+    if (f.match("--model", &model)) continue;
+    if (f.match_tokens("--ctx-per-gpu", &mopt.ctx_per_gpu)) continue;
+    if (f.match_tokens("--chunks", &mopt.chunks_per_rank)) continue;
+    if (f.match("--csv", &csv_path)) continue;
+    if (f.match_set("--check", &check)) continue;
+    if (f.match_set("--verify", &verify)) continue;
+    if (f.match_set("--grid-check", &grid_check)) continue;
+    f.unknown();
+  }
+
+  if (verify || grid_check) {
+    int rc = 0;
+    if (verify) rc |= topo_verify();
+    if (grid_check) rc |= topo_grid_check();
+    return rc;
+  }
+
+  const std::size_t dots = ranks.find("..");
+  FPDT_CHECK(dots != std::string::npos) << " --ranks wants lo..hi (e.g. 64..1024)";
+  const int lo = std::atoi(ranks.substr(0, dots).c_str());
+  const int hi = std::atoi(ranks.substr(dots + 2).c_str());
+  const sim::HardwareSpec hw = sim::hw_preset(hw_name);
+  mopt.model = nn::model_by_name(model);
+
+  const std::vector<topo::ScalingRow> rows = topo::weak_scaling(hw, lo, hi, mopt);
+  std::cout << "weak scaling — " << mopt.model.name << ", "
+            << format_token_count(mopt.ctx_per_gpu) << " tokens/GPU, " << hw.gpus_per_node
+            << " GPUs/node (flat vs hierarchical routing)\n";
+  TextTable t({"gpus", "nodes", "seq", "flat step", "hier step", "speedup", "flat mfu",
+               "hier mfu", "flat ib", "hier ib"});
+  for (const topo::ScalingRow& r : rows) {
+    t.add_row({std::to_string(r.gpus), std::to_string(r.nodes), format_token_count(r.seq_global),
+               format_seconds(r.flat_step_s), format_seconds(r.hier_step_s),
+               cell_f2(r.speedup) + "x", cell_pct(r.flat_mfu), cell_pct(r.hier_mfu),
+               cell_pct(r.flat_inter_util), cell_pct(r.hier_inter_util)});
+  }
+  t.print(std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << topo::scaling_csv(rows);
+    FPDT_CHECK(out.good()) << " cannot write " << csv_path;
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  if (check) {
+    std::string why;
+    if (!topo::check_weak_scaling(rows, hw, mopt.ctx_per_gpu, &why)) {
+      std::cerr << "weak-scaling shape check FAILED:\n" << why << "\n";
+      return 1;
+    }
+    std::cout << "curve shape: hier beats flat on every multi-node point — OK\n";
+  }
   return 0;
 }
 
@@ -684,6 +912,7 @@ int main(int argc, char** argv) {
     if (cmd == "elastic") return cmd_elastic(argc, argv, 2);
     if (cmd == "footprint") return cmd_footprint(argc, argv, 2);
     if (cmd == "tune") return cmd_tune(argc, argv, 2);
+    if (cmd == "topo") return cmd_topo(argc, argv, 2);
     if (cmd == "bench") return cmd_bench(argc, argv, 2);
     if (cmd == "serve") return cmd_serve(argc, argv, 2);
     return usage();
